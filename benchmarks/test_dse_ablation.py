@@ -1,0 +1,26 @@
+"""Design-space exploration (Section VI's DSE).
+
+The paper settled on 2 WCBs, a 64-entry WOQ, and atomic groups of up to
+16 lines.  The ablation regenerates the sweep: the default must be at
+least as good as the shrunken variants, and growing the structures past
+the default must bring little.
+"""
+
+from conftest import run_once
+
+from repro.harness import dse
+
+
+def test_dse_ablation(benchmark, runner):
+    result = run_once(benchmark, lambda: dse(runner))
+    print("\n" + result.render())
+    values = {label: row["speedup"] for label, row in result.rows.items()}
+    default = values["default(2wcb,64woq,16grp)"]
+    assert default > 1.0
+    # Shrinking the WOQ to 16 entries must cost performance.
+    assert values["16-entry woq"] <= default + 0.005
+    # Growing the WOQ to 256 entries brings (almost) nothing: 64 is the
+    # paper's cost-effective size.
+    assert values["256-entry woq"] <= default * 1.06
+    # One WCB loses coalescing opportunity.
+    assert values["1 wcb"] <= default + 0.005

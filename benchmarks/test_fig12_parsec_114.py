@@ -1,0 +1,27 @@
+"""Figure 12: Parsec (16 cores) speedup and EDP, 114-entry SB.
+
+Paper: TUS speeds Parsec up by 3.2% on average (up to 17.1%),
+outperforming SSB (2.2%) and CSB (1.0%); TUS improves EDP by 5.1%
+(CSB 2.4%).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig12
+
+
+def test_fig12_parsec(benchmark, runner):
+    results = run_once(benchmark, lambda: fig12(runner))
+    print("\n" + results["speedup"].render())
+    print("\n" + results["edp"].render())
+    speed = results["speedup"]
+    geo = {m: speed.value("geomean", m) for m in
+           ("baseline", "ssb", "csb", "spb", "tus")}
+    print(f"\npaper speedup geomeans: tus=1.032 ssb=1.022 csb=1.010; "
+          f"measured: " + " ".join(f"{m}={v:.3f}" for m, v in geo.items()))
+    # Shape: TUS is at (or within noise of) the top on the parallel
+    # suite and clearly above the baseline.
+    assert geo["tus"] >= max(geo.values()) - 0.02
+    assert geo["tus"] > 1.0
+    edp_geo = results["edp"].value("geomean", "tus")
+    assert edp_geo < 1.0, "TUS must improve Parsec EDP"

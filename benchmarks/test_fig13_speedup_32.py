@@ -1,0 +1,25 @@
+"""Figure 13: speedups with a 32-entry SB (normalised to baseline@32).
+
+Paper: with the small SB the baseline suffers badly, so TUS's relative
+gains grow — +10.1% average on single-thread SB-bound (peak +36.6%),
+with 21 applications improving by more than 5%.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig13
+
+
+def test_fig13_speedups(benchmark, runner):
+    results = run_once(benchmark, lambda: fig13(runner))
+    print("\n" + results["scurve"].render())
+    print("\n" + results["breakdown"].render())
+    breakdown = results["breakdown"]
+    geo = {m: breakdown.value("geomean", m) for m in
+           ("baseline", "ssb", "csb", "spb", "tus")}
+    print(f"\npaper: tus geomean=1.101 (peak 1.366); measured: "
+          + " ".join(f"{m}={v:.3f}" for m, v in geo.items()))
+    assert geo["tus"] == max(geo.values())
+    # The gains at SB=32 must exceed the gains at SB=114 (the whole
+    # point of Section VI-C: TUS shines under high SB pressure).
+    assert geo["tus"] > 1.03

@@ -1,0 +1,21 @@
+"""Figure 14: Parsec speedup and EDP with a 32-entry SB.
+
+Paper: TUS gains 5.8% on Parsec relative to a 32-entry baseline and
+improves EDP by 10.2% (SSB: 7.4%).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig14
+
+
+def test_fig14_parsec_32(benchmark, runner):
+    results = run_once(benchmark, lambda: fig14(runner))
+    print("\n" + results["speedup"].render())
+    print("\n" + results["edp"].render())
+    geo_speed = results["speedup"].value("geomean", "tus")
+    geo_edp = results["edp"].value("geomean", "tus")
+    print(f"\npaper: tus speedup=1.058, edp=0.898; "
+          f"measured: speedup={geo_speed:.3f}, edp={geo_edp:.3f}")
+    assert geo_speed > 1.0
+    assert geo_edp < 1.0

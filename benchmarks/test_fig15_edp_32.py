@@ -1,0 +1,21 @@
+"""Figure 15: normalized EDP, single-thread SB-bound, 32-entry SB.
+
+Paper: TUS improves EDP by 15.7%, CSB by 12%, SSB by 5.2% — the
+ordering TUS < CSB < SSB (lower is better) is the reproduction target.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig15
+
+
+def test_fig15_edp_32(benchmark, runner):
+    result = run_once(benchmark, lambda: fig15(runner))
+    print("\n" + result.render())
+    geo = {m: result.value("geomean", m) for m in
+           ("baseline", "ssb", "csb", "spb", "tus")}
+    print(f"\npaper geomeans: tus=0.843 csb=0.880 ssb=0.948; measured: "
+          + " ".join(f"{m}={v:.3f}" for m, v in geo.items()))
+    assert geo["tus"] < 1.0
+    assert geo["tus"] <= geo["csb"] * 1.05
+    assert geo["tus"] < geo["ssb"] + 0.01

@@ -1,0 +1,27 @@
+"""Figure 8: scalability analysis with SB size (32/64/114).
+
+Paper: TUS yields the highest performance regardless of SB size, and
+TUS with a 32-entry SB still outperforms the 114-entry baseline (the
++2% headline of Section VI-C).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig8
+
+
+def test_fig8_scalability(benchmark, runner):
+    result = run_once(benchmark, lambda: fig8(runner))
+    print("\n" + result.render())
+    row = result.rows["spec+tf"]
+    # TUS beats every other mechanism at every SB size.
+    for sb in (32, 64, 114):
+        best = max(("baseline", "ssb", "csb", "spb", "tus"),
+                   key=lambda m: row[f"{m}@{sb}"])
+        assert best == "tus", f"TUS must lead at SB={sb} (got {best})"
+    # The Section VI-C headline: TUS@32 >= baseline@114.
+    print(f"\npaper: TUS@32 vs baseline@114 = 1.02x; measured: "
+          f"{row['tus@32'] / row['baseline@114']:.3f}x")
+    assert row["tus@32"] >= row["baseline@114"] * 0.99
+    # Shrinking the baseline's SB hurts it (the overprovisioning story).
+    assert row["baseline@32"] < row["baseline@114"]

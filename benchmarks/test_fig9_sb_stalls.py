@@ -1,0 +1,25 @@
+"""Figure 9: SB-induced stalls (% of cycles), 114-entry SB.
+
+Paper: baseline averages ~6% across SB-bound single-thread benchmarks;
+TUS cuts the average to ~2% (i.e. removes most SB head-of-line
+blocking).  We assert the *shape*: every benchmark is SB-bound under
+the baseline, and TUS reduces the mean substantially.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig9
+
+
+def test_fig9_sb_stalls(benchmark, runner):
+    result = run_once(benchmark, lambda: fig9(runner))
+    print("\n" + result.render())
+    mean_base = result.value("mean", "baseline")
+    mean_tus = result.value("mean", "tus")
+    # Shape: the baseline suffers clear SB stalls and TUS removes most.
+    assert mean_base > 0.02, "baseline should be SB-bound on this set"
+    assert mean_tus < mean_base * 0.75, \
+        "TUS must remove a large share of SB stalls"
+    # Paper: TUS reduces overall stalls from ~6% to ~2%.
+    print(f"\npaper: baseline ~6% -> TUS ~2%; "
+          f"measured: {mean_base:.1%} -> {mean_tus:.1%}")

@@ -1,0 +1,26 @@
+"""L1D write reduction (Sections VI-A/VI-B).
+
+Paper: TUS halves the number of L1D writes on average (peak 5.5x on
+502.gcc5), almost identically to CSB, while SSB and SPB write once per
+store like the baseline.
+"""
+
+from conftest import run_once
+
+from repro.harness import l1d_writes
+
+
+def test_l1d_write_reduction(benchmark, runner):
+    result = run_once(benchmark, lambda: l1d_writes(runner))
+    print("\n" + result.render())
+    geo = {m: result.value("geomean", m) for m in
+           ("baseline", "ssb", "csb", "spb", "tus")}
+    print(f"\npaper: tus ~2x average, 5.5x peak (gcc5); measured "
+          f"geomeans: " + " ".join(f"{m}={v:.2f}" for m, v in geo.items()))
+    assert geo["tus"] > 1.3, "TUS must clearly reduce L1D writes"
+    # CSB coalesces almost identically (paper Section VI-A).
+    assert abs(geo["csb"] - geo["tus"]) / geo["tus"] < 0.25
+    # Non-coalescing mechanisms stay near 1x.
+    assert geo["ssb"] < 1.15 and geo["spb"] < 1.15
+    # The burst champion shows a large factor.
+    assert result.rows["502.gcc5"]["tus"] > 2.5

@@ -1,0 +1,30 @@
+"""Structural cost claims (Sections I, IV, V).
+
+No simulation needed: the analytic CAM model must reproduce the paper's
+five ratios exactly-ish, plus the WOQ storage (272 bytes) and the
+forwarding-latency schedule (5/4/3 cycles at 114/64/32 entries).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness import sb_cost
+
+
+def test_sb_cost_model(benchmark):
+    result = run_once(benchmark, sb_cost)
+    print("\n" + result.render())
+    checks = {
+        "sb_energy_114_over_32": 0.06,
+        "sb_area_saving_32_vs_114": 0.05,
+        "woq_energy_vs_sb114": 0.1,
+        "woq_energy_vs_sb32": 0.1,
+    }
+    for row, tolerance in checks.items():
+        model = result.value(row, "model")
+        paper = result.value(row, "paper")
+        assert model == pytest.approx(paper, rel=tolerance), row
+    assert 11 <= result.value("woq_area_vs_sb114", "model") <= 16
+    assert result.value("woq_storage_bytes", "model") == 272
+    assert result.value("forward_latency_114", "model") == 5
+    assert result.value("forward_latency_32", "model") == 3

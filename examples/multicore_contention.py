@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Multicore contention: watch TUS resolve cross-core conflicts.
+
+Four cores hammer an overlapping set of cache lines under TUS.  The
+external-request machinery of Section III-C — delaying requests when the
+lex-order prefix is owned, relinquishing permissions otherwise — fires
+constantly, and the run finishes with no deadlock and no unauthorized
+residue.  The same workload runs under the baseline for comparison.
+
+Run:  python examples/multicore_contention.py [cores] [uops_per_core]
+"""
+
+import sys
+
+from repro import System, table_i
+from repro.cpu.isa import alu, load, store
+from repro.cpu.trace import Trace
+
+
+def contended_trace(core_id: int, n: int, shared_lines: int = 12) -> Trace:
+    """Stores and loads over a small shared line set, plus private work."""
+    uops = []
+    base = 0xAB_0000
+    for i in range(n):
+        slot = (i * (core_id + 3)) % shared_lines
+        if i % 3 == 0:
+            uops.append(store(base + slot * 64 + (core_id % 8) * 8, 8))
+        elif i % 3 == 1:
+            uops.append(load(base + ((slot + 1) % shared_lines) * 64))
+        else:
+            uops.append(alu())
+    return Trace(f"contend{core_id}", uops)
+
+
+def run(mechanism: str, cores: int, n: int):
+    config = table_i().with_cores(cores).with_mechanism(mechanism)
+    traces = [contended_trace(cid, n) for cid in range(cores)]
+    system = System(config, traces, workload="contention")
+    result = system.run()
+    # Invariant: nothing unauthorized survives the run.
+    for port in system.memsys.ports:
+        for line in port.l1d:
+            assert not line.not_visible, "unauthorized residue!"
+    return result
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 2_000
+
+    for mechanism in ("baseline", "tus"):
+        result = run(mechanism, cores, n)
+        print(f"{mechanism:>8}: {result.cycles:>8} cycles   "
+              f"IPC/core {result.ipc / cores:5.2f}")
+        print(f"          invalidations      "
+              f"{result.stat('system.mem.protocol.invalidations'):8.0f}")
+        print(f"          c2c forwards       "
+              f"{result.stat('system.mem.protocol.c2c_forwards'):8.0f}")
+        if mechanism == "tus":
+            print(f"          delayed snoops     "
+                  f"{result.stat('system.mem.protocol.delayed_snoops'):8.0f}"
+                  f"   (lex prefix owned: requester waits)")
+            print(f"          relinquished lines "
+                  f"{result.stat('system.mem.protocol.relinquished'):8.0f}"
+                  f"   (lex order violated: permission given up)")
+        print()
+    print("Both runs complete; TUS resolved every conflict without "
+          "deadlock or rollback.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under the baseline and under TUS.
+
+This is the two-minute tour of the public API:
+
+1. build a configuration (the paper's Table I machine),
+2. generate a workload trace,
+3. run the simulator with two different store-handling mechanisms,
+4. compare cycles, SB-induced stalls, L1D writes, and energy.
+
+Run:  python examples/quickstart.py [benchmark] [length]
+"""
+
+import sys
+
+from repro import run_single, table_i
+from repro.energy import attach_energy
+from repro.workloads import benchmarks, make_trace
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "502.gcc5"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+    if bench not in benchmarks():
+        raise SystemExit(f"unknown benchmark {bench!r}; "
+                         f"try one of {', '.join(benchmarks()[:8])}, ...")
+
+    trace = make_trace(bench, length=length)
+    summary = trace.summary()
+    print(f"workload {bench}: {summary.length} uops, "
+          f"{summary.stores} stores ({summary.store_ratio:.0%}), "
+          f"{summary.loads} loads, "
+          f"longest store burst {summary.max_store_burst}")
+    print()
+
+    results = {}
+    for mechanism in ("baseline", "tus"):
+        config = table_i().with_mechanism(mechanism)
+        result = run_single(config, trace)
+        attach_energy(result, config)
+        results[mechanism] = result
+        print(f"{mechanism:>8}: {result.cycles:>8} cycles   "
+              f"IPC {result.ipc:5.2f}   "
+              f"SB stalls {result.stall_fraction('sb'):6.1%}   "
+              f"L1D writes {result.sum_stats('l1d.writes'):7.0f}")
+
+    base, tus = results["baseline"], results["tus"]
+    print()
+    print(f"TUS speedup:            {base.cycles / tus.cycles:6.3f}x")
+    print(f"TUS normalized EDP:     "
+          f"{(tus.energy * tus.cycles) / (base.energy * base.cycles):6.3f}"
+          f"  (lower is better)")
+    print(f"L1D write reduction:    "
+          f"{base.sum_stats('l1d.writes') / max(1, tus.sum_stats('l1d.writes')):6.2f}x")
+
+
+if __name__ == "__main__":
+    main()

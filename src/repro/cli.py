@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run``      simulate one benchmark under one mechanism and print stats
+``compare``  run all five mechanisms on one benchmark, side by side
+``figure``   regenerate one of the paper's figures (fig8..fig15, writes,
+             dse, sbcost) and print its rows
+``litmus``   run the x86-TSO litmus checks
+``bench``    list the available benchmarks with their descriptions
+
+Examples
+--------
+
+    python -m repro run --bench 502.gcc5 --mechanism tus
+    python -m repro compare --bench 505.mcf --sb 32
+    python -m repro figure fig9
+    python -m repro litmus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .common.config import MECHANISMS, table_i
+from .energy.mcpat import attach_energy
+from .sim.system import run_single
+from .workloads import all_profiles, make_trace
+
+
+def _cmd_run(args) -> int:
+    config = table_i().with_mechanism(args.mechanism) \
+        .with_sb_size(args.sb)
+    trace = make_trace(args.bench, args.length, args.seed)
+    result = run_single(config, trace)
+    attach_energy(result, config)
+    print(f"{args.bench} / {args.mechanism} / SB={args.sb}")
+    print(f"  cycles        {result.cycles}")
+    print(f"  IPC           {result.ipc:.3f}")
+    print(f"  SB stalls     {result.stall_fraction('sb'):.2%}")
+    print(f"  L1D writes    {result.sum_stats('l1d.writes'):.0f}")
+    print(f"  DRAM accesses {result.sum_stats('dram.accesses'):.0f}")
+    print(f"  energy (a.u.) {result.energy:.3g}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = make_trace(args.bench, args.length, args.seed)
+    base_cycles = None
+    print(f"{args.bench} @ SB={args.sb} "
+          f"({args.length} uops, seed {args.seed})")
+    for mechanism in MECHANISMS:
+        config = table_i().with_mechanism(mechanism).with_sb_size(args.sb)
+        result = run_single(config, trace)
+        attach_energy(result, config)
+        if base_cycles is None:
+            base_cycles = result.cycles
+        print(f"  {mechanism:>8}: {result.cycles:>9} cycles "
+              f"(speedup {base_cycles / result.cycles:5.3f})  "
+              f"SB stalls {result.stall_fraction('sb'):6.1%}  "
+              f"EDP {result.energy * result.cycles:.3g}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .harness import (Runner, dse, fig8, fig9, fig10, fig11, fig12,
+                          fig13, fig14, fig15, l1d_writes, sb_cost)
+    figures = {
+        "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+        "fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
+        "writes": l1d_writes, "dse": dse,
+    }
+    if args.name == "sbcost":
+        print(sb_cost().render())
+        return 0
+    if args.name not in figures:
+        print(f"unknown figure {args.name!r}; "
+              f"known: {', '.join(sorted(figures))}, sbcost",
+              file=sys.stderr)
+        return 2
+    runner = Runner()
+    output = figures[args.name](runner)
+    results = output.values() if isinstance(output, dict) else [output]
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_litmus(_args) -> int:
+    from .tso import (all_litmus_tests, enumerate_outcomes,
+                      enumerate_tus_outcomes)
+    failures = 0
+    for name, program in all_litmus_tests().items():
+        tso = enumerate_outcomes(program)
+        tus = enumerate_tus_outcomes(program)
+        ok = tus <= tso
+        failures += not ok
+        print(f"{name:15} tso={len(tso):3} tus={len(tus):3} "
+              f"{'OK' if ok else 'VIOLATION'}")
+    return 1 if failures else 0
+
+
+def _cmd_bench(_args) -> int:
+    for name, profile in sorted(all_profiles().items()):
+        bound = "SB-bound" if profile.sb_bound else "        "
+        print(f"{name:22} {profile.suite:9} {bound}  "
+              f"{profile.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Temporarily Unauthorized Stores' "
+                    "(MICRO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p):
+        p.add_argument("--bench", default="502.gcc5",
+                       help="benchmark name (see `repro bench`)")
+        p.add_argument("--sb", type=int, default=114,
+                       help="store-buffer entries (paper sweeps 32/64/114)")
+        p.add_argument("--length", type=int, default=30_000,
+                       help="trace length in micro-ops")
+        p.add_argument("--seed", type=int, default=42)
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    add_sim_args(run_p)
+    run_p.add_argument("--mechanism", default="tus", choices=MECHANISMS)
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="all mechanisms side by side")
+    add_sim_args(cmp_p)
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", help="fig8..fig15, writes, dse, sbcost")
+    fig_p.set_defaults(fn=_cmd_figure)
+
+    lit_p = sub.add_parser("litmus", help="x86-TSO litmus checks")
+    lit_p.set_defaults(fn=_cmd_litmus)
+
+    bench_p = sub.add_parser("bench", help="list benchmarks")
+    bench_p.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""Coherence substrate: MESI directory, memory system, snoop vocabulary."""
+
+from .directory import DirEntry, Directory
+from .memsys import CorePort, MemorySystem
+from .msgs import ReqType, SnoopKind, SnoopReply, SnoopResult, Transaction
+
+__all__ = ["DirEntry", "Directory", "CorePort", "MemorySystem", "ReqType",
+           "SnoopKind", "SnoopReply", "SnoopResult", "Transaction"]

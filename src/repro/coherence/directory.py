@@ -1,0 +1,119 @@
+"""The coherence directory.
+
+A full-map directory co-located with the shared LLC.  It is indexed by
+the same 16 low bits of the cache-line address that define the lex order
+(Section III-C) — that identity is what makes the paper's lex-conflict
+rule sufficient for deadlock freedom: all lines of one atomic group map
+to *different* directory sets, so acquiring exclusivity for a group can
+never self-conflict inside the directory.
+
+Entries track the owner (a core holding E/M) or the sharer set, plus a
+``busy`` flag that serialises transactions per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..common.addr import LEX_MASK, line_addr, line_index
+from ..common.stats import StatGroup
+
+
+@dataclass
+class DirEntry:
+    """Directory state for one tracked cache line."""
+
+    addr: int
+    owner: Optional[int] = None        # core id holding E/M, if any
+    sharers: Set[int] = field(default_factory=set)
+    busy: bool = False                 # a transaction is in flight
+    #: LRU timestamp for directory-set replacement.
+    last_touch: int = 0
+
+    @property
+    def idle_uncached(self) -> bool:
+        return self.owner is None and not self.sharers and not self.busy
+
+
+class Directory:
+    """Set-associative full-map directory indexed by lex-order bits."""
+
+    def __init__(self, num_sets: int = 1 << 16, assoc: int = 16,
+                 stats: Optional[StatGroup] = None) -> None:
+        if num_sets & (num_sets - 1):
+            raise ValueError("directory sets must be a power of two")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._sets: Dict[int, List[DirEntry]] = {}
+        self._clock = 0
+        stats = stats if stats is not None else StatGroup("directory")
+        self._lookups = stats.counter("lookups")
+        self._allocs = stats.counter("allocations")
+        self._evictions = stats.counter(
+            "evictions", "tracked lines dropped for capacity")
+        self._conflict_stalls = stats.counter(
+            "conflict_stalls", "allocations refused: set full of busy lines")
+
+    def set_index(self, addr: int) -> int:
+        return line_index(addr) & LEX_MASK & (self.num_sets - 1)
+
+    def _set(self, addr: int) -> List[DirEntry]:
+        idx = self.set_index(addr)
+        entries = self._sets.get(idx)
+        if entries is None:
+            entries = []
+            self._sets[idx] = entries
+        return entries
+
+    def lookup(self, addr: int) -> Optional[DirEntry]:
+        """Return the entry tracking ``addr``, or None."""
+        addr = line_addr(addr)
+        self._lookups.inc()
+        for entry in self._set(addr):
+            if entry.addr == addr:
+                self._clock += 1
+                entry.last_touch = self._clock
+                return entry
+        return None
+
+    def allocate(self, addr: int) -> Optional[DirEntry]:
+        """Allocate an entry for ``addr``; returns None if the set is full
+        of lines that cannot be dropped (busy or actively cached — a real
+        design would back-invalidate; we refuse and the requester retries,
+        which is the conservative choice for TUS forward-progress runs)."""
+        addr = line_addr(addr)
+        entries = self._set(addr)
+        if len(entries) >= self.assoc:
+            victim = self._choose_victim(entries)
+            if victim is None:
+                self._conflict_stalls.inc()
+                return None
+            entries.remove(victim)
+            self._evictions.inc()
+        self._clock += 1
+        entry = DirEntry(addr, last_touch=self._clock)
+        entries.append(entry)
+        self._allocs.inc()
+        return entry
+
+    def _choose_victim(self, entries: List[DirEntry]) -> Optional[DirEntry]:
+        idle = [e for e in entries if e.idle_uncached]
+        if not idle:
+            return None
+        return min(idle, key=lambda e: e.last_touch)
+
+    def get_or_allocate(self, addr: int) -> Optional[DirEntry]:
+        entry = self.lookup(addr)
+        if entry is not None:
+            return entry
+        return self.allocate(addr)
+
+    def drop(self, addr: int) -> None:
+        """Remove the entry for ``addr`` (line no longer cached anywhere)."""
+        addr = line_addr(addr)
+        entries = self._set(addr)
+        for entry in entries:
+            if entry.addr == addr:
+                entries.remove(entry)
+                return

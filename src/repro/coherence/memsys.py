@@ -1,0 +1,587 @@
+"""The full memory system: private L1D/L2 per core, shared L3 + directory,
+DRAM, and the coherence transaction engine.
+
+Timing is transaction-based.  A request from core *c* walks the hierarchy
+accumulating latency; remote caches are consulted through snoop callbacks
+delivered as events.  The directory serialises transactions per line with
+a ``busy`` flag; colliding requesters retry.  This reproduces the
+protocol-visible *behaviours* the paper relies on — invalidations,
+NACK/retry, data forwarding from a relinquishing core's L2, delayed
+external requests — at message-round-trip timing fidelity, without
+modelling individual network flits.
+
+TUS integration points (used by ``repro.core``):
+
+* ``CorePort.snoop_hook`` — consulted when a snoop finds a not-visible
+  line; returns :class:`SnoopReply` with ``DELAY`` or
+  ``RELINQUISH_OLD_DATA`` per the authorization unit's lex-order check;
+* ``CorePort.fill_hook`` — fired when a fill or permission grant reaches
+  a line that holds unauthorized data, so the WOQ can combine and mark
+  the entry ready;
+* not-visible lines are never chosen as victims (L1D) and veto their L2
+  backing line's eviction (the NACK-and-refresh rule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..common.addr import line_addr
+from ..common.config import SystemConfig
+from ..common.errors import ProtocolError
+from ..common.events import EventQueue
+from ..common.stats import StatGroup
+from ..mem.cache import CacheArray
+from ..mem.cacheline import CacheLine, State
+from ..mem.dram import DRAM
+from ..mem.mshr import MSHRFile
+from ..mem.prefetcher import StreamPrefetcher
+from .directory import Directory
+from .msgs import ReqType, SnoopKind, SnoopReply, SnoopResult, Transaction
+
+#: Cycles between directory re-polls of a core that answered DELAY.
+POLL_INTERVAL = 24
+#: Retry delay when the directory entry is busy or unallocatable.
+BUSY_RETRY = 16
+#: Internal retry delay when a core-side resource (MSHR) is full.
+RESOURCE_RETRY = 4
+
+
+class MemorySystem:
+    """All cache levels, the directory, and DRAM for one simulated system."""
+
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 stats: Optional[StatGroup] = None) -> None:
+        config.validate()
+        self.config = config
+        self.events = events
+        self.stats = stats if stats is not None else StatGroup("memsys")
+        self.l3 = CacheArray(config.memory.l3, stats=self.stats.child("l3"))
+        self.directory = Directory(stats=self.stats.child("directory"))
+        self.dram = DRAM(config.memory.dram_latency, config.memory.dram_gap,
+                         stats=self.stats.child("dram"))
+        self.ports = [CorePort(self, cid) for cid in range(config.num_cores)]
+        dstats = self.stats.child("protocol")
+        self.c_transactions = dstats.counter("transactions")
+        self.c_retries = dstats.counter("retries", "busy/conflict retries")
+        self.c_invalidations = dstats.counter("invalidations")
+        self.c_delays = dstats.counter("delayed_snoops",
+                                       "snoops answered DELAY by TUS")
+        self.c_relinquish = dstats.counter("relinquished",
+                                           "lines relinquished by TUS")
+        self.c_forwards = dstats.counter("c2c_forwards",
+                                         "cache-to-cache data transfers")
+
+    # ------------------------------------------------------------------
+    # Shared-level transaction engine
+    # ------------------------------------------------------------------
+    def start_transaction(self, req: ReqType, addr: int, requester: int,
+                          cycle: int, on_done: Callable[[int], None],
+                          prefetch: bool = False) -> None:
+        """Begin a GetS/GetX/Upgrade at the directory.
+
+        ``cycle`` is the time the request *leaves the requester's private
+        L2* (the caller accounts L1→L2 latency).  ``on_done`` fires with
+        the cycle at which the fill reaches the requester's L1D.
+        """
+        addr = line_addr(addr)
+        trans = Transaction(req, addr, requester, cycle, prefetch=prefetch)
+        self.c_transactions.inc()
+        arrive = cycle + self.config.memory.l3.latency
+        self.events.schedule(arrive, lambda: self._at_directory(trans, arrive,
+                                                                on_done))
+
+    def _at_directory(self, trans: Transaction, cycle: int,
+                      on_done: Callable[[int], None]) -> None:
+        entry = self.directory.get_or_allocate(trans.addr)
+        if entry is None or entry.busy:
+            self.c_retries.inc()
+            retry = cycle + BUSY_RETRY
+            self.events.schedule(
+                retry, lambda: self._at_directory(trans, retry, on_done))
+            return
+        entry.busy = True
+        self._resolve_snoops(trans, entry, cycle, on_done)
+
+    def _resolve_snoops(self, trans: Transaction, entry, cycle: int,
+                        on_done: Callable[[int], None]) -> None:
+        """Invalidate/downgrade remote copies, honouring DELAY re-polls."""
+        kind = (SnoopKind.DOWNGRADE if trans.req == ReqType.GETS
+                else SnoopKind.INVALIDATE)
+        targets = self._snoop_targets(trans, entry)
+        data_from_remote = False
+        for core_id in targets:
+            reply = self.ports[core_id]._snoop(trans.addr, kind,
+                                               trans.requester, cycle)
+            if reply.result == SnoopResult.DELAY:
+                # The remote core is guaranteed to make the line visible
+                # on its own; poll until it does.
+                self.c_delays.inc()
+                trans.polls += 1
+                retry = cycle + POLL_INTERVAL
+                self.events.schedule(
+                    retry,
+                    lambda: self._resolve_snoops(trans, entry, retry, on_done))
+                return
+            if reply.result == SnoopResult.RELINQUISH_OLD_DATA:
+                self.c_relinquish.inc()
+                data_from_remote = True
+            elif reply.result == SnoopResult.ACK_DATA:
+                data_from_remote = True
+            self._apply_snoop(entry, core_id, kind)
+        self._supply_data(trans, entry, cycle, data_from_remote, on_done)
+
+    def _snoop_targets(self, trans: Transaction, entry) -> List[int]:
+        others = set(entry.sharers)
+        if entry.owner is not None:
+            others.add(entry.owner)
+        others.discard(trans.requester)
+        if trans.req == ReqType.GETS:
+            # Only an exclusive owner needs to be downgraded for a read.
+            return [entry.owner] if entry.owner in others else []
+        return sorted(others)
+
+    def _apply_snoop(self, entry, core_id: int, kind: SnoopKind) -> None:
+        if kind == SnoopKind.INVALIDATE:
+            entry.sharers.discard(core_id)
+            if entry.owner == core_id:
+                entry.owner = None
+        else:  # downgrade: owner becomes a sharer
+            if entry.owner == core_id:
+                entry.owner = None
+                entry.sharers.add(core_id)
+
+    def _supply_data(self, trans: Transaction, entry, cycle: int,
+                     data_from_remote: bool,
+                     on_done: Callable[[int], None]) -> None:
+        mem = self.config.memory
+        if data_from_remote:
+            # Cache-to-cache transfer through the shared level.
+            self.c_forwards.inc()
+            data_cycle = cycle + mem.l2.latency
+            self.l3.record_write()
+        elif self.l3.lookup(trans.addr, cycle=cycle) is not None:
+            self.l3.record_read()
+            data_cycle = cycle
+        else:
+            data_cycle = self.dram.access(cycle)
+            self._install_l3(trans.addr, cycle)
+        if trans.req == ReqType.GETS:
+            entry.sharers.add(trans.requester)
+        else:
+            entry.sharers.discard(trans.requester)
+            entry.owner = trans.requester
+        entry.busy = False
+        done = data_cycle + mem.l2.latency  # shared level back to L1D
+        port = self.ports[trans.requester]
+        grant_state = State.S if trans.req == ReqType.GETS else State.E
+        self.events.schedule(
+            done, lambda: port._fill(trans.addr, grant_state, done, on_done))
+
+    def _install_l3(self, addr: int, cycle: int) -> None:
+        if self.l3.probe(addr) is not None:
+            return
+        if not self.l3.has_free_way(addr):
+            return
+        self.l3.allocate(addr, State.S, cycle)
+
+    # Convenience for tests -------------------------------------------------
+    def port(self, core_id: int) -> "CorePort":
+        return self.ports[core_id]
+
+
+class CorePort:
+    """One core's window into the memory system (its private hierarchy)."""
+
+    def __init__(self, system: MemorySystem, core_id: int) -> None:
+        self.system = system
+        self.core_id = core_id
+        cfg = system.config.memory
+        stats = system.stats.child(f"core{core_id}")
+        self.stats = stats
+        self.l1d = CacheArray(cfg.l1d, stats=stats.child("l1d"))
+        self.l2 = CacheArray(cfg.l2, stats=stats.child("l2"))
+        self.mshrs = MSHRFile(cfg.l1d.mshrs, stats=stats.child("mshr"))
+        self.prefetcher = (StreamPrefetcher(cfg.stream_prefetch_degree,
+                                            stats=stats.child("prefetcher"))
+                           if cfg.stream_prefetch else None)
+        #: TUS: consulted when a snoop finds a not-visible line.
+        self.snoop_hook: Optional[
+            Callable[[int, SnoopKind, int, int], SnoopReply]] = None
+        #: TUS: fired when a fill reaches a line holding unauthorized data.
+        self.fill_hook: Optional[Callable[[int, CacheLine, int], None]] = None
+        #: Optional observer (repro.tso.observer): called with the lines
+        #: that just became globally visible, atomically.
+        self.visibility_hook: Optional[
+            Callable[[List[int], int], None]] = None
+        self.c_l2_updates = stats.counter(
+            "l2_updates", "explicit L1D-to-L2 data updates (TUS/SSB)")
+        self.c_uncached_fills = stats.counter(
+            "uncached_fills", "fills served without caching (set pinned)")
+        self.c_load_stall_unauth = stats.counter(
+            "loads_aliased_unauthorized",
+            "loads that waited for an unauthorized line's permission")
+        self.c_l1d_forwards = stats.counter(
+            "l1d_unauthorized_forwards",
+            "loads served from unauthorized L1D data (optional feature)")
+        #: Requests parked because the MSHR file was full, retried on
+        #: every fill completion.
+        self._pending: deque = deque()
+        self._pending_writes: Dict[int, int] = {}
+
+    # -- queries ----------------------------------------------------------
+    def line(self, addr: int) -> Optional[CacheLine]:
+        return self.l1d.probe(addr)
+
+    def is_writable(self, addr: int) -> bool:
+        line = self.l1d.probe(addr)
+        return line is not None and line.state.writable
+
+    def is_writable_private(self, addr: int) -> bool:
+        """Write permission anywhere in this private hierarchy (L1D or
+        L2) — what SSB's TSOB drain needs, since it writes to the L2."""
+        if self.is_writable(addr):
+            return True
+        l2line = self.l2.probe(addr)
+        return l2line is not None and l2line.state.writable
+
+    # -- loads --------------------------------------------------------------
+    def load(self, addr: int, cycle: int,
+             on_done: Callable[[int], None], size: int = 8) -> None:
+        """Issue a demand load; ``on_done`` fires with the data-ready cycle.
+
+        Store-to-load forwarding from the SB/WCBs is the core's job and
+        happens before the load reaches this port.
+        """
+        cfg = self.system.config.memory
+        if self.prefetcher is not None:
+            for target in self.prefetcher.observe(addr):
+                self.request_read(target, cycle, prefetch=True)
+        line = self.l1d.lookup(addr, cycle=cycle)
+        if line is not None:
+            if line.not_visible and not line.ready:
+                # Unauthorized data without permission.  With the
+                # optional L1D forwarding feature (Section IV, "Other
+                # considerations" — the paper evaluated and disabled
+                # it), bytes covered by the local write mask can be
+                # served directly; otherwise the load aliases to the
+                # line and is serviced when the permission arrives.
+                if (self.system.config.tus.l1d_forwarding
+                        and self._mask_covers(line, addr, size)):
+                    self.c_l1d_forwards.inc()
+                    self.l1d.record_read()
+                    on_done(cycle + cfg.l1d.latency)
+                    return
+                self.c_load_stall_unauth.inc()
+                self._wait_for_fill(addr, False, cycle, on_done)
+                return
+            line.prefetched = False
+            self.l1d.record_read()
+            on_done(cycle + cfg.l1d.latency)
+            return
+        self._wait_for_fill(addr, False, cycle, on_done)
+
+    @staticmethod
+    def _mask_covers(line: CacheLine, addr: int, size: int) -> bool:
+        offset = addr - line_addr(addr)
+        if offset + size > 64:
+            return False
+        mask = ((1 << size) - 1) << offset
+        return line.write_mask & mask == mask
+
+    def _wait_for_fill(self, addr: int, is_write: bool, cycle: int,
+                       on_done: Callable[[int], None]) -> None:
+        entry = self.mshrs.allocate(addr, is_write, cycle)
+        if entry is None:
+            # MSHR file full: park the request; it is retried whenever a
+            # fill frees an entry (no polling).
+            self._pending.append((addr, is_write, on_done))
+            return
+        fresh = not entry.waiters and not entry.meta.get("launched")
+        entry.waiters.append(on_done)
+        if fresh:
+            entry.meta["launched"] = True
+            entry.meta["write"] = is_write
+            self._launch(addr, is_write, cycle)
+
+    def _retry_pending(self, cycle: int) -> None:
+        """Drain parked requests into freed MSHRs (oldest first)."""
+        budget = len(self._pending)   # each parked entry retried once
+        while self._pending and budget > 0:
+            budget -= 1
+            addr, is_write, on_done = self._pending[0]
+            if is_write:
+                self._pending.popleft()
+                count = self._pending_writes.get(addr, 1) - 1
+                if count:
+                    self._pending_writes[addr] = count
+                else:
+                    self._pending_writes.pop(addr, None)
+                # Re-enters through request_write so read-in-flight
+                # chaining and the writable fast path apply.
+                self.request_write(addr, cycle, on_done)
+                continue
+            line = self.l1d.probe(addr)
+            if (line is not None
+                    and (not line.not_visible or line.ready)):
+                # The line arrived while the request was parked.
+                self._pending.popleft()
+                self.l1d.record_read()
+                on_done(cycle + self.system.config.memory.l1d.latency)
+                continue
+            entry = self.mshrs.allocate(addr, is_write, cycle)
+            if entry is None:
+                return
+            self._pending.popleft()
+            fresh = not entry.meta.get("launched")
+            entry.waiters.append(on_done)
+            if fresh:
+                entry.meta["launched"] = True
+                entry.meta["write"] = is_write
+                self._launch(addr, is_write, cycle)
+
+    # -- stores -------------------------------------------------------------
+    def request_write(self, addr: int, cycle: int,
+                      on_done: Optional[Callable[[int], None]] = None,
+                      prefetch: bool = False) -> bool:
+        """Acquire write permission (GetX/Upgrade) for ``addr``.
+
+        Returns False when the request could not even be queued (MSHR file
+        full and no existing entry) — for prefetches that means the hint is
+        dropped; demand users simply retry next cycle.
+        """
+        if self.is_writable(addr):
+            if on_done is not None:
+                on_done(cycle)
+            return True
+        existing = self.mshrs.get(addr)
+        if existing is not None and existing.meta.get("launched") \
+                and not existing.meta.get("write"):
+            # A read transaction is already in flight for this line; it
+            # will grant at most S.  Chain: when it fills, re-request
+            # the write permission (which then issues an Upgrade).
+            existing.waiters.append(
+                lambda c, a=addr: self.request_write(a, c, on_done,
+                                                     prefetch))
+            return True
+        entry = self.mshrs.allocate(addr, True, cycle, prefetch=prefetch)
+        if entry is None:
+            if prefetch:
+                return False   # hints are droppable
+            # Demand write requests park until an MSHR frees up.
+            addr = line_addr(addr)
+            self._pending.append(
+                (addr, True, on_done if on_done is not None
+                 else (lambda c: None)))
+            self._pending_writes[addr] = \
+                self._pending_writes.get(addr, 0) + 1
+            return True
+        fresh = not entry.meta.get("launched")
+        if on_done is not None:
+            entry.waiters.append(on_done)
+        if fresh:
+            entry.meta["launched"] = True
+            entry.meta["write"] = True
+            self._launch(addr, True, cycle)
+        return True
+
+    def request_read(self, addr: int, cycle: int,
+                     prefetch: bool = False) -> bool:
+        """Issue a read (GetS) prefetch; drops silently if resources full."""
+        if self.l1d.probe(addr) is not None:
+            return True
+        entry = self.mshrs.allocate(addr, False, cycle, prefetch=prefetch)
+        if entry is None:
+            return False
+        if not entry.meta.get("launched"):
+            entry.meta["launched"] = True
+            self._launch(addr, False, cycle, prefetch=True)
+        return True
+
+    def write_hit(self, addr: int, cycle: int) -> None:
+        """Perform a store into a line the core has permission for."""
+        line = self.l1d.probe(addr)
+        if line is None or not line.state.writable:
+            raise ProtocolError(
+                f"core {self.core_id}: write_hit without permission "
+                f"at {addr:#x}")
+        line.state = State.M
+        line.prefetched = False
+        self.l1d.policy.touch(line, cycle)
+        self.l1d.record_write()
+        if self.visibility_hook is not None:
+            self.visibility_hook([line.addr], cycle)
+
+    def write_request_outstanding(self, addr: int) -> bool:
+        """Is a write-permission acquisition in flight (or parked) for
+        ``addr``?  Drain paths use this to avoid both duplicate requests
+        and lost wake-ups when a granted line is stolen before use."""
+        if line_addr(addr) in self._pending_writes:
+            return True
+        entry = self.mshrs.get(addr)
+        return entry is not None and entry.is_write
+
+    def update_l2(self, addr: int) -> None:
+        """Push the current L1D data for ``addr`` down to the private L2.
+
+        TUS does this before overwriting a visible modified line with
+        unauthorized data (the L2 must keep a valid *authorized* copy);
+        SSB does it for every store it drains.
+        """
+        self.c_l2_updates.inc()
+        self.l2.record_write()
+
+    # -- transaction launch ---------------------------------------------------
+    def _launch(self, addr: int, is_write: bool, cycle: int,
+                prefetch: bool = False) -> None:
+        cfg = self.system.config.memory
+        l2line = self.l2.lookup(addr, cycle=cycle)
+        if l2line is not None and (not is_write or l2line.state.writable):
+            # Private L2 satisfies the request.
+            self.l2.record_read()
+            state = l2line.state if is_write else (
+                State.S if l2line.state == State.S else State.E)
+            done = cycle + cfg.l2.latency
+            self.system.events.schedule(
+                done, lambda: self._fill(addr, max(state, State.E) if is_write
+                                         else state, done, None))
+            return
+        req = ReqType.GETX if is_write else ReqType.GETS
+        if is_write and (l2line is not None or self.l1d.probe(addr)):
+            req = ReqType.UPGRADE
+        leave_l2 = cycle + cfg.l2.latency
+        self.system.start_transaction(req, addr, self.core_id, leave_l2,
+                                      lambda done: None, prefetch)
+
+    def _fill(self, addr: int, state: State, cycle: int,
+              _unused: Optional[Callable[[int], None]]) -> None:
+        """A fill (data and/or permission) arrives at this private
+        hierarchy; install in L2 and L1D and wake the MSHR waiters."""
+        self._install_l2(addr, state, cycle)
+        line = self.l1d.probe(addr)
+        if line is not None:
+            self._upgrade_l1_line(line, state, cycle)
+        else:
+            line = self._install_l1(addr, state, cycle)
+        for waiter in self.mshrs.complete(addr, cycle):
+            waiter(cycle)
+        self._retry_pending(cycle)
+
+    def _upgrade_l1_line(self, line: CacheLine, state: State,
+                         cycle: int) -> None:
+        if line.not_visible:
+            if not state.writable:
+                # A read fill reached an unauthorized line (e.g. a load
+                # to a relinquished line): data arrives but no write
+                # permission — the line stays unauthorized.
+                return
+            # TUS: permission/data arrives for a line holding unauthorized
+            # data.  Combine (mask-guided) and hand control to the WOQ.
+            line.state = State.M
+            line.ready = True
+            self.l1d.record_write()   # the combine writes the data array
+            if self.fill_hook is not None:
+                self.fill_hook(line.addr, line, cycle)
+            return
+        if state.writable and not line.state.writable:
+            line.state = State.E
+        elif not line.state.valid:
+            line.state = state
+        self.l1d.policy.touch(line, cycle)
+
+    def _install_l1(self, addr: int, state: State,
+                    cycle: int) -> Optional[CacheLine]:
+        if not self.l1d.has_free_way(addr):
+            # Every way is pinned (locked or unauthorized): serve the data
+            # without caching it.
+            self.c_uncached_fills.inc()
+            return None
+        line = self.l1d.allocate(addr, state, cycle,
+                                 on_evict=self._evict_from_l1)
+        self.l1d.record_write()
+        return line
+
+    def _install_l2(self, addr: int, state: State, cycle: int) -> None:
+        l2line = self.l2.probe(addr)
+        if l2line is not None:
+            if state.writable and not l2line.state.writable:
+                l2line.state = State.E
+            self.l2.policy.touch(l2line, cycle)
+            return
+        if not self.l2.has_free_way(addr):
+            return
+        self.l2.allocate(addr, state, cycle, on_evict=self._evict_from_l2,
+                         veto=self._l2_victim_veto)
+        self.l2.record_write()
+
+    def _l2_victim_veto(self, victim: CacheLine) -> bool:
+        """The L2 may not evict a line whose L1D copy is not-visible: the
+        back-invalidation would be NACKed (Section III-C), so the
+        replacement policy must propose someone else."""
+        l1copy = self.l1d.probe(victim.addr)
+        return l1copy is not None and l1copy.not_visible
+
+    def _evict_from_l1(self, victim: CacheLine) -> None:
+        if victim.dirty:
+            # Writeback to the (inclusive) private L2.
+            l2line = self.l2.probe(victim.addr)
+            if l2line is not None:
+                l2line.state = State.M
+            self.l2.record_write()
+
+    def _evict_from_l2(self, victim: CacheLine) -> None:
+        # Inclusive hierarchy: back-invalidate the L1D copy.
+        l1copy = self.l1d.probe(victim.addr)
+        dirty = victim.dirty
+        if l1copy is not None:
+            if l1copy.not_visible:
+                raise ProtocolError("evicted an L2 line pinned by TUS")
+            dirty = dirty or l1copy.dirty
+            self.l1d.invalidate(victim.addr)
+        if dirty:
+            self._writeback_shared(victim.addr)
+        entry = self.system.directory.lookup(victim.addr)
+        if entry is not None and not entry.busy:
+            entry.sharers.discard(self.core_id)
+            if entry.owner == self.core_id:
+                entry.owner = None
+
+    def _writeback_shared(self, addr: int) -> None:
+        l3line = self.system.l3.probe(addr)
+        if l3line is not None:
+            l3line.state = State.M
+        self.system.l3.record_write()
+
+    # -- snoops ---------------------------------------------------------------
+    def _snoop(self, addr: int, kind: SnoopKind, requester: int,
+               cycle: int) -> SnoopReply:
+        self.system.c_invalidations.inc()
+        line = self.l1d.probe(addr)
+        if line is not None and line.not_visible:
+            if self.snoop_hook is None:
+                raise ProtocolError(
+                    "snoop hit a not-visible line but no TUS hook is set")
+            return self.snoop_hook(addr, kind, requester, cycle)
+        return self._snoop_normal(addr, kind, line)
+
+    def _snoop_normal(self, addr: int, kind: SnoopKind,
+                      line: Optional[CacheLine]) -> SnoopReply:
+        dirty = False
+        l2line = self.l2.probe(addr)
+        if kind == SnoopKind.INVALIDATE:
+            if line is not None:
+                dirty = line.dirty
+                self.l1d.invalidate(addr)
+            if l2line is not None:
+                dirty = dirty or l2line.dirty
+                self.l2.invalidate(addr)
+        else:  # downgrade to shared
+            if line is not None:
+                dirty = line.dirty
+                line.state = State.S
+            if l2line is not None:
+                dirty = dirty or l2line.dirty
+                l2line.state = State.S
+        return SnoopReply(SnoopResult.ACK_DATA if dirty else SnoopResult.ACK,
+                          had_dirty=dirty)

@@ -1,0 +1,24 @@
+"""Shared infrastructure: configuration, addresses, events, statistics."""
+
+from .addr import (LINE_SIZE, lex_conflict, lex_order, line_addr, line_index,
+                   line_offset, page_addr, set_index, word_mask)
+from .config import (MECHANISMS, SB_SIZE_SWEEP, CacheConfig, CoreConfig,
+                     MechanismConfig, MemoryConfig, SystemConfig, TUSConfig,
+                     store_forward_latency, sweep_configs, table_i)
+from .errors import (ConfigError, DeadlockError, ProtocolError, ReproError,
+                     SimulationError, TraceError, TSOViolationError)
+from .events import EventQueue
+from .rng import derive_seed, make_rng
+from .stats import Counter, Histogram, StatGroup, geomean
+
+__all__ = [
+    "LINE_SIZE", "lex_conflict", "lex_order", "line_addr", "line_index",
+    "line_offset", "page_addr", "set_index", "word_mask",
+    "MECHANISMS", "SB_SIZE_SWEEP", "CacheConfig", "CoreConfig",
+    "MechanismConfig", "MemoryConfig", "SystemConfig", "TUSConfig",
+    "store_forward_latency", "sweep_configs", "table_i",
+    "ConfigError", "DeadlockError", "ProtocolError", "ReproError",
+    "SimulationError", "TraceError", "TSOViolationError",
+    "EventQueue", "derive_seed", "make_rng",
+    "Counter", "Histogram", "StatGroup", "geomean",
+]

@@ -1,0 +1,93 @@
+"""Address arithmetic: cache lines, sets, pages, and lexicographical order.
+
+Every address in the simulator is a plain ``int`` physical byte address.
+This module centralises the bit manipulation so that the line size, page
+size, and lex-order width are defined in exactly one place.
+
+The *lexicographical (lex) order* of a cache line is the global sub-address
+order the paper uses to resolve cross-core conflicts deadlock-free
+(Section III-C): the 16 least-significant bits of the *cache-line address*,
+which are also the bits used to index the directory and LLC.
+"""
+
+from __future__ import annotations
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+#: Number of low line-address bits that define the lex (sub-address) order.
+LEX_BITS = 16
+LEX_MASK = (1 << LEX_BITS) - 1
+
+
+def line_addr(addr: int) -> int:
+    """Return the cache-line address (byte address with offset cleared)."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+def line_index(addr: int) -> int:
+    """Return the line number (line address >> line shift)."""
+    return addr >> LINE_SHIFT
+
+def line_offset(addr: int) -> int:
+    """Return the byte offset of ``addr`` within its cache line."""
+    return addr & (LINE_SIZE - 1)
+
+
+def page_addr(addr: int) -> int:
+    """Return the 4KB page address containing ``addr``."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def lines_in_page(addr: int) -> list:
+    """Return all cache-line addresses in the page containing ``addr``."""
+    base = page_addr(addr)
+    return [base + i * LINE_SIZE for i in range(PAGE_SIZE // LINE_SIZE)]
+
+
+def set_index(addr: int, num_sets: int) -> int:
+    """Return the cache set index for ``addr`` in a ``num_sets``-set cache.
+
+    ``num_sets`` must be a power of two (standard for real caches; enforced
+    at configuration time).
+    """
+    return (addr >> LINE_SHIFT) & (num_sets - 1)
+
+
+def lex_order(addr: int) -> int:
+    """Return the lex order of the cache line containing ``addr``.
+
+    The paper defines lex order over the 16 least-significant bits of the
+    cache-line address (i.e. of the line *number* space used to index the
+    directory).  Two lines with the same lex order are a *lex conflict*:
+    they map to the same directory set and may not share an atomic group.
+    """
+    return line_index(addr) & LEX_MASK
+
+
+def lex_conflict(addr_a: int, addr_b: int) -> bool:
+    """Return True if two different lines share the same lex order."""
+    if line_addr(addr_a) == line_addr(addr_b):
+        return False
+    return lex_order(addr_a) == lex_order(addr_b)
+
+
+def word_mask(addr: int, size: int) -> int:
+    """Return a 64-bit byte mask covering ``size`` bytes at ``addr``.
+
+    Bit *i* of the mask corresponds to byte *i* of the cache line.  The
+    access must not straddle a line boundary (stores in the simulator are
+    split at line granularity before reaching the memory system).
+    """
+    off = line_offset(addr)
+    if off + size > LINE_SIZE:
+        raise ValueError(
+            f"access at {addr:#x} size {size} straddles a cache line")
+    return ((1 << size) - 1) << off
+
+
+def mask_bytes(mask: int) -> int:
+    """Return the number of bytes set in a line byte mask."""
+    return bin(mask).count("1")

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by the simulator derive from
+:class:`ReproError`, so callers can catch simulation problems without
+masking programming errors (``TypeError`` and friends propagate as usual).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internal inconsistency.
+
+    This always indicates a bug in a model (e.g. a protocol invariant was
+    violated), never a property of the simulated workload.
+    """
+
+
+class ProtocolError(SimulationError):
+    """A coherence-protocol invariant was violated."""
+
+
+class TSOViolationError(ReproError):
+    """The TSO checker found an execution that violates x86-TSO."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or inconsistent with the running configuration."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated system made no forward progress for too many cycles."""

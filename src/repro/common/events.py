@@ -1,0 +1,84 @@
+"""A deterministic discrete-event queue.
+
+The memory system schedules completions (miss fills, permission grants,
+DRAM returns) as events; the core loop pops all events due at the current
+cycle before stepping.  Events scheduled for the same cycle fire in
+insertion order, which makes simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """A min-heap of (cycle, sequence, callback) entries.
+
+    Callbacks take no arguments; closures carry their context.  Cancelled
+    events are tombstoned rather than removed (standard heapq idiom).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, "_Entry"]] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def schedule(self, cycle: int, callback: Callable[[], Any]) -> "_Entry":
+        """Schedule ``callback`` to run at ``cycle``; returns a handle
+        whose :meth:`_Entry.cancel` prevents the callback from firing."""
+        if cycle < 0:
+            raise ValueError("cannot schedule an event in negative time")
+        entry = _Entry(callback)
+        heapq.heappush(self._heap, (cycle, next(self._counter), entry))
+        self._live += 1
+        return entry
+
+    def next_cycle(self) -> Optional[int]:
+        """Return the cycle of the earliest pending event, or None."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def run_until(self, cycle: int) -> int:
+        """Fire every event scheduled at or before ``cycle``.
+
+        Returns the number of callbacks that actually ran.  Events that a
+        callback schedules at or before ``cycle`` also run (in order).
+        """
+        fired = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > cycle:
+                return fired
+            _, _, entry = heapq.heappop(self._heap)
+            self._live -= 1
+            entry.fire()
+            fired += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+            self._live -= 1
+
+
+class _Entry:
+    """Handle for a scheduled event."""
+
+    __slots__ = ("_callback", "cancelled")
+
+    def __init__(self, callback: Callable[[], Any]) -> None:
+        self._callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self._callback()

@@ -1,0 +1,8 @@
+"""The paper's contribution: WOQ, atomic groups, authorization, TUS control."""
+
+from .authorization import AuthorizationUnit, Decision
+from .tus_controller import TUSController
+from .woq import WOQEntry, WriteOrderingQueue
+
+__all__ = ["AuthorizationUnit", "Decision", "TUSController", "WOQEntry",
+           "WriteOrderingQueue"]

@@ -1,0 +1,91 @@
+"""The authorization unit: lex-order conflict resolution.
+
+When an external request reaches a not-visible line, every core must
+agree — without communication — on who proceeds and who relinquishes
+(Section III-C).  The agreement comes from the global lexicographical
+order of cache-line addresses (the low 16 bits, shared with the
+directory index):
+
+* the core *delays* the request if it already holds write permission for
+  every line of lesser-or-equal lex order among the WOQ entries that are
+  older than (or equal to) the requested line — those older groups can
+  become visible with no external help, so forward progress is
+  guaranteed;
+* otherwise the core *relinquishes*: every older-or-equal ready entry
+  whose lex order is greater than the lex-least missing permission gives
+  its permission up (the requester is served the unmodified copy from
+  the private L2), keeping only a lex-prefix of permissions — which is
+  exactly the set that can never participate in a cross-core cycle.
+
+This module is pure policy: it inspects the WOQ and returns a decision;
+the TUS controller applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..common.addr import lex_order, line_addr
+from .woq import WOQEntry, WriteOrderingQueue
+
+
+@dataclass
+class Decision:
+    """Outcome of the authorization check for one external request."""
+
+    #: True: the request is delayed (re-polled) until the line is visible.
+    delay: bool
+    #: Entries whose write permission must be relinquished (empty when
+    #: delaying).
+    relinquish: List[WOQEntry] = field(default_factory=list)
+
+
+class AuthorizationUnit:
+    """Pure combinational lex-order check over WOQ contents."""
+
+    def __init__(self, woq: WriteOrderingQueue) -> None:
+        self.woq = woq
+
+    def check(self, addr: int) -> Decision:
+        """Decide how to answer an external request for ``addr``.
+
+        ``addr``'s line must currently be tracked by the WOQ (the caller
+        only consults the unit for not-visible lines).
+        """
+        line = line_addr(addr)
+        entry = self.woq.find(line)
+        if entry is None:
+            raise ValueError(f"{line:#x} is not tracked by the WOQ")
+        older = self.woq.older_entries(entry, inclusive=True)
+        req_lex = lex_order(line)
+        missing = [e for e in older if not e.ready]
+        min_missing_lex = min((lex_order(e.line) for e in missing),
+                              default=None)
+        if entry.ready and (min_missing_lex is None
+                            or min_missing_lex > req_lex):
+            # We hold permission for every line of lesser-or-equal lex
+            # order: the older groups complete without external help, so
+            # the request can safely wait for us.
+            return Decision(delay=True)
+        if min_missing_lex is None:
+            # The entry itself lacks permission but everything older is
+            # ready: nothing to relinquish beyond acknowledging.
+            return Decision(delay=False, relinquish=[])
+        give_up = [e for e in older
+                   if e.ready and lex_order(e.line) > min_missing_lex]
+        return Decision(delay=False, relinquish=give_up)
+
+    def reissue_target(self) -> Optional[WOQEntry]:
+        """The line whose deferred permission request should be re-sent.
+
+        A relinquished line re-requests only once it is the lex-least
+        line among the missing permissions of the *head* atomic group
+        (Section III-C's anti-ping-pong rule).
+        """
+        head = self.woq.head_group()
+        missing = [e for e in head
+                   if not e.ready and not e.request_outstanding]
+        if not missing:
+            return None
+        return min(missing, key=lambda e: lex_order(e.line))

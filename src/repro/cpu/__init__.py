@@ -1,0 +1,14 @@
+"""Out-of-order core model: micro-ops, traces, ROB/LQ/SB, stall accounting."""
+
+from .core import Core, ROBEntry
+from .isa import OpKind, UOp, alu, exec_latency, fence, load, store
+from .lsq import LoadQueue
+from .stall import StallAccount, StallReason
+from .storebuffer import SBEntry, StoreBuffer
+from .trace import Trace, TraceSummary
+
+__all__ = [
+    "Core", "ROBEntry", "OpKind", "UOp", "alu", "exec_latency", "fence",
+    "load", "store", "LoadQueue", "StallAccount", "StallReason", "SBEntry",
+    "StoreBuffer", "Trace", "TraceSummary",
+]

@@ -1,0 +1,249 @@
+"""The out-of-order core timing model.
+
+A trace-driven model of the resources that matter for store handling
+(Figure 1 of the paper): dispatch, ROB, load queue, store buffer, and
+the commit stage.  Each call to :meth:`Core.step` advances one cycle:
+
+1. *commit* — retire up to ``commit_width`` finished micro-ops from the
+   ROB head; committing a store just sets its SB ``committed`` bit, and a
+   fence retires only once the SB and the mechanism's post-SB structures
+   have drained;
+2. *drain* — the active store-handling mechanism moves committed stores
+   out of the SB head (this is where baseline/TUS/SSB/CSB/SPB differ);
+3. *dispatch* — insert up to ``dispatch_width`` micro-ops into the ROB
+   (and LQ/SB); when dispatch makes no progress the cycle is charged to
+   the first missing resource (the paper's Figure 9 attribution rule).
+
+Execution is modelled with dependency-aware completion times: ALU
+micro-ops complete ``latency`` cycles after their operands are ready;
+loads search the SB (store-to-load forwarding at the size-dependent CAM
+latency) and the mechanism's buffers before accessing the L1D through
+the memory port.
+
+The core cooperates with the surrounding event-driven simulation: when a
+cycle makes no progress, :meth:`Core.next_wake` reports the next cycle at
+which anything *can* happen so the system can fast-forward across long
+memory stalls without burning host time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..common.config import SystemConfig
+from ..common.stats import StatGroup
+from ..coherence.memsys import CorePort
+from .isa import OpKind, UOp, exec_latency
+from .lsq import LoadQueue
+from .stall import StallAccount, StallReason
+from .storebuffer import StoreBuffer
+from .trace import Trace
+
+
+class ROBEntry:
+    """One in-flight micro-op."""
+
+    __slots__ = ("uop", "index", "complete_cycle", "waiting_mem",
+                 "dependents", "sb_entry")
+
+    def __init__(self, uop: UOp, index: int) -> None:
+        self.uop = uop
+        self.index = index
+        #: Cycle at which the result is available; None while unresolved
+        #: (waiting on a producer or on memory).
+        self.complete_cycle: Optional[int] = None
+        self.waiting_mem = False
+        #: Entries whose issue waits for this one to complete.
+        self.dependents: List["ROBEntry"] = []
+        self.sb_entry = None
+
+
+class Core:
+    """One out-of-order core executing a trace."""
+
+    def __init__(self, core_id: int, config: SystemConfig, port: CorePort,
+                 trace: Trace, mechanism, stats: StatGroup) -> None:
+        self.core_id = core_id
+        self.config = config.core
+        self.port = port
+        self.trace = trace
+        self.mechanism = mechanism
+        self.stats = stats
+        self.sb = StoreBuffer(config.core, stats=stats.child("sb"))
+        self.lq = LoadQueue(config.core, stats=stats.child("lq"))
+        self.stalls = StallAccount(stats)
+        self.rob: Deque[ROBEntry] = deque()
+        self._inflight: Dict[int, ROBEntry] = {}
+        self._next_uop = 0
+        self._committed = 0
+        self.c_committed = stats.counter("committed_uops")
+        self.c_loads_forwarded_mech = stats.counter(
+            "loads_forwarded_mechanism",
+            "loads serviced from WCB/TSOB structures")
+        self.last_stall = StallReason.NONE
+        self.finish_cycle: Optional[int] = None
+        #: Cached next self-wake cycle (maintained by the system loop).
+        self.wake_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> int:
+        return self._committed
+
+    def is_done(self) -> bool:
+        return (self._next_uop >= len(self.trace) and not self.rob
+                and self.sb.empty and self.mechanism.drained())
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> bool:
+        """Advance one cycle; returns True if any progress was made."""
+        committed = self._commit(cycle)
+        drained = self.mechanism.drain(cycle)
+        dispatched = self._dispatch(cycle)
+        progress = bool(committed or drained or dispatched)
+        if self.finish_cycle is None and self.is_done():
+            self.finish_cycle = cycle
+        if not progress and not self.is_done():
+            self.stalls.charge(self.last_stall, 1)
+        return progress
+
+    def charge_skipped(self, cycles: int) -> None:
+        """Charge fast-forwarded idle cycles to the current stall reason."""
+        self.stalls.charge(self.last_stall, cycles)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this core can make progress on
+        its own (memory events are tracked by the system's event queue)."""
+        candidates = []
+        if self.rob:
+            head = self.rob[0].complete_cycle
+            if head is not None and head > cycle:
+                candidates.append(head)
+        wake = self.mechanism.next_wake(cycle)
+        if wake is not None and wake > cycle:
+            candidates.append(wake)
+        return min(candidates) if candidates else None
+
+    # -- commit ---------------------------------------------------------
+    def _commit(self, cycle: int) -> int:
+        committed = 0
+        while committed < self.config.commit_width and self.rob:
+            head = self.rob[0]
+            if head.uop.kind.is_fence:
+                # The fence waits for every OLDER store to become
+                # globally visible.  Older stores are exactly the
+                # committed prefix of the SB (younger stores dispatched
+                # past the fence cannot have committed yet).
+                if self.sb.head_committed() is not None \
+                        or not self.mechanism.drained():
+                    break
+                if head.complete_cycle is None or head.complete_cycle > cycle:
+                    break
+            elif head.complete_cycle is None or head.complete_cycle > cycle:
+                break
+            self.rob.popleft()
+            self._inflight.pop(head.index, None)
+            if head.uop.kind.is_store:
+                head.sb_entry.committed = True
+                self.mechanism.on_store_commit(head.sb_entry, cycle)
+            elif head.uop.kind.is_load:
+                self.lq.release()
+            committed += 1
+            self._committed += 1
+        self.c_committed.inc(committed)
+        return committed
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch(self, cycle: int) -> int:
+        dispatched = 0
+        reason = StallReason.NONE
+        while dispatched < self.config.dispatch_width:
+            if self._next_uop >= len(self.trace):
+                if dispatched == 0:
+                    reason = StallReason.FRONTEND
+                break
+            uop = self.trace[self._next_uop]
+            if len(self.rob) >= self.config.rob_entries:
+                reason = self._rob_full_reason()
+                break
+            if uop.kind.is_store and self.sb.full:
+                reason = StallReason.SB_FULL
+                break
+            if uop.kind.is_load and self.lq.full:
+                reason = StallReason.LQ_FULL
+                break
+            self._insert(uop, self._next_uop, cycle)
+            self._next_uop += 1
+            dispatched += 1
+        self.last_stall = reason if dispatched == 0 else StallReason.NONE
+        return dispatched
+
+    def _rob_full_reason(self) -> StallReason:
+        # A fence at the ROB head waiting for the SB flush shows up as a
+        # ROB-full stall otherwise; attribute it to the fence, since the
+        # serialising event is what actually blocks progress.
+        if self.rob and self.rob[0].uop.kind.is_fence:
+            return StallReason.FENCE
+        return StallReason.ROB_FULL
+
+    def _insert(self, uop: UOp, index: int, cycle: int) -> None:
+        entry = ROBEntry(uop, index)
+        self.rob.append(entry)
+        self._inflight[index] = entry
+        if uop.kind.is_load:
+            self.lq.insert()
+        elif uop.kind.is_store:
+            entry.sb_entry = self.sb.insert(uop)
+        producer = self._producer_of(entry)
+        if producer is not None and producer.complete_cycle is None:
+            producer.dependents.append(entry)
+            return
+        ready = cycle if producer is None else max(
+            cycle, producer.complete_cycle)
+        self._issue(entry, ready)
+
+    def _producer_of(self, entry: ROBEntry) -> Optional[ROBEntry]:
+        if entry.uop.dep_dist is None:
+            return None
+        return self._inflight.get(entry.index - entry.uop.dep_dist)
+
+    # -- issue / execute ---------------------------------------------------
+    def _issue(self, entry: ROBEntry, cycle: int) -> None:
+        kind = entry.uop.kind
+        if kind.is_load:
+            self._issue_load(entry, cycle)
+        elif kind.is_store:
+            # Address and data become available; the actual memory write
+            # happens post-commit from the SB.
+            self._set_complete(entry, cycle + 1)
+        else:
+            latency = exec_latency(kind, self.config)
+            self._set_complete(entry, cycle + latency)
+
+    def _issue_load(self, entry: ROBEntry, cycle: int) -> None:
+        uop = entry.uop
+        hit = self.sb.search(uop.addr, uop.size)
+        if hit is not None:
+            self._set_complete(entry, cycle + self.sb.forward_latency)
+            return
+        mech_latency = self.mechanism.search(uop.addr, uop.size)
+        if mech_latency is not None:
+            self.c_loads_forwarded_mech.inc()
+            self._set_complete(entry, cycle + mech_latency)
+            return
+        entry.waiting_mem = True
+        self.port.load(uop.addr, cycle,
+                       lambda done, e=entry: self._load_done(e, done),
+                       size=uop.size)
+
+    def _load_done(self, entry: ROBEntry, cycle: int) -> None:
+        entry.waiting_mem = False
+        self._set_complete(entry, cycle)
+
+    def _set_complete(self, entry: ROBEntry, cycle: int) -> None:
+        entry.complete_cycle = cycle
+        if entry.dependents:
+            dependents, entry.dependents = entry.dependents, []
+            for dep in dependents:
+                self._issue(dep, cycle)

@@ -1,0 +1,58 @@
+"""Dispatch-stall taxonomy and accounting.
+
+The paper attributes each stalled dispatch cycle to the *first missing
+resource* ("The stall is only attributed to the first resource that is
+missing, and they are not disjoint", Section VI-A).  We reproduce that
+rule: when dispatch makes no progress in a cycle, the cycle is charged to
+whichever resource blocks the micro-op at the head of the dispatch
+stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from ..common.stats import StatGroup
+
+
+class StallReason(enum.Enum):
+    """Why dispatch made no progress in a cycle."""
+
+    NONE = "none"                  # dispatch proceeded (not a stall)
+    SB_FULL = "sb"                 # store blocked: store buffer full
+    ROB_FULL = "rob"               # ROB full
+    LQ_FULL = "lq"                 # load queue full
+    FENCE = "fence"                # fence draining the SB at ROB head
+    FRONTEND = "frontend"          # trace exhausted / nothing to dispatch
+
+
+class StallAccount:
+    """Per-core stall-cycle bookkeeping."""
+
+    def __init__(self, stats: StatGroup) -> None:
+        group = stats.child("stalls")
+        self._counters = {
+            reason: group.counter(reason.value, f"cycles stalled on {reason.value}")
+            for reason in StallReason if reason != StallReason.NONE
+        }
+        self._total = stats.counter("stall_cycles", "total stalled cycles")
+        self.current: StallReason = StallReason.NONE
+
+    def charge(self, reason: StallReason, cycles: int = 1) -> None:
+        """Charge ``cycles`` of stall to ``reason``."""
+        if reason == StallReason.NONE or cycles <= 0:
+            return
+        self._counters[reason].inc(cycles)
+        self._total.inc(cycles)
+
+    def cycles(self, reason: StallReason) -> int:
+        return self._counters[reason].value
+
+    def breakdown(self) -> Dict[str, int]:
+        return {reason.value: counter.value
+                for reason, counter in self._counters.items()}
+
+    @property
+    def total(self) -> int:
+        return self._total.value

@@ -1,0 +1,9 @@
+"""Energy, area, and EDP modelling (the McPAT stand-in)."""
+
+from .cam import (CAMSpec, sb_spec, tsob_spec, wcb_spec, woq_spec)
+from .edp import edp, normalized_edp, speedup
+from .mcpat import EnergyBreakdown, attach_energy, compute_energy
+
+__all__ = ["CAMSpec", "sb_spec", "tsob_spec", "wcb_spec", "woq_spec",
+           "edp", "normalized_edp", "speedup", "EnergyBreakdown",
+           "attach_energy", "compute_energy"]

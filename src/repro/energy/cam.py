@@ -1,0 +1,111 @@
+"""Analytic CAM energy and area model.
+
+The paper's structural claims (Sections I, IV, V) are *relative*:
+
+* a 32-entry SB halves the energy per search and saves 21% of the SB
+  area compared to a 114-entry SB;
+* the 64-entry WOQ is 13x smaller than the 114-entry SB and uses 10x
+  less energy per search (5x less than a 32-entry SB), because it is
+  searched with 10-bit set/way tags instead of 64-bit addresses and is
+  single-ported.
+
+This module provides a small analytic model whose parameters are chosen
+so those published ratios fall out (the unit tests assert them):
+
+* *energy per search* grows with the match width (tag bits) and
+  sub-linearly with the entry count — ``E = e0 * tag_bits *
+  entries**ENTRY_EXPONENT`` (match-line energy scales with entries, but
+  banking and selective precharge give large CAMs better than linear
+  behaviour; the exponent is fit to the paper's 114-vs-32 = 2x point);
+* *area* has a fixed port/comparator term proportional to ``ports *
+  tag_bits`` plus a storage term proportional to total bits — which is
+  why shrinking the SB 3.6x in entries only saves 21% of its area.
+
+Absolute values are expressed in arbitrary-but-consistent units; only
+ratios are meaningful, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Fit to E(114)/E(32) = 2x at equal tag width: (114/32)**x = 2.
+ENTRY_EXPONENT = math.log(2) / math.log(114 / 32)
+
+#: Energy coefficient (arbitrary units per tag-bit).
+E0 = 0.015
+
+#: Extra match-line capacitance from multi-porting (small exponent, fit
+#: to the paper's SB-vs-WOQ energy ratios).
+PORT_ENERGY_EXPONENT = 0.19
+
+#: Area coefficients (arbitrary units).
+AREA_STRUCT_CONST = 1754.0    # per-structure control/decode overhead
+AREA_PORT_COEFF = 1265.0      # per (port x search-bit): comparators, drivers
+AREA_BIT_COEFF = 1.0          # per stored bit
+
+
+@dataclass(frozen=True)
+class CAMSpec:
+    """Geometry of one CAM-like structure."""
+
+    name: str
+    entries: int
+    #: Width of the associative match (bits compared per search).
+    tag_bits: int
+    #: Total stored bits per entry (tag + payload + metadata).
+    entry_bits: int
+    #: Independent search ports.
+    ports: int = 1
+
+    def energy_per_search(self) -> float:
+        """Energy of one associative search (arbitrary units)."""
+        port_factor = self.ports ** PORT_ENERGY_EXPONENT
+        return E0 * self.tag_bits * self.entries ** ENTRY_EXPONENT \
+            * port_factor
+
+    def energy_per_write(self) -> float:
+        """Energy of writing one entry (row write, no match)."""
+        return E0 * self.entry_bits * 0.25
+
+    def area(self) -> float:
+        """Layout area (arbitrary units)."""
+        fixed = AREA_PORT_COEFF * self.ports * self.tag_bits
+        storage = AREA_BIT_COEFF * self.entries * self.entry_bits
+        return AREA_STRUCT_CONST + fixed + storage
+
+    def leakage_per_cycle(self) -> float:
+        """Static energy per cycle, proportional to area."""
+        return self.area() * 2e-6
+
+
+def sb_spec(entries: int) -> CAMSpec:
+    """The store buffer: 64-bit address match, address+data+meta payload,
+    dual search ports (it is searched by every load in a 2-load/cycle
+    pipeline)."""
+    entry_bits = 64 + 512 + 16  # address, 64B data, masks/flags
+    return CAMSpec("sb", entries, tag_bits=64, entry_bits=entry_bits,
+                   ports=2)
+
+
+def woq_spec(entries: int, entry_bits: int = 34) -> CAMSpec:
+    """The WOQ: searched with 10-bit set/way tags, single-ported, and
+    34 bits per entry (Section IV)."""
+    return CAMSpec("woq", entries, tag_bits=10, entry_bits=entry_bits,
+                   ports=1)
+
+
+def wcb_spec(buffers: int) -> CAMSpec:
+    """Write-combining buffers: line-address match plus line payload."""
+    entry_bits = 64 + 512 + 16 + 2
+    return CAMSpec("wcb", buffers, tag_bits=58, entry_bits=entry_bits,
+                   ports=1)
+
+
+def tsob_spec(entries: int) -> CAMSpec:
+    """SSB's TSOB: a big in-order queue (RAM, not CAM — tag_bits only
+    covers the head comparison), but its storage is what dominates."""
+    entry_bits = 64 + 512
+    return CAMSpec("tsob", entries, tag_bits=8, entry_bits=entry_bits,
+                   ports=1)

@@ -1,0 +1,32 @@
+"""Energy-delay-product helpers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import SystemConfig
+from ..sim.results import SimResult
+from .mcpat import attach_energy
+
+
+def edp(result: SimResult, config: Optional[SystemConfig] = None) -> float:
+    """Energy-delay product of a run (attaching energy on demand)."""
+    if result.energy is None:
+        if config is None:
+            raise ValueError("result has no energy; pass the config")
+        attach_energy(result, config)
+    return result.energy * result.cycles
+
+
+def normalized_edp(result: SimResult, baseline: SimResult) -> float:
+    """EDP of ``result`` relative to ``baseline`` (1.0 = equal; the
+    paper's Figures 11/12/14/15 report exactly this, lower is better)."""
+    if result.energy is None or baseline.energy is None:
+        raise ValueError("attach energy to both results first")
+    return (result.energy * result.cycles) / (
+        baseline.energy * baseline.cycles)
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """Execution-time speedup over the baseline (higher is better)."""
+    return baseline.cycles / result.cycles

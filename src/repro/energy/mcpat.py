@@ -1,0 +1,136 @@
+"""A McPAT-like system energy model.
+
+The paper evaluates energy with McPAT at 22nm (with the Xi et al.
+accuracy fixes) and reports *normalized EDP*.  We reproduce the same
+structure at event granularity: every simulator counter that represents
+a physical activity (SB searches, L1D reads/writes, L2 updates, DRAM
+accesses, committed micro-ops, ...) is multiplied by a per-event energy,
+and each structure leaks in proportion to its area for the duration of
+the run.  Per-event energies are rough 22nm-class values in picojoule-
+like arbitrary units — as in the paper, only energy *ratios* between
+configurations are meaningful.
+
+The mechanism-specific costs the paper calls out are all here:
+
+* SSB pays an L2 write for every drained store (``l2_updates``) and
+  leaks over its 1K-entry TSOB;
+* TUS pays an L2 update when a second write hits a visible modified
+  line, plus WOQ searches and leakage (tiny: 272 bytes);
+* TUS/CSB save L1D write energy through coalescing;
+* the SB's search energy scales with its size via ``repro.energy.cam``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..common.config import SystemConfig
+from ..sim.results import SimResult
+from .cam import sb_spec, tsob_spec, wcb_spec, woq_spec
+
+#: Per-event dynamic energies (arbitrary pJ-like units, 22nm-class).
+EVENT_ENERGY: Dict[str, float] = {
+    "uop_commit": 9.0,         # front-end + rename + ROB + FU average
+    "l1d_read": 22.0,
+    "l1d_write": 26.0,
+    "l2_access": 65.0,
+    "l3_access": 160.0,
+    "dram_access": 2600.0,
+    "noc_hop": 18.0,
+}
+
+#: Static (leakage) energy per cycle for the fixed parts of one core +
+#: its private caches (the SB/WOQ/WCB/TSOB leak separately, by area).
+CORE_LEAK_PER_CYCLE = 14.0
+#: Shared L3 + uncore leakage per cycle (whole chip).
+UNCORE_LEAK_PER_CYCLE = 22.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one run, split by component (arbitrary units)."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, value: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + value
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total
+        return self.components.get(name, 0.0) / total if total else 0.0
+
+
+def compute_energy(result: SimResult,
+                   config: SystemConfig) -> EnergyBreakdown:
+    """Compute the full-system energy of one simulation result."""
+    out = EnergyBreakdown()
+    cycles = result.cycles
+    cores = config.num_cores
+
+    # -- core dynamic ---------------------------------------------------
+    out.add("core_dynamic",
+            result.committed * EVENT_ENERGY["uop_commit"])
+
+    # -- store-path CAMs ---------------------------------------------------
+    sb = sb_spec(config.core.sb_entries)
+    searches = result.sum_stats("sb.searches")
+    inserts = result.sum_stats("sb.inserts")
+    out.add("sb_dynamic", searches * sb.energy_per_search()
+            + inserts * sb.energy_per_write())
+    out.add("sb_static", sb.leakage_per_cycle() * cycles * cores)
+
+    if config.mechanism == "tus":
+        woq = woq_spec(config.tus.woq_entries)
+        out.add("woq_dynamic",
+                result.sum_stats("woq.searches") * woq.energy_per_search()
+                + result.sum_stats("woq.allocations")
+                * woq.energy_per_write())
+        out.add("woq_static", woq.leakage_per_cycle() * cycles * cores)
+    if config.mechanism in ("tus", "csb"):
+        wcb = wcb_spec(config.tus.wcb_entries
+                       if config.mechanism == "tus"
+                       else config.mechanisms.csb_wcb_entries)
+        out.add("wcb_dynamic",
+                result.sum_stats("wcb.searches") * wcb.energy_per_search())
+        out.add("wcb_static", wcb.leakage_per_cycle() * cycles * cores)
+    if config.mechanism == "ssb":
+        tsob = tsob_spec(config.mechanisms.ssb_tsob_entries)
+        out.add("tsob_dynamic",
+                result.sum_stats("tsob_drains") * tsob.energy_per_write())
+        out.add("tsob_static", tsob.leakage_per_cycle() * cycles * cores)
+
+    # -- memory hierarchy ------------------------------------------------
+    out.add("l1d_dynamic",
+            result.sum_stats("l1d.reads") * EVENT_ENERGY["l1d_read"]
+            + result.sum_stats("l1d.writes") * EVENT_ENERGY["l1d_write"])
+    # Explicit L1D-to-L2 updates (TUS's authorized-overwrite push, SSB's
+    # per-store write-through) already count one l2.writes data-array
+    # access each; l2_updates is kept as a separate *named* counter for
+    # analysis but must not be double-charged here.
+    l2_events = (result.sum_stats("l2.reads")
+                 + result.sum_stats("l2.writes"))
+    out.add("l2_dynamic", l2_events * EVENT_ENERGY["l2_access"])
+    l3_events = (result.sum_stats("l3.reads")
+                 + result.sum_stats("l3.writes"))
+    out.add("l3_dynamic", l3_events * EVENT_ENERGY["l3_access"])
+    out.add("dram_dynamic",
+            result.sum_stats("dram.accesses") * EVENT_ENERGY["dram_access"])
+    out.add("noc_dynamic",
+            result.sum_stats("protocol.transactions")
+            * EVENT_ENERGY["noc_hop"] * 2)
+
+    # -- static ------------------------------------------------------------
+    out.add("core_static", CORE_LEAK_PER_CYCLE * cycles * cores)
+    out.add("uncore_static", UNCORE_LEAK_PER_CYCLE * cycles)
+    return out
+
+
+def attach_energy(result: SimResult, config: SystemConfig) -> SimResult:
+    """Fill ``result.energy`` in place and return it."""
+    result.energy = compute_energy(result, config).total
+    return result

@@ -1,0 +1,10 @@
+"""Experiment harness: runner, per-figure experiments, text reports."""
+
+from .experiments import (MECHS, dse, fig8, fig9, fig10, fig11, fig12,
+                          fig13, fig14, fig15, l1d_writes, sb_cost)
+from .report import ExperimentResult, render_scurve
+from .runner import Runner, default_runner
+
+__all__ = ["MECHS", "dse", "fig8", "fig9", "fig10", "fig11", "fig12",
+           "fig13", "fig14", "fig15", "l1d_writes", "sb_cost",
+           "ExperimentResult", "render_scurve", "Runner", "default_runner"]

@@ -1,0 +1,304 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+Each function drives a :class:`~repro.harness.runner.Runner` over the
+right (benchmark, mechanism, SB-size) matrix and returns an
+:class:`~repro.harness.report.ExperimentResult` holding the same rows /
+series the paper's figure plots.  The benchmark set can be narrowed
+(``benches=``) so tests can exercise every experiment cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..common.config import MECHANISMS, SB_SIZE_SWEEP, table_i
+from ..common.stats import geomean
+from ..energy.cam import sb_spec, woq_spec
+from ..workloads import benchmarks, sb_bound_benchmarks
+from .report import ExperimentResult
+from .runner import Runner
+
+#: Comparison mechanisms in the paper's plotting order.
+MECHS: Sequence[str] = ("baseline", "ssb", "csb", "spb", "tus")
+
+
+def _single_thread(sb_bound_only: bool) -> List[str]:
+    pick = sb_bound_benchmarks if sb_bound_only else benchmarks
+    return pick("spec") + pick("tf")
+
+
+def _parsec() -> List[str]:
+    return benchmarks("parsec")
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: scalability with SB size
+# ---------------------------------------------------------------------------
+def fig8(runner: Runner, benches: Optional[List[str]] = None,
+         parsec_benches: Optional[List[str]] = None) -> ExperimentResult:
+    """Geomean speedup over the 114-entry baseline for every mechanism at
+    SB sizes 32/64/114, per suite."""
+    # Representative subsets by default: Figure 8 sweeps a third SB
+    # size (64) over every mechanism, which triples the simulation
+    # matrix; the suite geomeans are stable on these subsets.
+    suites = {
+        "spec+tf": benches if benches is not None
+        else ["502.gcc5", "502.gcc2", "505.mcf", "519.lbm", "503.bw2",
+              "tf.convnet"],
+        "parsec": parsec_benches if parsec_benches is not None
+        else ["dedup", "ferret", "streamcluster"],
+    }
+    columns = [f"{m}@{sb}" for sb in SB_SIZE_SWEEP for m in MECHS]
+    result = ExperimentResult(
+        "fig8", "Scalability with SB size (speedup vs baseline@114)",
+        columns)
+    for suite, suite_benches in suites.items():
+        if not suite_benches:
+            continue
+        values = {}
+        for sb in SB_SIZE_SWEEP:
+            for mech in MECHS:
+                speedups = [runner.speedup(b, mech, sb, base_sb=114)
+                            for b in suite_benches]
+                values[f"{mech}@{sb}"] = geomean(speedups)
+        result.add_row(suite, values)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: SB-induced stalls
+# ---------------------------------------------------------------------------
+def fig9(runner: Runner,
+         benches: Optional[List[str]] = None) -> ExperimentResult:
+    """SB-induced stall cycles (% of total), 114-entry SB, single-thread
+    SB-bound benchmarks sorted by baseline stalls.  Lower is better."""
+    benches = benches if benches is not None \
+        else _single_thread(sb_bound_only=True)
+    result = ExperimentResult(
+        "fig9", "SB-induced stalls (% of cycles), 114-entry SB",
+        list(MECHS), fmt="percent")
+    stalls = {b: runner.sb_stalls(b, "baseline", 114) for b in benches}
+    for bench in sorted(benches, key=lambda b: -stalls[b]):
+        result.add_row(bench, {m: runner.sb_stalls(bench, m, 114)
+                               for m in MECHS})
+    result.add_summary("mean", {
+        m: sum(runner.sb_stalls(b, m, 114) for b in benches) / len(benches)
+        for m in MECHS})
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 10/13: speedup S-curve + SB-bound breakdown
+# ---------------------------------------------------------------------------
+def _speedup_experiment(runner: Runner, base_sb: int, exp_id: str,
+                        benches: Optional[List[str]],
+                        all_benches: Optional[List[str]]) -> Dict[
+                            str, ExperimentResult]:
+    bound = benches if benches is not None \
+        else _single_thread(sb_bound_only=True)
+    everything = all_benches if all_benches is not None \
+        else _single_thread(sb_bound_only=False) + _parsec()
+    scurve = ExperimentResult(
+        f"{exp_id}-scurve",
+        f"Speedup S-curve over all applications (vs baseline@{base_sb})",
+        ["min", "q1", "median", "q3", "max", "apps_gt_1pct"], fmt="raw")
+    for mech in MECHS:
+        values = sorted(runner.speedup(b, mech, base_sb, base_sb=base_sb)
+                        for b in everything)
+        n = len(values)
+        scurve.add_row(mech, {
+            "min": values[0], "q1": values[n // 4],
+            "median": values[n // 2], "q3": values[3 * n // 4],
+            "max": values[-1],
+            "apps_gt_1pct": sum(1 for v in values if v > 1.01),
+        })
+    breakdown = ExperimentResult(
+        f"{exp_id}-breakdown",
+        f"Speedup, single-thread SB-bound (vs baseline@{base_sb})",
+        list(MECHS))
+    stalls = {b: runner.sb_stalls(b, "baseline", base_sb) for b in bound}
+    for bench in sorted(bound, key=lambda b: -stalls[b]):
+        breakdown.add_row(bench, {
+            m: runner.speedup(bench, m, base_sb, base_sb=base_sb)
+            for m in MECHS})
+    breakdown.add_summary("geomean", {
+        m: geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
+                    for b in bound]) for m in MECHS})
+    return {"scurve": scurve, "breakdown": breakdown}
+
+
+def fig10(runner: Runner, benches: Optional[List[str]] = None,
+          all_benches: Optional[List[str]] = None
+          ) -> Dict[str, ExperimentResult]:
+    """Figure 10: speedups with a 114-entry SB."""
+    return _speedup_experiment(runner, 114, "fig10", benches, all_benches)
+
+
+def fig13(runner: Runner, benches: Optional[List[str]] = None,
+          all_benches: Optional[List[str]] = None
+          ) -> Dict[str, ExperimentResult]:
+    """Figure 13: speedups with a 32-entry SB (normalised to
+    baseline@32)."""
+    return _speedup_experiment(runner, 32, "fig13", benches, all_benches)
+
+
+# ---------------------------------------------------------------------------
+# Figures 11/15: normalized EDP, single-thread
+# ---------------------------------------------------------------------------
+def _edp_experiment(runner: Runner, base_sb: int, exp_id: str,
+                    benches: Optional[List[str]]) -> ExperimentResult:
+    bound = benches if benches is not None \
+        else _single_thread(sb_bound_only=True)
+    result = ExperimentResult(
+        exp_id,
+        f"Normalized EDP vs baseline@{base_sb}, single-thread SB-bound "
+        "(lower is better)", list(MECHS))
+    for bench in bound:
+        result.add_row(bench, {
+            m: runner.norm_edp(bench, m, base_sb, base_sb=base_sb)
+            for m in MECHS})
+    result.add_summary("geomean", {
+        m: geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
+                    for b in bound]) for m in MECHS})
+    return result
+
+
+def fig11(runner: Runner,
+          benches: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 11: normalized EDP with a 114-entry SB."""
+    return _edp_experiment(runner, 114, "fig11", benches)
+
+
+def fig15(runner: Runner,
+          benches: Optional[List[str]] = None) -> ExperimentResult:
+    """Figure 15: normalized EDP with a 32-entry SB."""
+    return _edp_experiment(runner, 32, "fig15", benches)
+
+
+# ---------------------------------------------------------------------------
+# Figures 12/14: Parsec speedup + EDP
+# ---------------------------------------------------------------------------
+def _parsec_experiment(runner: Runner, base_sb: int, exp_id: str,
+                       benches: Optional[List[str]]) -> Dict[
+                           str, ExperimentResult]:
+    parsec = benches if benches is not None else _parsec()
+    speed = ExperimentResult(
+        f"{exp_id}-speedup",
+        f"Parsec speedup vs baseline@{base_sb} (16 cores)", list(MECHS))
+    edp = ExperimentResult(
+        f"{exp_id}-edp",
+        f"Parsec normalized EDP vs baseline@{base_sb} (lower is better)",
+        list(MECHS))
+    for bench in parsec:
+        speed.add_row(bench, {
+            m: runner.speedup(bench, m, base_sb, base_sb=base_sb)
+            for m in MECHS})
+        edp.add_row(bench, {
+            m: runner.norm_edp(bench, m, base_sb, base_sb=base_sb)
+            for m in MECHS})
+    speed.add_summary("geomean", {
+        m: geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
+                    for b in parsec]) for m in MECHS})
+    edp.add_summary("geomean", {
+        m: geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
+                    for b in parsec]) for m in MECHS})
+    return {"speedup": speed, "edp": edp}
+
+
+def fig12(runner: Runner, benches: Optional[List[str]] = None
+          ) -> Dict[str, ExperimentResult]:
+    """Figure 12: Parsec speedup and EDP with a 114-entry SB."""
+    return _parsec_experiment(runner, 114, "fig12", benches)
+
+
+def fig14(runner: Runner, benches: Optional[List[str]] = None
+          ) -> Dict[str, ExperimentResult]:
+    """Figure 14: Parsec speedup and EDP with a 32-entry SB."""
+    return _parsec_experiment(runner, 32, "fig14", benches)
+
+
+# ---------------------------------------------------------------------------
+# Structural-cost claims (Sections I/IV/V)
+# ---------------------------------------------------------------------------
+def sb_cost() -> ExperimentResult:
+    """SB/WOQ energy-per-search, area, and forwarding-latency claims."""
+    sb114, sb32, woq = sb_spec(114), sb_spec(32), woq_spec(64)
+    result = ExperimentResult(
+        "sbcost", "Structural costs (paper Sections I/IV/V)",
+        ["model", "paper"], fmt="raw")
+    result.add_row("sb_energy_114_over_32", {
+        "model": sb114.energy_per_search() / sb32.energy_per_search(),
+        "paper": 2.0})
+    result.add_row("sb_area_saving_32_vs_114", {
+        "model": 1 - sb32.area() / sb114.area(), "paper": 0.21})
+    result.add_row("woq_area_vs_sb114", {
+        "model": sb114.area() / woq.area(), "paper": 13.0})
+    result.add_row("woq_energy_vs_sb114", {
+        "model": sb114.energy_per_search() / woq.energy_per_search(),
+        "paper": 10.0})
+    result.add_row("woq_energy_vs_sb32", {
+        "model": sb32.energy_per_search() / woq.energy_per_search(),
+        "paper": 5.0})
+    cfg = table_i()
+    result.add_row("forward_latency_114", {
+        "model": cfg.with_sb_size(114).core.forward_latency, "paper": 5})
+    result.add_row("forward_latency_32", {
+        "model": cfg.with_sb_size(32).core.forward_latency, "paper": 3})
+    result.add_row("woq_storage_bytes", {
+        "model": cfg.tus.woq_storage_bytes, "paper": 272})
+    return result
+
+
+# ---------------------------------------------------------------------------
+# L1D write reduction (Sections VI-A/VI-B)
+# ---------------------------------------------------------------------------
+def l1d_writes(runner: Runner, benches: Optional[List[str]] = None,
+               sb: int = 114) -> ExperimentResult:
+    """Factor by which each mechanism reduces L1D writes vs baseline."""
+    bound = benches if benches is not None \
+        else _single_thread(sb_bound_only=True)
+    result = ExperimentResult(
+        "writes", "L1D write reduction factor vs baseline (higher = fewer "
+        "writes)", list(MECHS))
+    for bench in bound:
+        base = runner.run(bench, "baseline", sb).sum_stats("l1d.writes")
+        result.add_row(bench, {
+            m: base / max(1.0, runner.run(bench, m, sb)
+                          .sum_stats("l1d.writes"))
+            for m in MECHS})
+    result.add_summary("geomean", {
+        m: geomean([result.rows[b][m] for b in result.rows])
+        for m in MECHS})
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Design-space exploration (Section VI's DSE)
+# ---------------------------------------------------------------------------
+def dse(runner: Runner, benches: Optional[List[str]] = None
+        ) -> ExperimentResult:
+    """TUS parameter ablation: WCB count, WOQ size, max atomic group."""
+    bound = benches if benches is not None else [
+        "502.gcc5", "505.mcf", "519.lbm"]
+    variants = {
+        "default(2wcb,64woq,16grp)": {},
+        "1 wcb": {"wcb_entries": 1},
+        "4 wcb": {"wcb_entries": 4},
+        "16-entry woq": {"woq_entries": 16},
+        "256-entry woq": {"woq_entries": 256},
+        "max group 4": {"max_atomic_group": 4},
+        "max group 8": {"max_atomic_group": 8},
+    }
+    result = ExperimentResult(
+        "dse", "TUS design-space exploration (geomean speedup vs "
+        "baseline@114)", ["speedup"])
+    for label, overrides in variants.items():
+        config = table_i().with_tus(**overrides)
+        speedups = []
+        for bench in bound:
+            base = runner.run(bench, "baseline", 114)
+            point = runner.run(bench, "tus", 114, config=config,
+                               tag=label if overrides else "")
+            speedups.append(base.cycles / point.cycles)
+        result.add_row(label, {"speedup": geomean(speedups)})
+    return result

@@ -1,0 +1,52 @@
+"""Export experiment results to CSV and JSON."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .report import ExperimentResult
+
+
+def to_csv(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write an experiment's rows (and summary rows) as CSV."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["row", *result.columns])
+        for label, values in result.rows.items():
+            writer.writerow([label] + [values.get(c, "")
+                                       for c in result.columns])
+        for label, values in result.summary.items():
+            writer.writerow([label] + [values.get(c, "")
+                                       for c in result.columns])
+
+
+def to_json(result: ExperimentResult, path: Union[str, Path]) -> None:
+    """Write an experiment as a JSON document."""
+    document = {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": result.rows,
+        "summary": result.summary,
+        "notes": result.notes,
+    }
+    with open(Path(path), "w") as handle:
+        json.dump(document, handle, indent=2)
+
+
+def from_json(path: Union[str, Path]) -> ExperimentResult:
+    """Load an experiment previously written by :func:`to_json`."""
+    with open(Path(path)) as handle:
+        document = json.load(handle)
+    result = ExperimentResult(document["exp_id"], document["title"],
+                              list(document["columns"]),
+                              notes=document.get("notes", ""))
+    for label, values in document.get("rows", {}).items():
+        result.add_row(label, values)
+    for label, values in document.get("summary", {}).items():
+        result.add_summary(label, values)
+    return result

@@ -1,0 +1,90 @@
+"""Text renderers for experiment results: tables and S-curves.
+
+The harness prints the same rows/series the paper's figures plot —
+bar charts become tables (one row per benchmark, one column per
+mechanism) and S-curves become sorted series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: labelled rows of per-column values."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    #: row label -> {column -> value}
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Aggregate rows (geomean etc.), rendered after a separator.
+    summary: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: str = ""
+    #: Formatting: "ratio" (1.023), "percent" (2.3%), "raw".
+    fmt: str = "ratio"
+
+    def add_row(self, label: str, values: Dict[str, float]) -> None:
+        self.rows[label] = values
+
+    def add_summary(self, label: str, values: Dict[str, float]) -> None:
+        self.summary[label] = values
+
+    def value(self, row: str, column: str) -> float:
+        source = self.rows if row in self.rows else self.summary
+        return source[row][column]
+
+    def _format(self, value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if self.fmt == "percent":
+            return f"{value * 100:6.2f}%"
+        if self.fmt == "ratio":
+            return f"{value:7.3f}"
+        return f"{value:9.4g}"
+
+    def render(self) -> str:
+        label_width = max(
+            [len(r) for r in list(self.rows) + list(self.summary)] + [10])
+        col_width = max([len(c) for c in self.columns] + [8]) + 1
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        header = " " * label_width + "".join(
+            f"{c:>{col_width}}" for c in self.columns)
+        lines.append(header)
+        for label, values in self.rows.items():
+            cells = "".join(
+                f"{self._format(values.get(c)):>{col_width}}"
+                for c in self.columns)
+            lines.append(f"{label:<{label_width}}{cells}")
+        if self.summary:
+            lines.append("-" * len(header))
+            for label, values in self.summary.items():
+                cells = "".join(
+                    f"{self._format(values.get(c)):>{col_width}}"
+                    for c in self.columns)
+                lines.append(f"{label:<{label_width}}{cells}")
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def render_scurve(title: str, series: Dict[str, List[float]],
+                  width: int = 60) -> str:
+    """Render sorted per-mechanism speedup series (an S-curve) as text.
+
+    ``series`` maps mechanism name to an (unsorted) list of per-app
+    values; each is sorted ascending, as in the paper's Figures 10/13.
+    """
+    lines = [f"== {title} =="]
+    for name, values in series.items():
+        ordered = sorted(values)
+        n = len(ordered)
+        picks = [ordered[0], ordered[n // 4], ordered[n // 2],
+                 ordered[3 * n // 4], ordered[-1]]
+        summary = "  ".join(f"{v:.3f}" for v in picks)
+        gains = sum(1 for v in ordered if v > 1.01)
+        lines.append(f"{name:>10}: min/q1/med/q3/max = {summary}   "
+                     f"apps>+1%: {gains}/{n}")
+    return "\n".join(lines)

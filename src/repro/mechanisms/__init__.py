@@ -1,0 +1,21 @@
+"""Store-handling mechanisms: baseline, SSB, CSB, SPB, and TUS.
+
+Importing this package registers every mechanism with the registry, so
+``make_mechanism("tus", ...)`` works after a plain ``import
+repro.mechanisms``.
+"""
+
+from .base import PrefetchAtCommit, StoreMechanism
+from .baseline import BaselineMechanism
+from .registry import available, make_mechanism, register
+
+# Mechanism modules register themselves on import.
+from . import csb as _csb          # noqa: F401
+from . import spb as _spb          # noqa: F401
+from . import ssb as _ssb          # noqa: F401
+from . import tus as _tus          # noqa: F401
+
+__all__ = [
+    "PrefetchAtCommit", "StoreMechanism", "BaselineMechanism",
+    "available", "make_mechanism", "register",
+]

@@ -1,0 +1,88 @@
+"""The store-handling mechanism interface.
+
+A mechanism owns everything that happens to a store *after* it commits:
+how (and whether) write permission is prefetched, how the SB head drains,
+which post-SB structures hold store data, and how loads find that data.
+The five mechanisms of the paper's evaluation (baseline, SSB, CSB, SPB,
+TUS) are all implementations of this interface, which is what lets the
+harness swap them under an otherwise identical core and memory system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import SystemConfig
+from ..common.events import EventQueue
+from ..common.stats import StatGroup
+from ..coherence.memsys import CorePort
+from ..cpu.storebuffer import SBEntry, StoreBuffer
+
+
+class StoreMechanism:
+    """Base class: how committed stores leave the SB and reach memory."""
+
+    name = "abstract"
+
+    def __init__(self, config: SystemConfig, port: CorePort, sb: StoreBuffer,
+                 events: EventQueue, stats: StatGroup) -> None:
+        self.config = config
+        self.port = port
+        self.sb = sb
+        self.events = events
+        self.stats = stats
+
+    # -- hooks called by the core ------------------------------------------
+    def on_store_commit(self, entry: SBEntry, cycle: int) -> None:
+        """A store just committed (its SB entry is now drainable)."""
+
+    def drain(self, cycle: int) -> int:
+        """Move committed stores out of the SB head; returns how many
+        stores made forward progress this cycle."""
+        raise NotImplementedError
+
+    def drained(self) -> bool:
+        """True when every post-SB structure is empty (fence semantics:
+        a serialising event must wait for all stores to become globally
+        visible, not merely to leave the SB)."""
+        return True
+
+    def search(self, addr: int, size: int) -> Optional[int]:
+        """Store-to-load forwarding from post-SB structures.
+
+        Returns the forwarding latency if the youngest copy of the data
+        lives in a mechanism structure (WCB, TSOB), else None (the load
+        proceeds to the L1D port).
+        """
+        return None
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Next cycle at which this mechanism can make progress without an
+        external event, or None if it is purely event-driven."""
+        return None
+
+
+class PrefetchAtCommit(StoreMechanism):
+    """Shared behaviour: request write permission when a store commits.
+
+    The paper's baseline includes this store prefetcher (Section V,
+    "+15% performance over the default gem5"), and every other mechanism
+    keeps it on.  The prefetch is a *hint*: it is dropped when the MSHR
+    file is full, and the drain path re-requests on demand.
+    """
+
+    def __init__(self, config, port, sb, events, stats) -> None:
+        super().__init__(config, port, sb, events, stats)
+        self._prefetches = stats.counter(
+            "commit_prefetches", "write-permission prefetches at commit")
+
+    def on_store_commit(self, entry: SBEntry, cycle: int) -> None:
+        if not self.config.memory.store_prefetch_at_commit:
+            return
+        if not self.port.is_writable(entry.line):
+            self._prefetches.inc()
+            # A committed store's write is non-speculative: the request
+            # is demand-class (it may fill the whole MSHR file but is
+            # never silently dropped in favour of the reserve).  If the
+            # file is full anyway, the drain path re-requests at the head.
+            self.port.request_write(entry.line, cycle, prefetch=False)

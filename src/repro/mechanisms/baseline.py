@@ -1,0 +1,48 @@
+"""The baseline store path.
+
+Modern-x86-like store handling (Section V): write permission is
+prefetched when the store commits, L1D store accesses are pipelined
+(one drain per cycle back-to-back), and the SB head blocks until its
+line is writable.  A long-latency store miss therefore blocks the SB
+for the full miss latency — the head-of-line blocking TUS removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import PrefetchAtCommit
+from .registry import register
+
+
+@register("baseline")
+class BaselineMechanism(PrefetchAtCommit):
+    """SB drains in order, one store per cycle, blocking on misses."""
+
+    name = "baseline"
+
+    def __init__(self, config, port, sb, events, stats) -> None:
+        super().__init__(config, port, sb, events, stats)
+        self._blocked = stats.counter(
+            "drain_blocked_cycles",
+            "cycles the SB head waited for write permission")
+        self._waiting = None   # head entry whose request is outstanding
+
+    def drain(self, cycle: int) -> int:
+        head = self.sb.head_committed()
+        if head is None:
+            return 0
+        if not self.port.is_writable(head.line):
+            # Ensure a demand request is outstanding (the commit-time
+            # prefetch may have been dropped, or a granted line stolen
+            # by another core before the drain used it) and wait.
+            if self._waiting is not head or \
+                    not self.port.write_request_outstanding(head.line):
+                self.port.request_write(head.line, cycle)
+                self._waiting = head
+            self._blocked.inc()
+            return 0
+        self._waiting = None
+        self.port.write_hit(head.line, cycle)
+        self.sb.pop_head()
+        return 1

@@ -1,0 +1,99 @@
+"""The Coalescing Store Buffer (Ros & Kaxiras, ISCA'18).
+
+Like TUS, CSB coalesces non-consecutive stores in the WCBs while
+preserving x86-TSO via atomic groups and the lex order.  Unlike TUS, a
+WCB group can only be written to the L1D once the core holds *write
+permission for every line of the group* — so when a flush hits a miss,
+the SB stops draining for the whole miss latency (the paper's key
+criticism, Section II).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..mem.wcb import InsertResult, WCBFile
+from .base import PrefetchAtCommit
+from .registry import register
+
+
+@register("csb")
+class CSBMechanism(PrefetchAtCommit):
+    """SB -> WCB coalescing -> permission-gated atomic L1D writes."""
+
+    def __init__(self, config, port, sb, events, stats) -> None:
+        super().__init__(config, port, sb, events, stats)
+        self.wcb = WCBFile(config.mechanisms.csb_wcb_entries,
+                           stats.child("wcb"))
+        self._c_blocked = stats.counter(
+            "flush_blocked_cycles",
+            "cycles a WCB flush waited for write permission")
+        self._c_group_writes = stats.counter(
+            "group_writes", "atomic groups written to the L1D")
+        self._forward_latency = min(config.core.forward_latency,
+                                    config.memory.l1d.latency)
+
+    def drain(self, cycle: int) -> int:
+        progress = 0
+        budget = self.config.core.commit_width
+        flushed = False
+        while budget > 0:
+            head = self.sb.head_committed()
+            if head is None:
+                break
+            result = self.wcb.insert(head.line, head.mask)
+            if result == InsertResult.COALESCED:
+                self.sb.pop_head()
+                progress += 1
+                budget -= 1
+            elif result == InsertResult.ALLOCATED:
+                self.sb.pop_head()
+                progress += 1
+                budget -= 2
+            elif result == InsertResult.LEX_CONFLICT:
+                # The head store waits until the conflicting store has
+                # been made visible, which for CSB means flushing the
+                # buffered groups to the L1D.
+                self._c_blocked.inc()
+                if not flushed and self._flush(cycle):
+                    flushed = True
+                    progress += 1
+                break
+            else:
+                if flushed or not self._flush(cycle):
+                    self._c_blocked.inc()
+                    break
+                flushed = True
+                progress += 1
+                budget -= 2
+        if progress == 0 and self.sb.head_committed() is None:
+            if not self.wcb.empty and self._flush(cycle):
+                progress += 1
+        return progress
+
+    def _flush(self, cycle: int) -> bool:
+        """Write buffered groups to the L1D; all lines need permission."""
+        lines = [entry.addr for entry in self.wcb.buffers]
+        missing = [line for line in lines if not self.port.is_writable(line)]
+        if missing:
+            for line in missing:
+                self.port.request_write(line, cycle)
+            return False
+        for group in self.wcb.drain_groups():
+            for entry in group:
+                self.port.write_hit(entry.addr, cycle)
+            self._c_group_writes.inc()
+        return True
+
+    def drained(self) -> bool:
+        return self.wcb.empty
+
+    def search(self, addr: int, size: int) -> Optional[int]:
+        entry = self.wcb.find(addr)
+        if entry is None:
+            return None
+        line = addr & ~63
+        mask = ((1 << size) - 1) << (addr - line)
+        if entry.mask & mask:
+            return self._forward_latency
+        return None

@@ -1,0 +1,35 @@
+"""Mechanism registry: name -> constructor."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import StoreMechanism
+
+_REGISTRY: Dict[str, Callable[..., StoreMechanism]] = {}
+
+
+def register(name: str):
+    """Class decorator registering a mechanism under ``name``."""
+    def wrap(cls):
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+    return wrap
+
+
+def make_mechanism(name: str, config, port, sb, events,
+                   stats) -> StoreMechanism:
+    """Instantiate the mechanism registered as ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown mechanism {name!r} (known: {known})") from None
+    return cls(config, port, sb, events, stats)
+
+
+def available() -> List[str]:
+    """Names of all registered mechanisms."""
+    return sorted(_REGISTRY)

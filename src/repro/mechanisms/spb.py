@@ -1,0 +1,59 @@
+"""Store Prefetch Burst (Cebrian, Kaxiras & Ros, MICRO'20).
+
+The baseline store path plus an aggressive store-side prefetcher: when
+commits store to enough consecutive cache lines, SPB prefetches write
+permission for *every* line of the 4KB page.  This helps regular store
+bursts but (i) pollutes the L1D — prefetched lines evict useful data
+and can themselves be evicted before use — and (ii) still blocks the SB
+head on misses, so irregular patterns and long-latency stores see no
+benefit (Section II and the evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.addr import LINE_SIZE, line_addr, lines_in_page, page_addr
+from ..cpu.storebuffer import SBEntry
+from .baseline import BaselineMechanism
+from .registry import register
+
+
+@register("spb")
+class SPBMechanism(BaselineMechanism):
+    """Baseline drain + full-page write-permission bursts."""
+
+    def __init__(self, config, port, sb, events, stats) -> None:
+        super().__init__(config, port, sb, events, stats)
+        self.threshold = config.mechanisms.spb_burst_threshold
+        self._last_line: Optional[int] = None
+        self._run = 0
+        self._bursted_pages: Dict[int, bool] = {}
+        self._c_bursts = stats.counter("page_bursts", "page bursts issued")
+        self._c_burst_prefetches = stats.counter(
+            "burst_prefetches", "write-permission prefetches from bursts")
+
+    def on_store_commit(self, entry: SBEntry, cycle: int) -> None:
+        super().on_store_commit(entry, cycle)
+        self._train(entry.line, cycle)
+
+    def _train(self, line: int, cycle: int) -> None:
+        if self._last_line is not None and line == self._last_line + LINE_SIZE:
+            self._run += 1
+        elif line != self._last_line:
+            self._run = 1
+        self._last_line = line
+        if self._run < self.threshold:
+            return
+        page = page_addr(line)
+        if self._bursted_pages.get(page):
+            return
+        self._bursted_pages[page] = True
+        self._c_bursts.inc()
+        for target in lines_in_page(page):
+            if not self.port.is_writable(target):
+                self._c_burst_prefetches.inc()
+                self.port.request_write(target, cycle, prefetch=True)
+        if len(self._bursted_pages) > 1024:
+            # Forget ancient pages so re-visited pages can burst again.
+            self._bursted_pages.clear()

@@ -1,0 +1,119 @@
+"""Temporarily Unauthorized Stores — the paper's mechanism.
+
+Committed stores leaving the SB coalesce in the (re-purposed) WCBs;
+when the WCBs must make room, their atomic groups are written to the
+L1D as *unauthorized* lines under :class:`~repro.core.tus_controller
+.TUSController` control.  The SB therefore never blocks on a store
+miss: the always-hit illusion (Section III-A).
+
+Drain-rate model: coalescing into an already-resident WCB line is cheap
+(several per cycle, bounded by commit width), a fresh WCB allocation
+takes the cycle, and one group flush to the L1D can start per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.stats import StatGroup
+from ..core.tus_controller import TUSController
+from ..mem.wcb import InsertResult, WCBFile
+from .base import PrefetchAtCommit
+from .registry import register
+
+
+@register("tus")
+class TUSMechanism(PrefetchAtCommit):
+    """SB -> WCB coalescing -> unauthorized L1D writes ordered by the WOQ."""
+
+    def __init__(self, config, port, sb, events, stats) -> None:
+        super().__init__(config, port, sb, events, stats)
+        self.controller = TUSController(config, port, stats.child("tus"))
+        self.wcb = WCBFile(config.tus.wcb_entries, stats.child("wcb"))
+        self._flush_blocked = stats.counter(
+            "flush_blocked_cycles", "cycles a WCB flush could not proceed")
+        self._forward_latency = min(config.core.forward_latency,
+                                    config.memory.l1d.latency)
+
+    # -- draining -----------------------------------------------------------
+    def drain(self, cycle: int) -> int:
+        progress = 0
+        budget = self.config.core.commit_width
+        flushed = False
+        while budget > 0:
+            head = self.sb.head_committed()
+            if head is None:
+                break
+            result = self.wcb.insert(head.line, head.mask)
+            if result == InsertResult.COALESCED:
+                self.sb.pop_head()
+                progress += 1
+                budget -= 1
+            elif result == InsertResult.ALLOCATED:
+                self.sb.pop_head()
+                progress += 1
+                budget -= 2   # a fresh buffer allocation costs more
+            elif result == InsertResult.LEX_CONFLICT:
+                # The head store waits until the conflicting line has
+                # been made visible; flushing the buffers into the WOQ
+                # pipeline is what lets that happen.
+                self._flush_blocked.inc()
+                if not flushed and self._flush(cycle):
+                    flushed = True
+                    progress += 1
+                break
+            else:
+                # NEED_FLUSH: push the buffered groups into the L1D;
+                # at most one flush (L1D write burst) per cycle.
+                if flushed or not self._flush(cycle):
+                    self._flush_blocked.inc()
+                    break
+                flushed = True
+                progress += 1
+                budget -= 2
+        if progress == 0 and self.sb.head_committed() is None:
+            # No SB pressure: opportunistically flush so fences and
+            # quiescent phases converge.
+            if not self.wcb.empty and self._flush(cycle):
+                progress += 1
+        return progress
+
+    def _flush(self, cycle: int) -> bool:
+        """Write every buffered atomic group to the L1D, all-or-nothing."""
+        groups = [
+            [(entry.addr, entry.mask) for entry in group]
+            for group in self._peek_groups()
+        ]
+        if not groups:
+            return False
+        if not self.controller.can_accept_all(groups):
+            return False
+        self.wcb.drain_groups()
+        for group in groups:
+            self.controller.write_group(group, cycle)
+        return True
+
+    def _peek_groups(self) -> List[List]:
+        by_group = {}
+        for entry in self.wcb.buffers:
+            by_group.setdefault(entry.group, []).append(entry)
+        return [by_group[g] for g in sorted(by_group)]
+
+    # -- core-facing hooks -------------------------------------------------
+    def drained(self) -> bool:
+        return self.wcb.empty and self.controller.drained
+
+    def search(self, addr: int, size: int) -> Optional[int]:
+        entry = self.wcb.find(addr)
+        if entry is not None:
+            line = addr & ~63
+            offset = addr - line
+            mask = ((1 << size) - 1) << offset
+            if entry.mask & mask:
+                return self._forward_latency
+        # Unauthorized L1D lines are handled by the port (loads alias to
+        # the line and wait for the permission if the data is not ready).
+        return None
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        return None

@@ -1,0 +1,17 @@
+"""Memory substrate: cache arrays, MSHRs, DRAM, WCBs, prefetchers."""
+
+from .cache import CacheArray
+from .cacheline import CacheLine, State
+from .dram import DRAM
+from .mshr import MSHREntry, MSHRFile
+from .prefetcher import StreamPrefetcher
+from .replacement import (LRU, MRU, RandomReplacement, ReplacementPolicy,
+                          make_policy)
+from .wcb import InsertResult, WCBEntry, WCBFile
+
+__all__ = [
+    "CacheArray", "CacheLine", "State", "DRAM", "MSHREntry", "MSHRFile",
+    "StreamPrefetcher", "LRU", "MRU", "RandomReplacement",
+    "ReplacementPolicy", "make_policy", "InsertResult", "WCBEntry",
+    "WCBFile",
+]

@@ -1,0 +1,179 @@
+"""A set-associative cache array.
+
+This is the storage model shared by L1I, L1D, L2 and L3.  It tracks line
+metadata (state, TUS bits, masks) and implements lookup / allocation /
+eviction with a pluggable replacement policy.  Timing lives in the
+controllers (``repro.coherence``), not here.
+
+Sets are materialised lazily so that a 64MB L3 costs memory proportional
+to the lines actually touched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..common.addr import line_addr, set_index
+from ..common.config import CacheConfig
+from ..common.stats import StatGroup
+from .cacheline import CacheLine, State
+from .replacement import LRU, ReplacementPolicy
+
+
+class CacheArray:
+    """Storage and metadata of one cache level."""
+
+    def __init__(self, config: CacheConfig,
+                 policy: Optional[ReplacementPolicy] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        config.validate()
+        self.config = config
+        self.policy = policy if policy is not None else LRU()
+        self._sets: Dict[int, List[CacheLine]] = {}
+        stats = stats if stats is not None else StatGroup(config.name)
+        self.stats = stats
+        self._hits = stats.counter("hits", "lookups that found a valid line")
+        self._misses = stats.counter("misses", "lookups that missed")
+        self._evictions = stats.counter("evictions", "lines evicted")
+        self._writebacks = stats.counter("writebacks", "dirty evictions")
+        self._reads = stats.counter("reads", "data-array read accesses")
+        self._writes = stats.counter("writes", "data-array write accesses")
+        stats.formula("miss_rate", self.miss_rate,
+                      "misses / (hits + misses)")
+
+    # -- basic access ------------------------------------------------------
+    def set_of(self, addr: int) -> List[CacheLine]:
+        """Return (creating if needed) the set holding ``addr``."""
+        idx = set_index(addr, self.config.num_sets)
+        lines = self._sets.get(idx)
+        if lines is None:
+            lines = []
+            self._sets[idx] = lines
+        return lines
+
+    def lookup(self, addr: int, touch: bool = True,
+               cycle: int = 0) -> Optional[CacheLine]:
+        """Return the valid line holding ``addr``, or None.
+
+        Counts a hit or a miss; pass ``touch=False`` for snoops and other
+        probes that should not perturb replacement state or hit counters.
+        """
+        addr = line_addr(addr)
+        for line in self.set_of(addr):
+            # Lines holding unauthorized data (not_visible) are found even
+            # in state I: they are invisible to *coherence*, not to the
+            # local controller that must coalesce into / combine them.
+            if line.addr == addr and (line.state.valid or line.not_visible):
+                if touch:
+                    self._hits.inc()
+                    self.policy.touch(line, cycle)
+                return line
+        if touch:
+            self._misses.inc()
+        return None
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Side-effect-free lookup (no stats, no replacement update)."""
+        return self.lookup(addr, touch=False)
+
+    def record_read(self) -> None:
+        """Count one data-array read (for the energy model)."""
+        self._reads.inc()
+
+    def record_write(self) -> None:
+        """Count one data-array write (for the energy model)."""
+        self._writes.inc()
+
+    # -- allocation ----------------------------------------------------------
+    def has_free_way(self, addr: int) -> bool:
+        """True if ``addr``'s set can accept a new line without evicting a
+        non-replaceable entry."""
+        lines = self.set_of(addr)
+        if len(lines) < self.config.assoc:
+            return True
+        return any(line.replaceable for line in lines)
+
+    def free_ways(self, addr: int) -> int:
+        """Number of ways in ``addr``'s set that could take a new line."""
+        lines = self.set_of(addr)
+        unallocated = self.config.assoc - len(lines)
+        return unallocated + sum(1 for line in lines if line.replaceable)
+
+    def choose_victim(self, addr: int,
+                      veto: Optional[Callable[[CacheLine], bool]] = None
+                      ) -> Optional[CacheLine]:
+        """Return the line to evict to make room for ``addr``.
+
+        ``veto`` rejects candidates the caller may not evict (e.g. the L2
+        refusing victims whose L1D copy is not-visible — the paper's
+        NACK-and-refresh behaviour).  Returns None either when no eviction
+        is needed (a way is free) or when every line is pinned; callers
+        distinguish via :meth:`has_free_way`.
+        """
+        lines = self.set_of(addr)
+        if len(lines) < self.config.assoc:
+            return None
+        for victim in self.policy.victims(lines):
+            if veto is None or not veto(victim):
+                return victim
+        return None
+
+    def allocate(self, addr: int, state: State, cycle: int = 0,
+                 on_evict: Optional[Callable[[CacheLine], None]] = None,
+                 veto: Optional[Callable[[CacheLine], bool]] = None
+                 ) -> CacheLine:
+        """Install ``addr`` with ``state``, evicting if required.
+
+        ``on_evict`` is called with the victim (for writebacks and
+        inclusion enforcement) before it is removed; ``veto`` filters
+        victim candidates as in :meth:`choose_victim`.  Raises
+        ``LookupError`` if the set is full of non-replaceable lines;
+        callers must check :meth:`has_free_way` first on paths where that
+        can happen.
+        """
+        addr = line_addr(addr)
+        lines = self.set_of(addr)
+        existing = self.probe(addr)
+        if existing is not None:
+            raise LookupError(f"{self.config.name}: {addr:#x} already present")
+        if len(lines) >= self.config.assoc:
+            victim = self.choose_victim(addr, veto)
+            if victim is None:
+                raise LookupError(
+                    f"{self.config.name}: set for {addr:#x} has no victim")
+            self._evict(victim, on_evict)
+        line = CacheLine(addr, state)
+        self.policy.touch(line, cycle)
+        lines.append(line)
+        return line
+
+    def _evict(self, victim: CacheLine, on_evict) -> None:
+        self._evictions.inc()
+        if victim.dirty:
+            self._writebacks.inc()
+        if on_evict is not None:
+            on_evict(victim)
+        self.set_of(victim.addr).remove(victim)
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Remove ``addr`` from the array; returns the removed line."""
+        addr = line_addr(addr)
+        lines = self.set_of(addr)
+        for line in lines:
+            if line.addr == addr:
+                lines.remove(line)
+                return line
+        return None
+
+    # -- iteration / inspection -------------------------------------------
+    def __iter__(self) -> Iterator[CacheLine]:
+        for lines in self._sets.values():
+            yield from lines
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for line in self if line.state.valid)
+
+    def miss_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._misses.value / total if total else 0.0

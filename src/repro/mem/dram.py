@@ -1,0 +1,44 @@
+"""A simple DRAM model: fixed access latency plus a bandwidth gap.
+
+The paper's configuration specifies a 160-cycle DRAM latency (Table I).
+We add a configurable minimum gap between data returns (``dram_gap``) so
+that bursts of misses serialise at the memory controller — without this,
+store bursts would be unrealistically cheap for every mechanism and the
+burst-driven gaps between mechanisms (gcc, ferret) would not appear.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.stats import StatGroup
+
+
+class DRAM:
+    """Fixed-latency, bandwidth-limited memory."""
+
+    def __init__(self, latency: int, gap: int,
+                 stats: Optional[StatGroup] = None) -> None:
+        if latency < 1:
+            raise ValueError("DRAM latency must be positive")
+        if gap < 0:
+            raise ValueError("DRAM gap cannot be negative")
+        self.latency = latency
+        self.gap = gap
+        self._next_free = 0
+        stats = stats if stats is not None else StatGroup("dram")
+        self._accesses = stats.counter("accesses")
+        self._queue_cycles = stats.counter(
+            "queue_cycles", "cycles spent waiting for bandwidth")
+
+    def access(self, cycle: int) -> int:
+        """Issue an access at ``cycle``; return its completion cycle."""
+        self._accesses.inc()
+        start = max(cycle, self._next_free)
+        self._queue_cycles.inc(start - cycle)
+        self._next_free = start + self.gap
+        return start + self.latency
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses.value

@@ -1,0 +1,102 @@
+"""Miss Status Holding Registers.
+
+One MSHR tracks one outstanding miss on a cache line; secondary misses to
+the same line merge into the existing entry.  Each waiter registers a
+callback fired when the fill (or permission grant) completes.  A full
+MSHR file back-pressures the requester, which is one of the occupancy
+effects that make store bursts expensive in the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..common.addr import line_addr
+from ..common.stats import StatGroup
+
+
+class MSHREntry:
+    """One in-flight miss."""
+
+    __slots__ = ("addr", "is_write", "issued_cycle", "waiters", "meta")
+
+    def __init__(self, addr: int, is_write: bool, issued_cycle: int) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.issued_cycle = issued_cycle
+        self.waiters: List[Callable[[], None]] = []
+        #: Free-form controller bookkeeping (e.g. retry state).
+        self.meta: Dict[str, object] = {}
+
+
+class MSHRFile:
+    """A finite pool of MSHRs keyed by cache-line address.
+
+    A few entries are reserved for *demand* requests: prefetch hints may
+    not take the last ``demand_reserve`` MSHRs, so a flood of
+    commit-time write prefetches can never starve the drain path or
+    demand loads (they would otherwise retry behind an always-full
+    file).
+    """
+
+    def __init__(self, capacity: int, stats: Optional[StatGroup] = None,
+                 demand_reserve: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = capacity
+        self.demand_reserve = min(demand_reserve, capacity - 1)
+        self._entries: Dict[int, MSHREntry] = {}
+        stats = stats if stats is not None else StatGroup("mshr")
+        self._allocs = stats.counter("allocations")
+        self._merges = stats.counter("merges", "secondary misses merged")
+        self._full_events = stats.counter("full", "allocation refused: full")
+        self._latency = stats.histogram("latency", bucket_width=16,
+                                        num_buckets=64,
+                                        desc="miss latency distribution")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def get(self, addr: int) -> Optional[MSHREntry]:
+        return self._entries.get(line_addr(addr))
+
+    def allocate(self, addr: int, is_write: bool, cycle: int,
+                 prefetch: bool = False) -> Optional[MSHREntry]:
+        """Allocate (or merge into) an MSHR for ``addr``.
+
+        Returns None when the file is full (or, for prefetches, when
+        only the demand reserve is left) and no entry exists for the
+        line.  An existing read entry is upgraded to a write entry if a
+        write merges into it, so the eventual fill carries permissions.
+        """
+        addr = line_addr(addr)
+        entry = self._entries.get(addr)
+        if entry is not None:
+            self._merges.inc()
+            entry.is_write = entry.is_write or is_write
+            return entry
+        limit = self.capacity - (self.demand_reserve if prefetch else 0)
+        if len(self._entries) >= limit:
+            self._full_events.inc()
+            return None
+        entry = MSHREntry(addr, is_write, cycle)
+        self._entries[addr] = entry
+        self._allocs.inc()
+        return entry
+
+    def complete(self, addr: int, cycle: int) -> List[Callable[[], None]]:
+        """Retire the MSHR for ``addr`` and return its waiter callbacks.
+
+        The caller fires the callbacks after installing the line, so
+        waiters observe the post-fill cache state.
+        """
+        addr = line_addr(addr)
+        entry = self._entries.pop(addr, None)
+        if entry is None:
+            return []
+        self._latency.sample(cycle - entry.issued_cycle)
+        return list(entry.waiters)

@@ -1,0 +1,76 @@
+"""Prefetchers.
+
+The baseline L1D has a *stream (stride) prefetcher* for loads (Table I).
+We implement a classic reference-prediction table: streams are detected
+per address region; once a stable stride is seen twice, the prefetcher
+issues ``degree`` prefetches ahead of the demand stream.
+
+Store-side prefetching (prefetch-at-commit and SPB's page bursts) lives
+with the store mechanisms, because it is part of what the paper varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.addr import LINE_SIZE, line_addr
+from ..common.stats import StatGroup
+
+
+@dataclass
+class _Stream:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StreamPrefetcher:
+    """Stride-based stream prefetcher with a small stream table."""
+
+    def __init__(self, degree: int = 2, table_size: int = 16,
+                 stats: Optional[StatGroup] = None) -> None:
+        if degree < 1:
+            raise ValueError("prefetch degree must be positive")
+        self.degree = degree
+        self.table_size = table_size
+        self._streams: List[_Stream] = []
+        stats = stats if stats is not None else StatGroup("prefetcher")
+        self._issued = stats.counter("issued", "prefetches issued")
+        self._trained = stats.counter("trained", "streams that locked a stride")
+
+    def observe(self, addr: int) -> List[int]:
+        """Record a demand access; return line addresses to prefetch."""
+        addr = line_addr(addr)
+        stream = self._find_stream(addr)
+        if stream is None:
+            self._streams.append(_Stream(addr))
+            if len(self._streams) > self.table_size:
+                self._streams.pop(0)
+            return []
+        stride = addr - stream.last_addr
+        if stride == 0:
+            return []
+        if stride == stream.stride:
+            stream.confidence += 1
+        else:
+            stream.stride = stride
+            stream.confidence = 1
+        stream.last_addr = addr
+        if stream.confidence < 2:
+            return []
+        if stream.confidence == 2:
+            self._trained.inc()
+        targets = [addr + stream.stride * (i + 1) for i in range(self.degree)]
+        targets = [t for t in targets if t >= 0]
+        self._issued.inc(len(targets))
+        return targets
+
+    def _find_stream(self, addr: int) -> Optional[_Stream]:
+        # Match a stream whose next expected access is within a small
+        # window of the observed address (classic stream-table matching).
+        window = 16 * LINE_SIZE
+        for stream in self._streams:
+            if abs(addr - stream.last_addr) <= window:
+                return stream
+        return None

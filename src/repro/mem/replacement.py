@@ -1,0 +1,99 @@
+"""Replacement policies for set-associative caches.
+
+Policies rank the *replaceable* lines of a set (locked or not-visible
+lines are never victims — see :attr:`repro.mem.cacheline.CacheLine
+.replaceable`).  They also support the TUS "refresh" operation
+(Section III-C): when an L2 victim choice would violate lex order the
+eviction is NACKed and the policy must propose a different victim, so
+``victims`` yields candidates in preference order rather than returning
+a single line.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from .cacheline import CacheLine
+
+
+class ReplacementPolicy:
+    """Interface: rank victim candidates and record touches."""
+
+    def touch(self, line: CacheLine, cycle: int) -> None:
+        """Record a use of ``line`` at ``cycle``."""
+        raise NotImplementedError
+
+    def victims(self, lines: List[CacheLine]) -> Iterator[CacheLine]:
+        """Yield replaceable lines of a set in preference order."""
+        raise NotImplementedError
+
+    def victim(self, lines: List[CacheLine]) -> Optional[CacheLine]:
+        """Return the best victim, or None if nothing is replaceable."""
+        for line in self.victims(lines):
+            return line
+        return None
+
+
+class LRU(ReplacementPolicy):
+    """Least-recently-used via per-line timestamps."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+
+    def touch(self, line: CacheLine, cycle: int) -> None:
+        # A private monotonic clock breaks ties between same-cycle touches.
+        self._clock += 1
+        line.last_touch = self._clock
+
+    def victims(self, lines: List[CacheLine]) -> Iterator[CacheLine]:
+        candidates = [l for l in lines if l.replaceable]
+        candidates.sort(key=lambda l: l.last_touch)
+        return iter(candidates)
+
+
+class MRU(ReplacementPolicy):
+    """Most-recently-used; useful for adversarial tests."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+
+    def touch(self, line: CacheLine, cycle: int) -> None:
+        self._clock += 1
+        line.last_touch = self._clock
+
+    def victims(self, lines: List[CacheLine]) -> Iterator[CacheLine]:
+        candidates = [l for l in lines if l.replaceable]
+        candidates.sort(key=lambda l: -l.last_touch)
+        return iter(candidates)
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniform random victim selection with a deterministic seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def touch(self, line: CacheLine, cycle: int) -> None:
+        line.last_touch = cycle
+
+    def victims(self, lines: List[CacheLine]) -> Iterator[CacheLine]:
+        candidates = [l for l in lines if l.replaceable]
+        self._rng.shuffle(candidates)
+        return iter(candidates)
+
+
+_POLICIES = {
+    "lru": LRU,
+    "mru": MRU,
+    "random": RandomReplacement,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``mru``/``random``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None
+    return cls(**kwargs)

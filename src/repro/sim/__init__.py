@@ -1,0 +1,6 @@
+"""System assembly and simulation drivers."""
+
+from .results import CoreResult, SimResult
+from .system import System, run_single
+
+__all__ = ["CoreResult", "SimResult", "System", "run_single"]

@@ -1,0 +1,89 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of one simulation."""
+
+    core_id: int
+    committed: int
+    finish_cycle: int
+    stalls: Dict[str, int] = field(default_factory=dict)
+
+    def ipc(self, cycles: int) -> float:
+        return self.committed / cycles if cycles else 0.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one full-system simulation."""
+
+    workload: str
+    mechanism: str
+    sb_entries: int
+    cycles: int
+    cores: List[CoreResult]
+    #: Flattened statistics tree (``group.path.counter`` -> value).
+    stats: Dict[str, float]
+    #: Total energy (filled in by the energy model), arbitrary units.
+    energy: Optional[float] = None
+
+    @property
+    def committed(self) -> int:
+        return sum(core.committed for core in self.cores)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def edp(self) -> Optional[float]:
+        """Energy-delay product (energy x cycles)."""
+        if self.energy is None:
+            return None
+        return self.energy * self.cycles
+
+    def stall_fraction(self, reason: str) -> float:
+        """Fraction of total cycles stalled on ``reason`` (core 0 for
+        single-core runs; mean across cores otherwise), as in Figure 9."""
+        if not self.cycles:
+            return 0.0
+        total = sum(core.stalls.get(reason, 0) for core in self.cores)
+        return total / (self.cycles * len(self.cores))
+
+    def stat(self, key: str, default: float = 0.0) -> float:
+        return self.stats.get(key, default)
+
+    def sum_stats(self, suffix: str) -> float:
+        """Sum every flattened statistic whose key ends with ``suffix``
+        (e.g. ``l1d.writes`` across all cores)."""
+        return sum(v for k, v in self.stats.items() if k.endswith(suffix))
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (for the harness disk cache)."""
+        return {
+            "workload": self.workload,
+            "mechanism": self.mechanism,
+            "sb_entries": self.sb_entries,
+            "cycles": self.cycles,
+            "energy": self.energy,
+            "cores": [
+                {"core_id": c.core_id, "committed": c.committed,
+                 "finish_cycle": c.finish_cycle, "stalls": c.stalls}
+                for c in self.cores
+            ],
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        cores = [CoreResult(c["core_id"], c["committed"], c["finish_cycle"],
+                            dict(c["stalls"])) for c in data["cores"]]
+        return cls(data["workload"], data["mechanism"], data["sb_entries"],
+                   data["cycles"], cores, dict(data["stats"]),
+                   data.get("energy"))

@@ -1,0 +1,163 @@
+"""System assembly and the top-level run loop.
+
+A :class:`System` wires together the memory system, one core per trace,
+and the configured store-handling mechanism, then runs cycle by cycle
+with event-driven fast-forward: when no core can make progress in the
+current cycle, the clock jumps to the next scheduled event (or the next
+known core wake-up), charging the skipped cycles to each core's current
+stall reason.  This is what makes hundreds-of-cycles store misses
+affordable to simulate in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigError, DeadlockError
+from ..common.events import EventQueue
+from ..common.stats import StatGroup
+from ..coherence.memsys import MemorySystem
+from ..cpu.core import Core
+from ..cpu.trace import Trace
+from ..mechanisms.registry import make_mechanism
+from .results import CoreResult, SimResult
+
+
+class System:
+    """A complete simulated machine executing one trace per core."""
+
+    def __init__(self, config: SystemConfig, traces: List[Trace],
+                 workload: str = "") -> None:
+        config.validate()
+        if len(traces) != config.num_cores:
+            raise ConfigError(
+                f"{config.num_cores} cores but {len(traces)} traces")
+        self.config = config
+        self.workload = workload or (traces[0].name if traces else "empty")
+        self.events = EventQueue()
+        self.stats = StatGroup("system")
+        self.memsys = MemorySystem(config, self.events,
+                                   self.stats.child("mem"))
+        self.cores: List[Core] = []
+        for cid, trace in enumerate(traces):
+            core_stats = self.stats.child(f"core{cid}")
+            port = self.memsys.ports[cid]
+            # The core is created first so the mechanism can reach its SB.
+            core = Core(cid, config, port, trace, None, core_stats)
+            core.mechanism = make_mechanism(
+                config.mechanism, config, port, core.sb, self.events,
+                core_stats.child("mechanism"))
+            self.cores.append(core)
+        self.cycle = 0
+        self._measure_start = 0
+
+    def run(self, max_cycles: Optional[int] = None,
+            warmup_committed: int = 0) -> SimResult:
+        """Run to completion (or ``max_cycles``); returns the result.
+
+        ``warmup_committed``: total committed micro-ops (across cores)
+        after which all statistics are reset and the measured region
+        begins — the equivalent of the paper's cache-warming prefix
+        before each simulation point.
+        """
+        watchdog = self.config.deadlock_cycles
+        last_progress = 0
+        warmup_pending = warmup_committed > 0
+        # Per-core skip state: a core whose step made no progress cannot
+        # change state until an event fires or its own next_wake arrives,
+        # so it is not stepped again until then (events are the only
+        # external influence on a core).  Skipped stall cycles are
+        # charged in bulk when the core is next stepped.
+        stale_since = [None] * len(self.cores)
+        done = [False] * len(self.cores)
+        remaining = len(self.cores)
+        while remaining:
+            if warmup_pending and sum(
+                    c.committed for c in self.cores) >= warmup_committed:
+                warmup_pending = False
+                self._begin_measurement()
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            fired = self.events.run_until(self.cycle)
+            progress = fired > 0
+            for cid, core in enumerate(self.cores):
+                if done[cid]:
+                    continue
+                if (not fired and stale_since[cid] is not None
+                        and (core.wake_cycle is None
+                             or core.wake_cycle > self.cycle)):
+                    continue
+                if stale_since[cid] is not None:
+                    core.charge_skipped(self.cycle - stale_since[cid] - 1)
+                    stale_since[cid] = None
+                stepped = core.step(self.cycle)
+                if core.is_done():
+                    done[cid] = True
+                    remaining -= 1
+                elif stepped:
+                    progress = True
+                else:
+                    stale_since[cid] = self.cycle
+                    core.wake_cycle = core.next_wake(self.cycle)
+                if stepped:
+                    progress = True
+            if not remaining:
+                break
+            if progress:
+                last_progress = self.cycle
+                self.cycle += 1
+                continue
+            target = self._next_interesting_cycle()
+            if target is None:
+                raise DeadlockError(
+                    f"no progress possible at cycle {self.cycle} "
+                    f"({self.workload}/{self.config.mechanism})")
+            self.cycle = target
+            if self.cycle - last_progress > watchdog:
+                raise DeadlockError(
+                    f"watchdog: {watchdog} cycles without progress "
+                    f"({self.workload}/{self.config.mechanism})")
+        for cid, core in enumerate(self.cores):
+            if stale_since[cid] is not None and not done[cid]:
+                core.charge_skipped(self.cycle - stale_since[cid] - 1)
+        return self._result()
+
+    def _begin_measurement(self) -> None:
+        """End the warmup region: zero every statistic and restart the
+        cycle base so results cover only the measured region."""
+        self.stats.reset()
+        self._measure_start = self.cycle
+        for core in self.cores:
+            core.finish_cycle = None
+
+    def _next_interesting_cycle(self) -> Optional[int]:
+        candidates = []
+        next_event = self.events.next_cycle()
+        if next_event is not None:
+            candidates.append(max(next_event, self.cycle + 1))
+        for core in self.cores:
+            wake = core.next_wake(self.cycle)
+            if wake is not None:
+                candidates.append(max(wake, self.cycle + 1))
+        return min(candidates) if candidates else None
+
+    def _result(self) -> SimResult:
+        start = self._measure_start
+        cores = [
+            CoreResult(core.core_id, int(core.c_committed.value),
+                       (core.finish_cycle if core.finish_cycle is not None
+                        else self.cycle) - start,
+                       core.stalls.breakdown())
+            for core in self.cores
+        ]
+        return SimResult(self.workload, self.config.mechanism,
+                         self.config.core.sb_entries, self.cycle - start,
+                         cores, self.stats.flatten())
+
+
+def run_single(config: SystemConfig, trace: Trace,
+               max_cycles: Optional[int] = None) -> SimResult:
+    """Convenience: run one trace on a single-core system."""
+    system = System(config.with_cores(1), [trace])
+    return system.run(max_cycles)

@@ -1,0 +1,10 @@
+"""x86-TSO validation: reference model, TUS functional machine, litmus."""
+
+from .litmus import all_litmus_tests
+from .machine import TUSMachine, enumerate_tus_outcomes, random_walk_outcomes
+from .program import Fence, Load, Outcome, Program, Store, make_outcome
+from .reference import enumerate_outcomes
+
+__all__ = ["all_litmus_tests", "TUSMachine", "enumerate_tus_outcomes",
+           "random_walk_outcomes", "Fence", "Load", "Outcome", "Program",
+           "Store", "make_outcome", "enumerate_outcomes"]

@@ -1,0 +1,82 @@
+"""Named litmus tests.
+
+The classic x86-TSO litmus shapes (Sewell et al.) plus TUS-specific
+programs exercising coalescing and atomic-group cycles (the ABA pattern
+of Section III-B).  Each entry gives the program and, where the paper
+or the x86-TSO literature pins it down, the outcomes that must or must
+not be observable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .program import Fence, Load, Program, Store
+
+X, Y, Z = 0x1000, 0x2000, 0x3000
+
+
+def store_buffering() -> Program:
+    """SB (Dekker): both loads may see 0 under TSO (store buffering)."""
+    return Program([
+        [Store(X, 1), Load(Y, "r1")],
+        [Store(Y, 1), Load(X, "r2")],
+    ], name="SB")
+
+
+def store_buffering_fenced() -> Program:
+    """SB+mfence: the (r1=0, r2=0) outcome becomes forbidden."""
+    return Program([
+        [Store(X, 1), Fence(), Load(Y, "r1")],
+        [Store(Y, 1), Fence(), Load(X, "r2")],
+    ], name="SB+fences")
+
+
+def message_passing() -> Program:
+    """MP: under TSO, r1=1 implies r2=1 (stores stay ordered)."""
+    return Program([
+        [Store(X, 1), Store(Y, 1)],
+        [Load(Y, "r1"), Load(X, "r2")],
+    ], name="MP")
+
+
+def store_forwarding() -> Program:
+    """A load must see its own core's latest store (SB forwarding)."""
+    return Program([
+        [Store(X, 1), Load(X, "r1"), Load(Y, "r2")],
+        [Store(Y, 1), Load(Y, "r3"), Load(X, "r4")],
+    ], name="SF")
+
+
+def coalescing_cycle() -> Program:
+    """The paper's ABA pattern: stores A, B, A coalesce into one atomic
+    group; the observer must never see the second A-write before B."""
+    return Program([
+        [Store(X, 1), Store(Y, 1), Store(X, 2)],
+        [Load(X, "r1"), Load(Y, "r2")],
+    ], name="ABA-coalesce")
+
+
+def interleaved_groups() -> Program:
+    """Two interleaved line streams (WCB cycle former) + observer."""
+    return Program([
+        [Store(X, 1), Store(Y, 1), Store(X, 2), Store(Y, 2)],
+        [Load(Y, "r1"), Load(X, "r2")],
+    ], name="interleave")
+
+
+def independent_writes() -> Program:
+    """IRIW-like shape (two writers, two readers)."""
+    return Program([
+        [Store(X, 1)],
+        [Store(Y, 1)],
+        [Load(X, "r1"), Load(Y, "r2")],
+        [Load(Y, "r3"), Load(X, "r4")],
+    ], name="IRIW")
+
+
+def all_litmus_tests() -> Dict[str, Program]:
+    tests = [store_buffering(), store_buffering_fenced(), message_passing(),
+             store_forwarding(), coalescing_cycle(), interleaved_groups(),
+             independent_writes()]
+    return {t.name: t for t in tests}

@@ -1,0 +1,228 @@
+"""A value-accurate functional model of the TUS store path.
+
+This machine executes litmus programs under TUS semantics (Section III):
+stores leave each core's FIFO SB into *pending atomic groups* — the
+functional shadow of the WCB + WOQ + unauthorized-L1D machinery — and a
+group becomes *visible* by applying all its writes to global memory
+atomically, in WOQ (allocation) order.  Coalescing follows the paper's
+rules: a store joins the group already holding its line; joining a group
+other than the most recently written one is a store *cycle* and merges
+every group in between into one atomic group.
+
+Timing is abstracted into scheduler nondeterminism: any interleaving of
+``exec`` / ``drain`` / ``visible`` steps across cores is a legal
+schedule.  :func:`enumerate_tus_outcomes` explores them all (for tiny
+programs) and :func:`random_walk_outcomes` samples deep schedules for
+bigger ones.  The TSO-preservation theorem of Section III-D corresponds
+to: every outcome of this machine is in
+:func:`repro.tso.reference.enumerate_outcomes`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..common.rng import make_rng
+from .program import Fence, Load, Outcome, Program, Store, make_outcome
+
+#: A pending atomic group: ordered (addr, value) writes; later writes to
+#: the same addr overwrite earlier ones (coalescing).
+_Group = Tuple[Tuple[int, int], ...]
+
+
+class _CoreState:
+    """Mutable per-core state (converted to tuples for memoisation)."""
+
+    __slots__ = ("pc", "sb", "groups", "last_written_group")
+
+    def __init__(self) -> None:
+        self.pc = 0
+        self.sb: List[Tuple[int, int]] = []
+        #: Ordered pending atomic groups (oldest first).
+        self.groups: List[List[Tuple[int, int]]] = []
+        #: Index of the group that received the last drained store.
+        self.last_written_group: Optional[int] = None
+
+
+class TUSMachine:
+    """Executes one litmus program under TUS visibility semantics."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.cores = [_CoreState() for _ in program.threads]
+        self.memory: Dict[int, int] = {}
+        self.regs: Dict[str, int] = {}
+
+    # -- step enumeration ----------------------------------------------------
+    def enabled_steps(self) -> List[Tuple[int, str]]:
+        steps: List[Tuple[int, str]] = []
+        for cid, core in enumerate(self.cores):
+            thread = self.program.threads[cid]
+            if core.pc < len(thread):
+                op = thread[core.pc]
+                if isinstance(op, Fence):
+                    if not core.sb and not core.groups:
+                        steps.append((cid, "exec"))
+                else:
+                    steps.append((cid, "exec"))
+            if core.sb:
+                steps.append((cid, "drain"))
+            if core.groups:
+                steps.append((cid, "visible"))
+        return steps
+
+    def step(self, cid: int, kind: str) -> None:
+        core = self.cores[cid]
+        if kind == "exec":
+            self._exec(cid, core)
+        elif kind == "drain":
+            self._drain(core)
+        elif kind == "visible":
+            self._make_visible(core)
+        else:
+            raise ValueError(f"unknown step kind {kind!r}")
+
+    # -- semantics -----------------------------------------------------------
+    def _exec(self, cid: int, core: _CoreState) -> None:
+        op = self.program.threads[cid][core.pc]
+        core.pc += 1
+        if isinstance(op, Store):
+            core.sb.append((op.addr, op.value))
+        elif isinstance(op, Load):
+            self.regs[op.reg] = self._local_read(core, op.addr)
+        elif isinstance(op, Fence):
+            if core.sb or core.groups:
+                raise RuntimeError("fence executed with pending stores")
+        else:
+            raise TypeError(f"unknown op {op!r}")
+
+    def _local_read(self, core: _CoreState, addr: int) -> int:
+        """Loads see their own stores early: youngest SB entry, then the
+        youngest pending-group write, then memory (x86-TSO read rule
+        extended to the SB's WCB/WOQ 'extension')."""
+        for sb_addr, value in reversed(core.sb):
+            if sb_addr == addr:
+                return value
+        for group in reversed(core.groups):
+            for g_addr, value in reversed(group):
+                if g_addr == addr:
+                    return value
+        return self.memory.get(addr, 0)
+
+    def _drain(self, core: _CoreState) -> None:
+        """Move the SB head into the pending groups (WCB insert rules)."""
+        addr, value = core.sb.pop(0)
+        target = None
+        for index, group in enumerate(core.groups):
+            if any(g_addr == addr for g_addr, _ in group):
+                target = index
+                break
+        if target is None:
+            core.groups.append([(addr, value)])
+            core.last_written_group = len(core.groups) - 1
+            return
+        if (core.last_written_group is not None
+                and core.last_written_group != target):
+            # A store cycle: merge every group from `target` to the tail
+            # into one atomic group (paper Section III-B).
+            merged: List[Tuple[int, int]] = []
+            for group in core.groups[target:]:
+                merged.extend(group)
+            core.groups = core.groups[:target] + [merged]
+            target = len(core.groups) - 1
+        core.groups[target].append((addr, value))
+        core.last_written_group = target
+
+    def _make_visible(self, core: _CoreState) -> None:
+        """Apply the head atomic group to memory, atomically."""
+        group = core.groups.pop(0)
+        for addr, value in group:
+            self.memory[addr] = value
+        if core.last_written_group is not None:
+            core.last_written_group = (
+                None if core.last_written_group == 0
+                else core.last_written_group - 1)
+
+    # -- termination -------------------------------------------------------
+    def done(self) -> bool:
+        return all(core.pc >= len(self.program.threads[cid])
+                   and not core.sb and not core.groups
+                   for cid, core in enumerate(self.cores))
+
+    def outcome(self) -> Outcome:
+        return make_outcome(self.regs, self.memory,
+                            self.program.addresses())
+
+    # -- memoisation key -----------------------------------------------------
+    def state_key(self):
+        return (
+            tuple(core.pc for core in self.cores),
+            tuple(tuple(core.sb) for core in self.cores),
+            tuple(tuple(tuple(g) for g in core.groups)
+                  for core in self.cores),
+            tuple(core.last_written_group for core in self.cores),
+            tuple(sorted(self.regs.items())),
+            tuple(sorted(self.memory.items())),
+        )
+
+    def clone(self) -> "TUSMachine":
+        other = TUSMachine.__new__(TUSMachine)
+        other.program = self.program
+        other.memory = dict(self.memory)
+        other.regs = dict(self.regs)
+        other.cores = []
+        for core in self.cores:
+            copy = _CoreState()
+            copy.pc = core.pc
+            copy.sb = list(core.sb)
+            copy.groups = [list(g) for g in core.groups]
+            copy.last_written_group = core.last_written_group
+            other.cores.append(copy)
+        return other
+
+
+def enumerate_tus_outcomes(program: Program,
+                           max_states: int = 200_000) -> Set[Outcome]:
+    """All outcomes the TUS machine can produce (exhaustive DFS)."""
+    outcomes: Set[Outcome] = set()
+    seen = set()
+    stack = [TUSMachine(program)]
+    while stack:
+        machine = stack.pop()
+        key = machine.state_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > max_states:
+            raise RuntimeError("program too large for exhaustive TUS search")
+        steps = machine.enabled_steps()
+        if not steps:
+            if not machine.done():
+                raise RuntimeError("TUS machine stuck before completion")
+            outcomes.add(machine.outcome())
+            continue
+        for cid, kind in steps:
+            successor = machine.clone()
+            successor.step(cid, kind)
+            stack.append(successor)
+    return outcomes
+
+
+def random_walk_outcomes(program: Program, walks: int = 200,
+                         seed: int = 0) -> Set[Outcome]:
+    """Sample TUS outcomes via random schedules (for larger programs)."""
+    outcomes: Set[Outcome] = set()
+    for walk in range(walks):
+        rng = make_rng(seed, f"walk{walk}")
+        machine = TUSMachine(program)
+        while True:
+            steps = machine.enabled_steps()
+            if not steps:
+                break
+            cid, kind = rng.choice(steps)
+            machine.step(cid, kind)
+        if not machine.done():
+            raise RuntimeError("TUS machine stuck before completion")
+        outcomes.add(machine.outcome())
+    return outcomes

@@ -1,0 +1,107 @@
+"""An operational x86-TSO reference model.
+
+Implements the abstract machine of Sewell et al. ("x86-TSO: A Rigorous
+and Usable Programmer's Model", CACM 2010): each hardware thread has a
+FIFO store buffer; a step either executes the next instruction of some
+thread (loads read the youngest matching SB entry, else memory; stores
+append to the SB; fences require an empty SB) or drains the head of some
+thread's SB to memory.
+
+:func:`enumerate_outcomes` explores *all* interleavings of a small
+program by DFS with state memoisation and returns the complete set of
+x86-TSO-allowed outcomes.  This is the ground truth the TUS machine is
+checked against: any outcome TUS can produce must appear in this set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .program import Fence, Load, Outcome, Program, Store, make_outcome
+
+#: Machine state, hashable for memoisation:
+#: (per-core program counter, per-core SB tuple, per-core regs, memory).
+_State = Tuple[Tuple[int, ...], Tuple[Tuple[Tuple[int, int], ...], ...],
+               Tuple[Tuple[str, int], ...], Tuple[Tuple[int, int], ...]]
+
+
+def enumerate_outcomes(program: Program) -> Set[Outcome]:
+    """All final outcomes x86-TSO allows for ``program``."""
+    addresses = program.addresses()
+    outcomes: Set[Outcome] = set()
+    seen: Set[_State] = set()
+    initial = (
+        tuple(0 for _ in program.threads),
+        tuple(() for _ in program.threads),
+        (),
+        (),
+    )
+    stack: List[_State] = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        pcs, sbs, regs_t, mem_t = state
+        regs = dict(regs_t)
+        memory = dict(mem_t)
+        successors = _successors(program, pcs, sbs, regs, memory)
+        if not successors:
+            outcomes.add(make_outcome(regs, memory, addresses))
+            continue
+        stack.extend(successors)
+    return outcomes
+
+
+def _successors(program: Program, pcs, sbs, regs, memory) -> List[_State]:
+    out: List[_State] = []
+    for cid in range(program.num_cores):
+        # Drain the head of this core's SB to memory.
+        if sbs[cid]:
+            addr, value = sbs[cid][0]
+            new_sbs = _replace(sbs, cid, sbs[cid][1:])
+            new_mem = dict(memory)
+            new_mem[addr] = value
+            out.append((pcs, new_sbs, _freeze(regs), _freeze_mem(new_mem)))
+        # Execute this core's next instruction.
+        pc = pcs[cid]
+        if pc >= len(program.threads[cid]):
+            continue
+        op = program.threads[cid][pc]
+        new_pcs = _replace(pcs, cid, pc + 1)
+        if isinstance(op, Store):
+            new_sbs = _replace(sbs, cid, sbs[cid] + ((op.addr, op.value),))
+            out.append((new_pcs, new_sbs, _freeze(regs),
+                        _freeze_mem(memory)))
+        elif isinstance(op, Load):
+            value = _read(sbs[cid], memory, op.addr)
+            new_regs = dict(regs)
+            new_regs[op.reg] = value
+            out.append((new_pcs, sbs, _freeze(new_regs),
+                        _freeze_mem(memory)))
+        elif isinstance(op, Fence):
+            if not sbs[cid]:
+                out.append((new_pcs, sbs, _freeze(regs),
+                            _freeze_mem(memory)))
+        else:
+            raise TypeError(f"unknown op {op!r}")
+    return out
+
+
+def _read(sb, memory, addr: int) -> int:
+    for sb_addr, sb_value in reversed(sb):
+        if sb_addr == addr:
+            return sb_value
+    return memory.get(addr, 0)
+
+
+def _replace(tup, index, value):
+    return tup[:index] + (value,) + tup[index + 1:]
+
+
+def _freeze(d: Dict) -> Tuple:
+    return tuple(sorted(d.items()))
+
+
+def _freeze_mem(d: Dict[int, int]) -> Tuple:
+    return tuple(sorted(d.items()))

@@ -1,0 +1,74 @@
+"""Workloads: calibrated benchmark stand-ins and trace generation.
+
+The public entry points are :func:`make_trace` (single core),
+:func:`make_parallel_traces` (one trace per core), and the suite
+queries (:func:`benchmarks`, :func:`sb_bound_benchmarks`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cpu.trace import Trace
+from .parsec import PARSEC_PROFILES, parsec_profiles
+from .profiles import Profile, generate
+from .regions import ColdRegion, WarmRegion
+from .spec import SPEC_PROFILES, spec_profiles
+from .synthetic import SYNTHETIC_PROFILES, synthetic_profiles
+from .tensorflow import TF_PROFILES, tf_profiles
+
+
+def all_profiles() -> Dict[str, Profile]:
+    """Every known profile, keyed by benchmark name."""
+    out: Dict[str, Profile] = {}
+    for catalog in (spec_profiles(), tf_profiles(), parsec_profiles(),
+                    synthetic_profiles()):
+        out.update(catalog)
+    return out
+
+
+def profile(name: str) -> Profile:
+    """Look up one profile by name."""
+    try:
+        return all_profiles()[name]
+    except KeyError:
+        known = ", ".join(sorted(all_profiles()))
+        raise KeyError(f"unknown benchmark {name!r} (known: {known})") \
+            from None
+
+
+def benchmarks(suite: Optional[str] = None) -> List[str]:
+    """Benchmark names, optionally restricted to one suite
+    (``spec``/``tf``/``parsec``/``synthetic``)."""
+    return [name for name, prof in sorted(all_profiles().items())
+            if suite is None or prof.suite == suite]
+
+
+def sb_bound_benchmarks(suite: Optional[str] = None) -> List[str]:
+    """Benchmarks with >1% baseline SB-induced stalls (the paper's
+    SB-bound selection)."""
+    return [name for name, prof in sorted(all_profiles().items())
+            if prof.sb_bound and (suite is None or prof.suite == suite)]
+
+
+def make_trace(name: str, length: int = 50_000, seed: int = 0,
+               core_id: int = 0) -> Trace:
+    """Generate a single-core trace for benchmark ``name``."""
+    return generate(profile(name), length, seed, core_id)
+
+
+def make_parallel_traces(name: str, num_cores: int,
+                         length_per_core: int = 12_000,
+                         seed: int = 0) -> List[Trace]:
+    """Generate one trace per core for a parallel benchmark."""
+    prof = profile(name)
+    return [generate(prof, length_per_core, seed, core_id)
+            for core_id in range(num_cores)]
+
+
+__all__ = [
+    "Profile", "generate", "Trace", "ColdRegion", "WarmRegion",
+    "SPEC_PROFILES", "TF_PROFILES", "PARSEC_PROFILES", "SYNTHETIC_PROFILES",
+    "all_profiles", "profile", "benchmarks", "sb_bound_benchmarks",
+    "make_trace", "make_parallel_traces",
+]

@@ -1,0 +1,91 @@
+"""PARSEC-3.0 multithreaded benchmark profiles (16 threads, simsmall).
+
+Per-benchmark behaviour follows the paper's Section VI-B analysis:
+
+* *dedup* — both bandwidth pressure (bursts) and long-latency stores:
+  CSB/TUS address the former, SSB/TUS the latter, SPB neither;
+* *ferret* — bursts of *interleaved* stores (multiple streams), which
+  exercise WCB cycles and atomic groups;
+* *streamcluster* — store bursts whose lines are re-read soon after
+  (temporal locality): TUS keeps them in the L1D, SPB's continuous
+  prefetching replaces them;
+* the rest range from compute-bound (blackscholes, swaptions) to
+  moderately store-active, with a light shared-data component so the
+  coherence path (invalidations, TUS delay/relinquish) is exercised.
+
+Every profile carries a non-zero ``shared_fraction`` so 16-core runs
+produce real cross-core conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import Profile
+
+PARSEC_PROFILES: List[Profile] = [
+    Profile("blackscholes", suite="parsec", sb_bound=False,
+            description="option pricing: FP compute, few stores",
+            w_compute=1.0, w_local_store=0.06, store_ws_kb=16,
+            words_per_line=2, local_run=(2, 4), load_ws_kb=128,
+            dep_fraction=0.55, compute_len=(48, 128),
+            shared_fraction=0.12),
+    Profile("bodytrack", suite="parsec",
+            description="vision: moderate scattered stores",
+            w_compute=1.0, w_scatter=0.25, scatter_run=(2, 5),
+            scatter_compute_gap=(8, 20), load_ws_kb=512,
+            compute_len=(24, 64), w_local_store=0.1, store_ws_kb=64,
+            shared_fraction=0.15),
+    Profile("canneal", suite="parsec",
+            description="cache-hostile pointer updates",
+            w_compute=1.0, w_scatter=0.4, scatter_run=(2, 6),
+            scatter_compute_gap=(6, 14), load_chase=0.25, load_ws_kb=2048,
+            compute_len=(16, 44), shared_fraction=0.1),
+    Profile("dedup", suite="parsec",
+            description="dedup: store bursts + long-latency stores "
+            "(the paper's TUS headliner)",
+            w_compute=1.0, w_burst=0.4, w_scatter=0.35,
+            burst_lines=(16, 48), words_per_line=5, burst_regularity=0.85,
+            scatter_run=(3, 8), scatter_compute_gap=(4, 12),
+            load_ws_kb=1024, compute_len=(12, 40), shared_fraction=0.18),
+    Profile("ferret", suite="parsec",
+            description="similarity search: interleaved store bursts",
+            w_compute=1.0, w_burst=0.5, burst_lines=(16, 48),
+            words_per_line=4, burst_regularity=0.8, burst_interleave=4,
+            load_ws_kb=768, compute_len=(14, 44), shared_fraction=0.15),
+    Profile("fluidanimate", suite="parsec",
+            description="particle simulation: semi-regular stores",
+            w_compute=1.0, w_burst=0.2, burst_lines=(8, 24),
+            words_per_line=4, burst_regularity=0.75, load_ws_kb=1024,
+            compute_len=(20, 56), w_local_store=0.12, store_ws_kb=96,
+            shared_fraction=0.18),
+    Profile("streamcluster", suite="parsec",
+            description="clustering: bursts with immediate re-reads "
+            "(locality beats prefetch pollution)",
+            w_compute=1.0, w_burst=0.35, w_local_store=0.3,
+            burst_lines=(12, 32), words_per_line=4, burst_regularity=0.9,
+            store_ws_kb=40, local_run=(6, 16),
+            loads_from_store_region=0.5, load_fraction=0.45,
+            load_ws_kb=256, compute_len=(16, 48), shared_fraction=0.12),
+    Profile("swaptions", suite="parsec", sb_bound=False,
+            description="HJM pricing: compute dominated",
+            w_compute=1.0, w_local_store=0.05, store_ws_kb=24,
+            words_per_line=2, local_run=(2, 4), load_ws_kb=256,
+            dep_fraction=0.5, compute_len=(48, 120),
+            shared_fraction=0.12),
+    Profile("vips", suite="parsec",
+            description="image pipeline: tiled stores, moderate bursts",
+            w_compute=1.0, w_burst=0.25, burst_lines=(12, 32),
+            words_per_line=4, burst_regularity=0.7, burst_interleave=2,
+            load_ws_kb=768, compute_len=(20, 56), shared_fraction=0.12),
+    Profile("x264", suite="parsec",
+            description="video encode: warm tiled stores + motion loads",
+            w_compute=1.0, w_local_store=0.18, w_burst=0.12,
+            burst_lines=(8, 20), words_per_line=4, burst_regularity=0.65,
+            store_ws_kb=64, local_run=(3, 8), load_ws_kb=512,
+            compute_len=(24, 64), shared_fraction=0.16),
+]
+
+
+def parsec_profiles() -> Dict[str, Profile]:
+    return {p.name: p for p in PARSEC_PROFILES}

@@ -1,0 +1,286 @@
+"""Benchmark profiles and the trace generator.
+
+A :class:`Profile` describes a benchmark's store behaviour with a small
+number of parameters; :func:`generate` turns a profile into a micro-op
+trace.  The paper attributes each benchmark's speedup to a specific
+behaviour (Section VI) and the profiles encode exactly those behaviours:
+
+* *store bursts* to fresh memory, with same-line runs that give
+  coalescing its leverage (``w_burst``, ``words_per_line``) — the
+  gcc-style workloads;
+* *long-latency scattered stores* to irregular fresh addresses that no
+  prefetcher predicts (``w_scatter``) — the mcf-style workloads;
+* *warm stores* that hit in the cache hierarchy (``w_local_store``) —
+  the benchmarks that gain nothing;
+* *compute* with dependent ALU chains, warm loads, and optional
+  pointer-chasing loads that keep the ROB full (``w_compute``,
+  ``load_chase``);
+* *interleaved burst streams* that force WCB cycles and atomic groups
+  (``burst_interleave``) — the ferret-style workloads;
+* optional *sharing* with other cores for the parallel workloads
+  (``shared_fraction``), which exercises the TUS external-request path.
+
+Phases are chosen by weighted random draw per episode, so a trace is a
+statistically stable mixture rather than a fixed schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..common.addr import LINE_SIZE
+from ..common.rng import make_rng
+from ..cpu.isa import OpKind, UOp
+from ..cpu.trace import Trace
+from .regions import ColdRegion, WarmRegion, arena_base
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Statistical description of one benchmark's behaviour."""
+
+    name: str
+    suite: str                      # "spec" | "tf" | "parsec" | "synthetic"
+    description: str = ""
+    sb_bound: bool = True           # >1% SB-induced stalls in the baseline
+
+    # Phase weights (need not sum to 1; normalised at generation time).
+    w_compute: float = 1.0
+    w_burst: float = 0.0
+    w_scatter: float = 0.0
+    w_local_store: float = 0.0
+
+    # Burst phases: lines per burst, stores per line, interleaved streams.
+    burst_lines: Tuple[int, int] = (32, 128)
+    words_per_line: int = 4
+    burst_interleave: int = 1
+    #: Fraction of burst lines that continue sequentially (the rest jump),
+    #: i.e. how page-burst-friendly (SPB) the pattern is.
+    burst_regularity: float = 1.0
+    #: None: bursts stream through fresh (cold) memory — every line is a
+    #: DRAM miss (lbm-style bandwidth-bound writes).  A size in KB:
+    #: bursts sweep a reused ring of that footprint, so after the first
+    #: pass the lines live in whatever level the ring fits (gcc-style
+    #: buffer reuse, where the bottleneck is SB drain bandwidth and
+    #: coalescing is what pays off).
+    burst_ring_kb: Optional[int] = None
+    #: Bursts per episode, emitted back to back with only a few compute
+    #: micro-ops between: long trains are what defeat plain SB (or TSOB)
+    #: over-provisioning — any fixed-size buffer fills mid-train, while
+    #: coalescing mechanisms keep draining at line rate.
+    burst_train: Tuple[int, int] = (1, 1)
+
+    # Scatter phases: episodes of irregular fresh-line stores.
+    scatter_run: Tuple[int, int] = (2, 8)
+    scatter_compute_gap: Tuple[int, int] = (4, 16)
+
+    # Local (warm) store phases.
+    local_run: Tuple[int, int] = (4, 16)
+    store_ws_kb: int = 24
+
+    # Compute phases.
+    compute_len: Tuple[int, int] = (16, 64)
+    load_fraction: float = 0.35     # of compute-phase micro-ops
+    load_chase: float = 0.0         # fraction of loads that pointer-chase
+    load_ws_kb: int = 256
+    #: Fraction of warm loads that read the *store* working set — models
+    #: producer-consumer locality (streamcluster-style), where keeping
+    #: stored lines resident (TUS) beats prefetch pollution (SPB).
+    loads_from_store_region: float = 0.0
+    dep_fraction: float = 0.6       # ALU ops depending on the previous op
+
+    # Serialising events.
+    fence_every: Optional[int] = None
+
+    # Parallel workloads: fraction of warm stores that hit a region
+    # shared by all cores.
+    shared_fraction: float = 0.0
+    shared_ws_kb: int = 16
+
+    def phase_weights(self) -> List[Tuple[str, float]]:
+        """Per-episode draw weights.
+
+        The ``w_*`` knobs express the *fraction of micro-ops* each phase
+        should contribute, but phases differ wildly in episode length (a
+        burst can be 50x longer than a compute episode), so the draw
+        weight is the uop weight divided by the expected episode length.
+        """
+        expected = {
+            "compute": sum(self.compute_len) / 2,
+            "burst": (sum(self.burst_lines) / 2) * self.words_per_line
+            * (sum(self.burst_train) / 2),
+            "scatter": (sum(self.scatter_run) / 2)
+            * (1 + sum(self.scatter_compute_gap) / 2),
+            "local_store": (sum(self.local_run) / 2)
+            * (self.words_per_line + 1),
+        }
+        weights = [("compute", self.w_compute), ("burst", self.w_burst),
+                   ("scatter", self.w_scatter),
+                   ("local_store", self.w_local_store)]
+        return [(name, w / expected[name]) for name, w in weights if w > 0]
+
+
+class _Generator:
+    """Stateful trace builder for one (profile, core) pair."""
+
+    def __init__(self, profile: Profile, core_id: int,
+                 rng: random.Random) -> None:
+        self.p = profile
+        self.rng = rng
+        self.uops: List[UOp] = []
+        self._last_chase_load: Optional[int] = None
+        self._since_fence = 0
+        self.load_region = WarmRegion(arena_base(core_id, 0),
+                                      profile.load_ws_kb * 1024)
+        self.store_region = WarmRegion(arena_base(core_id, 1),
+                                       profile.store_ws_kb * 1024)
+        self.chase_region = ColdRegion(arena_base(core_id, 2))
+        if profile.burst_ring_kb is not None:
+            ring_bytes = profile.burst_ring_kb * 1024
+            self.burst_regions = [
+                WarmRegion(arena_base(core_id, 3 + i), ring_bytes)
+                for i in range(max(1, profile.burst_interleave))
+            ]
+        else:
+            self.burst_regions = [
+                ColdRegion(arena_base(core_id, 3 + i))
+                for i in range(max(1, profile.burst_interleave))
+            ]
+        self.scatter_region = ColdRegion(arena_base(core_id, 11))
+        #: Shared across cores: same base regardless of core id.
+        self.shared_region = WarmRegion(arena_base(9999, 12),
+                                        profile.shared_ws_kb * 1024)
+
+    # -- emission helpers -----------------------------------------------
+    def emit(self, uop: UOp) -> None:
+        self.uops.append(uop)
+        self._since_fence += 1
+        if (self.p.fence_every is not None
+                and self._since_fence >= self.p.fence_every):
+            self.uops.append(UOp(OpKind.FENCE))
+            self._since_fence = 0
+
+    def emit_alu(self) -> None:
+        dep = 1 if (self.uops and self.rng.random() < self.p.dep_fraction) \
+            else None
+        # A sprinkle of multi-cycle ops keeps compute ILP realistic
+        # (2-4 IPC) instead of saturating the 8-wide commit.
+        roll = self.rng.random()
+        if roll < 0.08:
+            kind = OpKind.INT_MUL
+        elif roll < 0.12:
+            kind = OpKind.FP_ADD
+        else:
+            kind = OpKind.INT_ALU
+        self.emit(UOp(kind, dep_dist=dep))
+
+    def emit_load(self) -> None:
+        if self.rng.random() < self.p.load_chase:
+            addr = self.chase_region.random_fresh_line(self.rng)
+            dep = None
+            if self._last_chase_load is not None:
+                dep = len(self.uops) - self._last_chase_load
+            self._last_chase_load = len(self.uops)
+            self.emit(UOp(OpKind.LOAD, addr, 8, dep_dist=dep))
+            return
+        if (self.p.loads_from_store_region
+                and self.rng.random() < self.p.loads_from_store_region):
+            addr = self.store_region.random_line(self.rng)
+        else:
+            addr = self.load_region.random_line(self.rng)
+        offset = self.rng.randrange(LINE_SIZE // 8) * 8
+        self.emit(UOp(OpKind.LOAD, addr + offset, 8))
+
+    def emit_store(self, line: int, word_index: int) -> None:
+        self.emit(UOp(OpKind.STORE, line + (word_index % 8) * 8, 8))
+
+    # -- phases -----------------------------------------------------------
+    def phase_compute(self) -> None:
+        length = self.rng.randint(*self.p.compute_len)
+        for _ in range(length):
+            if self.rng.random() < self.p.load_fraction:
+                self.emit_load()
+            else:
+                self.emit_alu()
+
+    def phase_burst(self) -> None:
+        trains = self.rng.randint(*self.p.burst_train)
+        for train in range(trains):
+            if train:
+                for _ in range(self.rng.randint(8, 16)):
+                    self.emit_alu()
+            self._one_burst()
+
+    def _one_burst(self) -> None:
+        lines = self.rng.randint(*self.p.burst_lines)
+        streams = self.burst_regions
+        for i in range(lines):
+            region = streams[i % len(streams)]
+            if self.rng.random() < self.p.burst_regularity:
+                line = region.next_line()
+            elif isinstance(region, WarmRegion):
+                line = region.random_line(self.rng)
+            else:
+                line = region.random_fresh_line(self.rng, spread_pages=64)
+            for word in range(self.p.words_per_line):
+                self.emit_store(line, word)
+
+    def phase_scatter(self) -> None:
+        run = self.rng.randint(*self.p.scatter_run)
+        for _ in range(run):
+            line = self.scatter_region.random_fresh_line(self.rng)
+            self.emit_store(line, self.rng.randrange(8))
+            gap = self.rng.randint(*self.p.scatter_compute_gap)
+            for _ in range(gap):
+                if self.rng.random() < self.p.load_fraction:
+                    self.emit_load()
+                else:
+                    self.emit_alu()
+
+    def phase_local_store(self) -> None:
+        run = self.rng.randint(*self.p.local_run)
+        for _ in range(run):
+            if (self.p.shared_fraction
+                    and self.rng.random() < self.p.shared_fraction):
+                line = self.shared_region.random_line(self.rng)
+            else:
+                line = self.store_region.random_line(self.rng)
+            for word in range(self.p.words_per_line):
+                self.emit_store(line, word)
+            self.emit_alu()
+
+
+def generate(profile: Profile, length: int, seed: int = 0,
+             core_id: int = 0) -> Trace:
+    """Generate a ``length``-micro-op trace for ``profile``."""
+    rng = make_rng(seed, f"{profile.name}/core{core_id}")
+    gen = _Generator(profile, core_id, rng)
+    phases = profile.phase_weights()
+    names = [name for name, _ in phases]
+    weights = [weight for _, weight in phases]
+    dispatch = {
+        "compute": gen.phase_compute,
+        "burst": gen.phase_burst,
+        "scatter": gen.phase_scatter,
+        "local_store": gen.phase_local_store,
+    }
+    # Deterministic largest-remainder scheduling: each phase accumulates
+    # credit in proportion to its draw weight and the richest phase runs
+    # next.  This keeps phase proportions exact even when episodes are
+    # thousands of micro-ops long — a random draw would make short traces
+    # wildly variable (e.g. zero or three giant store bursts per run).
+    total = sum(weights)
+    # Start every phase one period short of firing: rare phases (big
+    # burst/scatter episodes) then fire once right at the start of the
+    # trace — inside the measurement warmup, which primes their rings —
+    # and settle into their steady proportional cadence afterwards.
+    credit = {name: total - weight for name, weight in zip(names, weights)}
+    while len(gen.uops) < length:
+        for name, weight in zip(names, weights):
+            credit[name] += weight
+        choice = max(names, key=lambda n: credit[n])
+        credit[choice] -= total
+        dispatch[choice]()
+    return Trace(f"{profile.name}", gen.uops[:length], seed=seed)

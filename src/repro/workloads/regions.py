@@ -1,0 +1,93 @@
+"""Address regions for workload generation.
+
+A region hands out addresses according to a pattern; its reuse (or lack
+of it) determines which cache level the accesses hit:
+
+* :class:`WarmRegion` — a fixed-size footprint that is revisited, so it
+  settles into whichever level it fits (<=48KB: L1D, <=1MB: L2, bigger:
+  L3);
+* :class:`ColdRegion` — a monotonically advancing pointer that never
+  reuses a line; every new line is a compulsory miss that goes to DRAM,
+  which is how we model stores to freshly allocated memory (the gcc
+  store bursts) and pointer-chasing mutations over huge footprints (the
+  mcf long-latency stores).
+
+Each simulated core gets its own base address (1GB apart) unless a
+region is explicitly shared, so single-core footprints never alias.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..common.addr import LINE_SIZE, PAGE_SIZE, line_addr
+
+
+class WarmRegion:
+    """A bounded, revisited footprint."""
+
+    def __init__(self, base: int, size_bytes: int) -> None:
+        if size_bytes < LINE_SIZE:
+            raise ValueError("region smaller than one cache line")
+        self.base = base
+        self.size = size_bytes
+        self.num_lines = size_bytes // LINE_SIZE
+        self._cursor = 0
+
+    def random_line(self, rng: random.Random) -> int:
+        """A uniformly random line address within the region."""
+        return self.base + rng.randrange(self.num_lines) * LINE_SIZE
+
+    def next_line(self, stride_lines: int = 1) -> int:
+        """The next line in a wrapping sequential sweep."""
+        addr = self.base + (self._cursor % self.num_lines) * LINE_SIZE
+        self._cursor += stride_lines
+        return addr
+
+    def line_at(self, index: int) -> int:
+        return self.base + (index % self.num_lines) * LINE_SIZE
+
+
+class ColdRegion:
+    """An ever-advancing footprint: every line is touched exactly once."""
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self._cursor = 0
+
+    def next_line(self) -> int:
+        addr = self.base + self._cursor * LINE_SIZE
+        self._cursor += 1
+        return addr
+
+    def random_fresh_line(self, rng: random.Random,
+                          spread_pages: int = 4096) -> int:
+        """A fresh (never reused) line at a *non-sequential* position.
+
+        Jumps around a large window ahead of the cursor, defeating both
+        the stream prefetcher and SPB's consecutive-line detector — the
+        paper's "irregular access patterns are common for stores".
+        """
+        jump = rng.randrange(spread_pages) * (PAGE_SIZE // LINE_SIZE)
+        addr = self.base + (self._cursor + jump) * LINE_SIZE
+        self._cursor += 7  # odd advance avoids re-touching jumped lines
+        return line_addr(addr)
+
+
+#: Address-space distance between per-core private arenas.
+CORE_ARENA = 1 << 30
+#: Distance between regions within an arena.
+REGION_GAP = 1 << 26
+#: Per-region lex skew.  REGION_GAP is a multiple of 2^16 cache lines,
+#: so without a skew every region would alias in lex order (the low 16
+#: line-address bits) and interleaved store streams would permanently
+#: lex-conflict — an artefact of the generator's layout, not of the
+#: modelled program.  An odd line offset per region breaks the aliasing.
+LEX_SKEW = 4099 * LINE_SIZE
+
+
+def arena_base(core_id: int, region_index: int) -> int:
+    """Deterministic non-overlapping base address for a region."""
+    return (core_id * CORE_ARENA + region_index * (REGION_GAP + LEX_SKEW)
+            + (1 << 34))

@@ -1,0 +1,160 @@
+"""SPEC CPU2017 benchmark profiles.
+
+Each profile is a synthetic stand-in calibrated to the behaviour the
+paper reports for that benchmark (Section VI-A):
+
+* the five ``502.gcc`` inputs are store-burst-dominated — long runs of
+  sequential fresh lines with multiple stores per line, so coalescing
+  (TUS/CSB) and page prefetching (SPB) both help; ``502.gcc5`` is the
+  most intense (the paper's +26.1% TUS peak);
+* ``505.mcf`` is dominated by long-latency irregular stores interleaved
+  with pointer-chasing loads — only store-wait-free designs (TUS, SSB)
+  hide them, coalescing and prefetching barely help;
+* ``503.bw*`` (bwaves) stores into a cache-resident working set — no
+  SB pressure, the paper's no-gain case;
+* the remaining SB-bound entries mix the two behaviours at lower
+  intensity, and the non-SB-bound entries are compute-dominated fillers
+  for the "All" S-curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import Profile
+
+_GCC_COMMON = dict(
+    suite="spec",
+    w_compute=1.0,
+    burst_interleave=1,
+    burst_regularity=0.95,
+    load_fraction=0.3,
+    load_ws_kb=24,
+)
+
+SPEC_PROFILES: List[Profile] = [
+    # -- store-burst benchmarks (gcc inputs, ordered by intensity) -------
+    Profile("502.gcc1", description="gcc, input 1: moderate store bursts",
+            w_burst=0.05, burst_lines=(224, 320), words_per_line=4,
+            burst_ring_kb=20, compute_len=(24, 72), **_GCC_COMMON),
+    Profile("502.gcc2", description="gcc, input 2: moderate store bursts",
+            w_burst=0.065, burst_lines=(288, 384), words_per_line=4,
+            burst_ring_kb=24, compute_len=(24, 64), **_GCC_COMMON),
+    Profile("502.gcc3", description="gcc, input 3: frequent store bursts",
+            w_burst=0.085, burst_lines=(320, 448), words_per_line=5,
+            burst_ring_kb=32, compute_len=(20, 56), **_GCC_COMMON),
+    Profile("502.gcc4", description="gcc, input 4: long store bursts",
+            w_burst=0.11, burst_lines=(384, 512), words_per_line=5,
+            burst_ring_kb=36, compute_len=(16, 48), **_GCC_COMMON),
+    Profile("502.gcc5", description="gcc, input 5: dominant store bursts "
+            "(the paper's +26.1% TUS peak)",
+            w_burst=0.15, burst_lines=(448, 576), words_per_line=5,
+            burst_ring_kb=40, compute_len=(12, 40), **_GCC_COMMON),
+
+    # -- long-latency-store benchmarks ------------------------------------
+    Profile("505.mcf", suite="spec",
+            description="irregular long-latency stores + pointer chasing",
+            w_compute=1.0, w_scatter=0.30, scatter_run=(128, 224),
+            scatter_compute_gap=(1, 3), load_chase=0.08, load_fraction=0.35,
+            load_ws_kb=1024, compute_len=(12, 40)),
+    Profile("520.omnetpp", suite="spec",
+            description="event simulation: scattered stores, big footprint",
+            w_compute=1.0, w_scatter=0.10, scatter_run=(64, 128),
+            scatter_compute_gap=(1, 4), load_chase=0.05, load_ws_kb=512,
+            compute_len=(16, 48)),
+    Profile("523.xalancbmk", suite="spec",
+            description="XML transform: scattered stores + small bursts",
+            w_compute=1.0, w_scatter=0.06, w_burst=0.015,
+            burst_lines=(64, 128), words_per_line=3, burst_ring_kb=8,
+            scatter_run=(48, 96), scatter_compute_gap=(1, 5),
+            load_ws_kb=384, compute_len=(20, 56)),
+
+    # -- mixed / regular-store benchmarks ---------------------------------
+    Profile("510.parest", suite="spec",
+            description="FEM assembly: semi-regular store bursts",
+            w_compute=1.0, w_burst=0.03, burst_lines=(128, 224),
+            words_per_line=4, burst_regularity=0.8, burst_ring_kb=16,
+            load_fraction=0.4, load_ws_kb=256, compute_len=(24, 64)),
+    Profile("511.povray", suite="spec",
+            description="ray tracing: small warm stores + rare bursts",
+            w_compute=1.0, w_burst=0.012, w_local_store=0.03,
+            burst_lines=(64, 128), words_per_line=3, burst_ring_kb=8,
+            store_ws_kb=32, local_run=(3, 8), load_ws_kb=128,
+            compute_len=(24, 72)),
+    Profile("519.lbm", suite="spec",
+            description="lattice Boltzmann: streaming writes, "
+            "DRAM-bandwidth bound",
+            w_compute=1.0, w_burst=0.05, burst_lines=(96, 192),
+            words_per_line=8, burst_regularity=1.0, load_fraction=0.45,
+            load_ws_kb=512, compute_len=(24, 56)),
+    Profile("538.imagick", suite="spec",
+            description="image ops: tiled stores, moderate reuse",
+            w_compute=1.0, w_burst=0.02, w_local_store=0.04,
+            burst_lines=(96, 160), words_per_line=4, burst_regularity=0.7,
+            burst_ring_kb=12, store_ws_kb=48, local_run=(4, 12),
+            load_ws_kb=128, compute_len=(20, 56)),
+    Profile("549.fotonik3d", suite="spec",
+            description="FDTD: regular stencil store sweeps",
+            w_compute=1.0, w_burst=0.035, burst_lines=(96, 192),
+            words_per_line=6, burst_regularity=0.95, load_fraction=0.45,
+            load_ws_kb=384, compute_len=(20, 48)),
+    Profile("554.roms", suite="spec",
+            description="ocean model: regular store sweeps + compute",
+            w_compute=1.0, w_burst=0.028, burst_lines=(80, 144),
+            words_per_line=6, burst_regularity=0.9, load_fraction=0.4,
+            load_ws_kb=256, compute_len=(24, 56)),
+
+    # -- cache-resident store benchmarks (the no-gain cases) --------------
+    Profile("503.bw1", suite="spec",
+            description="bwaves input 1: cache-resident stores",
+            w_compute=1.0, w_local_store=0.035, store_ws_kb=24,
+            words_per_line=1, local_run=(2, 5), load_ws_kb=96,
+            compute_len=(20, 56)),
+    Profile("503.bw2", suite="spec",
+            description="bwaves input 2: cache-resident stores "
+            "(the paper's zero-gain case)",
+            w_compute=1.0, w_local_store=0.04, store_ws_kb=16,
+            words_per_line=1, local_run=(2, 5), load_ws_kb=64,
+            compute_len=(20, 56)),
+
+    # -- non-SB-bound fillers for the "All" S-curve ------------------------
+    Profile("500.perlbench", suite="spec", sb_bound=False,
+            description="interpreter: compute + warm small stores",
+            w_compute=1.0, w_local_store=0.1, store_ws_kb=16,
+            words_per_line=2, local_run=(2, 5), load_ws_kb=256,
+            compute_len=(32, 96)),
+    Profile("508.namd", suite="spec", sb_bound=False,
+            description="molecular dynamics: FP compute dominated",
+            w_compute=1.0, w_local_store=0.06, store_ws_kb=32,
+            words_per_line=2, local_run=(2, 4), load_ws_kb=512,
+            dep_fraction=0.55, compute_len=(48, 128)),
+    Profile("525.x264", suite="spec", sb_bound=False,
+            description="video encode: warm tiled stores",
+            w_compute=1.0, w_local_store=0.12, store_ws_kb=48,
+            words_per_line=4, local_run=(3, 8), load_ws_kb=256,
+            compute_len=(32, 80)),
+    Profile("531.deepsjeng", suite="spec", sb_bound=False,
+            description="chess search: compute + hash-table loads",
+            w_compute=1.0, w_local_store=0.05, store_ws_kb=64,
+            words_per_line=1, local_run=(1, 3), load_ws_kb=1024,
+            compute_len=(48, 120)),
+    Profile("541.leela", suite="spec", sb_bound=False,
+            description="go search: compute dominated",
+            w_compute=1.0, w_local_store=0.05, store_ws_kb=32,
+            words_per_line=1, local_run=(1, 3), load_ws_kb=512,
+            dep_fraction=0.5, compute_len=(48, 120)),
+    Profile("548.exchange2", suite="spec", sb_bound=False,
+            description="puzzle solver: almost pure compute",
+            w_compute=1.0, w_local_store=0.03, store_ws_kb=8,
+            words_per_line=2, local_run=(1, 3), load_ws_kb=32,
+            dep_fraction=0.6, compute_len=(64, 160)),
+    Profile("557.xz", suite="spec", sb_bound=False,
+            description="compression: warm stores + big load footprint",
+            w_compute=1.0, w_local_store=0.1, store_ws_kb=64,
+            words_per_line=3, local_run=(2, 6), load_ws_kb=2048,
+            compute_len=(32, 88)),
+]
+
+
+def spec_profiles() -> Dict[str, Profile]:
+    return {p.name: p for p in SPEC_PROFILES}

@@ -1,0 +1,48 @@
+"""Pure synthetic kernels for unit tests, examples, and ablations.
+
+Unlike the benchmark stand-ins, these are minimal single-behaviour
+kernels: an all-hit store stream, a pure store burst, a pure scatter,
+a fence-heavy kernel, and a producer-consumer loop.  They make the
+mechanisms' behaviour legible in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import Profile
+
+SYNTHETIC_PROFILES: List[Profile] = [
+    Profile("synth.hit_stores", suite="synthetic", sb_bound=False,
+            description="stores that always hit in the L1D",
+            w_compute=1.0, w_local_store=1.0, store_ws_kb=16,
+            words_per_line=4, local_run=(8, 16), load_ws_kb=16,
+            compute_len=(8, 24)),
+    Profile("synth.burst", suite="synthetic",
+            description="pure sequential store bursts to fresh memory",
+            w_compute=0.2, w_burst=1.0, burst_lines=(64, 256),
+            words_per_line=8, burst_regularity=1.0, compute_len=(8, 24)),
+    Profile("synth.scatter", suite="synthetic",
+            description="pure irregular long-latency stores",
+            w_compute=1.0, w_scatter=1.0, scatter_run=(4, 12),
+            scatter_compute_gap=(4, 10), load_ws_kb=64,
+            compute_len=(8, 24)),
+    Profile("synth.fences", suite="synthetic",
+            description="store bursts punctuated by fences",
+            w_compute=0.5, w_burst=1.0, burst_lines=(16, 48),
+            words_per_line=4, fence_every=400, compute_len=(8, 24)),
+    Profile("synth.producer_consumer", suite="synthetic",
+            description="stores immediately re-read (forwarding heavy)",
+            w_compute=1.0, w_local_store=0.8, store_ws_kb=8,
+            words_per_line=4, local_run=(4, 8),
+            loads_from_store_region=0.8, load_fraction=0.5,
+            load_ws_kb=8, compute_len=(8, 24)),
+    Profile("synth.interleaved", suite="synthetic",
+            description="interleaved burst streams (WCB cycle former)",
+            w_compute=0.3, w_burst=1.0, burst_lines=(32, 96),
+            words_per_line=4, burst_interleave=4, compute_len=(8, 24)),
+]
+
+
+def synthetic_profiles() -> Dict[str, Profile]:
+    return {p.name: p for p in SYNTHETIC_PROFILES}

@@ -1,0 +1,47 @@
+"""TensorFlow (BigDataBench) kernel profiles.
+
+The paper's TF kernels are store-heavy tensor writers whose access
+patterns are tiled rather than purely sequential, which is why SPB "has
+trouble matching the store access patterns on TensorFlow kernels" and
+over-prefetches (Section VI-A: +32%/+41% more stalls while L1D/L2
+misses are pending).  We model them as semi-regular bursts
+(``burst_regularity`` well below 1) with moderate same-line runs, plus
+a large streaming load footprint the SPB pollution can evict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .profiles import Profile
+
+TF_PROFILES: List[Profile] = [
+    Profile("tf.alexnet", suite="tf",
+            description="conv layers: tiled output-tensor writes",
+            w_compute=1.0, w_burst=0.07, burst_lines=(352, 448),
+            words_per_line=4, burst_regularity=0.55, burst_interleave=2,
+            burst_ring_kb=16, load_fraction=0.45, load_ws_kb=256,
+            compute_len=(16, 48)),
+    Profile("tf.convnet", suite="tf",
+            description="small convnet: interleaved tile writes",
+            w_compute=1.0, w_burst=0.09, burst_lines=(448, 576),
+            words_per_line=4, burst_regularity=0.5, burst_interleave=2,
+            burst_ring_kb=20, load_fraction=0.4, load_ws_kb=192,
+            compute_len=(14, 44)),
+    Profile("tf.resnet", suite="tf",
+            description="resnet blocks: strided writes + residual reads",
+            w_burst=0.07, w_compute=1.0, burst_lines=(224, 320),
+            words_per_line=3, burst_regularity=0.45, burst_interleave=3,
+            burst_ring_kb=16, load_fraction=0.5, load_ws_kb=384,
+            loads_from_store_region=0.2, compute_len=(18, 52)),
+    Profile("tf.lstm", suite="tf",
+            description="recurrent cells: gate-vector writes, reuse-heavy",
+            w_compute=1.0, w_burst=0.025, w_local_store=0.04,
+            burst_lines=(96, 160), words_per_line=4, burst_regularity=0.6,
+            burst_ring_kb=12, store_ws_kb=64, local_run=(4, 10),
+            load_fraction=0.45, load_ws_kb=256, compute_len=(20, 56)),
+]
+
+
+def tf_profiles() -> Dict[str, Profile]:
+    return {p.name: p for p in TF_PROFILES}

@@ -1,0 +1,57 @@
+"""Trace serialisation: save and load micro-op traces.
+
+Traces are stored as JSON-lines: one header object followed by one
+compact array per micro-op (``[kind, addr, size, dep]``).  The format
+is stable across versions of the generator, so calibrated traces can be
+archived and replayed byte-for-byte — the moral equivalent of shipping
+SimPoint checkpoints with a gem5 study.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..common.errors import TraceError
+from ..cpu.isa import OpKind, UOp
+from ..cpu.trace import Trace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in JSON-lines format."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        header = {"format": FORMAT_VERSION, "name": trace.name,
+                  "seed": trace.seed, "length": len(trace)}
+        handle.write(json.dumps(header) + "\n")
+        for uop in trace:
+            record = [int(uop.kind), uop.addr, uop.size,
+                      uop.dep_dist if uop.dep_dist is not None else -1]
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with open(path) as handle:
+        try:
+            header = json.loads(handle.readline())
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: not a trace file") from exc
+        if header.get("format") != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format {header.get('format')}")
+        uops = []
+        for line in handle:
+            kind, addr, size, dep = json.loads(line)
+            uops.append(UOp(OpKind(kind), addr, size,
+                            dep if dep >= 0 else None))
+    if len(uops) != header.get("length"):
+        raise TraceError(
+            f"{path}: truncated trace ({len(uops)} of "
+            f"{header.get('length')} micro-ops)")
+    return Trace(header.get("name", path.stem), uops,
+                 seed=header.get("seed", 0))

@@ -1,0 +1,117 @@
+"""Address arithmetic: lines, pages, sets, lex order, byte masks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import addr
+
+
+class TestLineMath:
+    def test_line_addr_clears_offset(self):
+        assert addr.line_addr(0x1234) == 0x1200
+
+    def test_line_addr_idempotent(self):
+        assert addr.line_addr(addr.line_addr(0xDEADBEEF)) == \
+            addr.line_addr(0xDEADBEEF)
+
+    def test_line_offset(self):
+        assert addr.line_offset(0x1234) == 0x34
+
+    def test_line_index(self):
+        assert addr.line_index(0x1240) == 0x49
+
+    def test_page_addr(self):
+        assert addr.page_addr(0x12345) == 0x12000
+
+    def test_lines_in_page_count(self):
+        lines = addr.lines_in_page(0x5000)
+        assert len(lines) == 64
+
+    def test_lines_in_page_cover_page(self):
+        lines = addr.lines_in_page(0x5123)
+        assert lines[0] == 0x5000
+        assert lines[-1] == 0x5000 + 4096 - 64
+
+    @given(st.integers(min_value=0, max_value=2 ** 48))
+    def test_line_addr_within_line(self, a):
+        assert 0 <= a - addr.line_addr(a) < addr.LINE_SIZE
+
+    @given(st.integers(min_value=0, max_value=2 ** 48))
+    def test_offset_plus_base_reconstructs(self, a):
+        assert addr.line_addr(a) + addr.line_offset(a) == a
+
+
+class TestSetIndex:
+    def test_consecutive_lines_map_to_consecutive_sets(self):
+        assert addr.set_index(0x1000, 64) + 1 == addr.set_index(0x1040, 64)
+
+    def test_wraps_at_num_sets(self):
+        assert addr.set_index(0x1000, 64) == addr.set_index(
+            0x1000 + 64 * 64, 64)
+
+    @given(st.integers(min_value=0, max_value=2 ** 48),
+           st.sampled_from([16, 64, 1024]))
+    def test_in_range(self, a, sets):
+        assert 0 <= addr.set_index(a, sets) < sets
+
+
+class TestLexOrder:
+    def test_lex_order_is_low_line_bits(self):
+        # Line index 0x1_0001 and 0x0001 share the low 16 bits.
+        a = 0x0001 << addr.LINE_SHIFT
+        b = (0x1_0001) << addr.LINE_SHIFT
+        assert addr.lex_order(a) == addr.lex_order(b)
+
+    def test_lex_conflict_requires_distinct_lines(self):
+        a = 0x40
+        assert not addr.lex_conflict(a, a + 8)  # same line: no conflict
+
+    def test_lex_conflict_same_order_different_line(self):
+        a = 0x1 << addr.LINE_SHIFT
+        b = ((1 << addr.LEX_BITS) + 1) << addr.LINE_SHIFT
+        assert addr.lex_conflict(a, b)
+
+    def test_no_conflict_different_order(self):
+        assert not addr.lex_conflict(0x40, 0x80)
+
+    @given(st.integers(min_value=0, max_value=2 ** 48))
+    def test_lex_order_range(self, a):
+        assert 0 <= addr.lex_order(a) < (1 << addr.LEX_BITS)
+
+    def test_lex_order_ignores_byte_offset(self):
+        assert addr.lex_order(0x1234) == addr.lex_order(0x1200)
+
+
+class TestWordMask:
+    def test_mask_at_line_start(self):
+        assert addr.word_mask(0x1000, 8) == 0xFF
+
+    def test_mask_mid_line(self):
+        assert addr.word_mask(0x1008, 8) == 0xFF00
+
+    def test_single_byte(self):
+        assert addr.word_mask(0x103F, 1) == 1 << 63
+
+    def test_straddle_raises(self):
+        with pytest.raises(ValueError):
+            addr.word_mask(0x103C, 8)
+
+    def test_mask_bytes_counts(self):
+        assert addr.mask_bytes(addr.word_mask(0x1000, 8)) == 8
+
+    @given(st.integers(min_value=0, max_value=56),
+           st.integers(min_value=1, max_value=8))
+    def test_mask_popcount_equals_size(self, off, size):
+        mask = addr.word_mask(0x2000 + off, size)
+        assert addr.mask_bytes(mask) == size
+
+    @given(st.integers(min_value=0, max_value=48),
+           st.integers(min_value=0, max_value=48))
+    def test_disjoint_words_disjoint_masks(self, o1, o2):
+        m1 = addr.word_mask(0x2000 + o1, 8)
+        m2 = addr.word_mask(0x2000 + o2, 8)
+        if abs(o1 - o2) >= 8:
+            assert m1 & m2 == 0
+        elif o1 == o2:
+            assert m1 == m2

@@ -1,0 +1,122 @@
+"""The authorization unit: lex-order delay/relinquish decisions.
+
+Includes a direct encoding of the paper's Figure 5 deadlock-resolution
+example: two cores with overlapping atomic groups agree, purely from lex
+order, that core 0 delays the request and core 1 relinquishes.
+"""
+
+import pytest
+
+from repro.common.addr import LEX_BITS, LINE_SHIFT
+from repro.core.authorization import AuthorizationUnit
+from repro.core.woq import WriteOrderingQueue
+
+# Lex order follows address order for these lines.
+P, C, D, R = 0x1040, 0x2040, 0x3040, 0x4040
+
+
+def unit_with(lines_ready):
+    """Build a WOQ holding ``lines_ready`` = [(line, ready)] in order."""
+    woq = WriteOrderingQueue(16)
+    for line, ready in lines_ready:
+        entry = woq.append(line, 0xFF)
+        entry.ready = ready
+    return AuthorizationUnit(woq), woq
+
+
+class TestDelay:
+    def test_delay_when_all_lesser_lex_owned(self):
+        # Requested line is ready and every older line has smaller... the
+        # rule: all missing permissions have HIGHER lex than the request.
+        auth, _ = unit_with([(P, True), (C, True)])
+        assert auth.check(C).delay
+
+    def test_delay_with_missing_higher_lex(self):
+        auth, _ = unit_with([(C, True), (D, False)])
+        # Request for C: missing D has higher lex -> delay.
+        assert auth.check(C).delay
+
+    def test_no_delay_when_not_ready(self):
+        auth, _ = unit_with([(C, False)])
+        assert not auth.check(C).delay
+
+    def test_no_delay_when_lower_lex_missing(self):
+        auth, _ = unit_with([(C, False), (D, True)])
+        decision = auth.check(D)
+        assert not decision.delay
+
+
+class TestRelinquish:
+    def test_relinquish_lines_above_min_missing(self):
+        auth, woq = unit_with([(C, False), (D, True)])
+        decision = auth.check(D)
+        assert [e.line for e in decision.relinquish] == [D]
+
+    def test_relinquish_only_older_than_request(self):
+        # R is younger than the requested D: it keeps its permission.
+        auth, woq = unit_with([(C, False), (D, True), (R, True)])
+        decision = auth.check(D)
+        assert [e.line for e in decision.relinquish] == [D]
+
+    def test_nothing_to_relinquish_when_request_unready(self):
+        auth, _ = unit_with([(P, True), (C, False)])
+        decision = auth.check(C)
+        assert not decision.delay
+        assert decision.relinquish == []
+
+
+class TestFigure5:
+    """The paper's worked example (Section III-C, Figure 5)."""
+
+    def test_core0_delays(self):
+        # Core 0 WOQ: R (older, ready), then the atomic group {C, D} with
+        # C ready (modified) and D not yet owned.  An invalidation for C
+        # arrives: core 0 owns everything with lex <= lex(C), so it
+        # delays and makes core 1 wait.
+        auth, woq = unit_with([(R, True), (C, True), (D, False)])
+        # (R is older in WOQ order even though its lex is highest; only
+        # lex order relative to the request matters.)
+        decision = auth.check(C)
+        assert decision.delay
+
+    def test_core1_relinquishes(self):
+        # Core 1 WOQ: P (ready), C (not owned), D (ready, modified).  An
+        # invalidation for D arrives: C has lower lex and is missing, so
+        # core 1 gives D up.
+        auth, woq = unit_with([(P, True), (C, False), (D, True)])
+        decision = auth.check(D)
+        assert not decision.delay
+        assert [e.line for e in decision.relinquish] == [D]
+
+
+class TestReissueTarget:
+    def test_targets_lex_least_missing_in_head_group(self):
+        auth, woq = unit_with([(D, False), (C, False)])
+        head = woq.head_group()[0]
+        # Only the head group is eligible; D is the head (its own group).
+        target = auth.reissue_target()
+        assert target.line == D
+
+    def test_lex_least_within_merged_head_group(self):
+        woq = WriteOrderingQueue(16)
+        d = woq.append(D, 1)
+        woq.append(C, 1)
+        woq.merge_to_tail(d)
+        auth = AuthorizationUnit(woq)
+        assert auth.reissue_target().line == C
+
+    def test_skips_outstanding_requests(self):
+        auth, woq = unit_with([(C, False)])
+        woq.find(C).request_outstanding = True
+        assert auth.reissue_target() is None
+
+    def test_none_when_all_ready(self):
+        auth, _ = unit_with([(C, True)])
+        assert auth.reissue_target() is None
+
+
+class TestErrors:
+    def test_untracked_line_rejected(self):
+        auth, _ = unit_with([(C, True)])
+        with pytest.raises(ValueError):
+            auth.check(0x9999040)

@@ -1,0 +1,52 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.bench == "502.gcc5"
+        assert args.mechanism == "tus"
+        assert args.sb == 114
+
+    def test_mechanism_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mechanism", "magic"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--bench", "synth.burst",
+                     "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "IPC" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--bench", "synth.burst",
+                     "--length", "2000", "--sb", "32"]) == 0
+        out = capsys.readouterr().out
+        for mechanism in ("baseline", "ssb", "csb", "spb", "tus"):
+            assert mechanism in out
+
+    def test_litmus(self, capsys):
+        assert main(["litmus"]) == 0
+        assert "VIOLATION" not in capsys.readouterr().out
+
+    def test_bench_listing(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "502.gcc5" in out and "streamcluster" in out
+
+    def test_figure_sbcost(self, capsys):
+        assert main(["figure", "sbcost"]) == 0
+        assert "272" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "nope"]) == 2

@@ -1,0 +1,162 @@
+"""Configuration: Table I values, validation, and derived configs."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (MECHANISMS, SB_SIZE_SWEEP, CacheConfig,
+                                 SystemConfig, store_forward_latency,
+                                 sweep_configs, table_i)
+from repro.common.errors import ConfigError
+
+
+class TestTableI:
+    """Every number of the paper's Table I."""
+
+    def setup_method(self):
+        self.cfg = table_i()
+
+    def test_front_end_widths(self):
+        assert self.cfg.core.fetch_width == 8
+        assert self.cfg.core.decode_width == 6
+        assert self.cfg.core.rename_width == 6
+
+    def test_back_end_widths(self):
+        assert self.cfg.core.dispatch_width == 12
+        assert self.cfg.core.issue_width == 12
+        assert self.cfg.core.commit_width == 8
+
+    def test_queue_sizes(self):
+        assert self.cfg.core.rob_entries == 512
+        assert self.cfg.core.load_queue_entries == 192
+        assert self.cfg.core.sb_entries == 114
+
+    def test_register_files(self):
+        assert self.cfg.core.int_regs == 332
+        assert self.cfg.core.fp_regs == 332
+
+    def test_instruction_latencies(self):
+        core = self.cfg.core
+        assert core.int_alu_latency == 1
+        assert core.int_mul_latency == 4
+        assert core.int_div_latency == 12
+        assert core.fp_add_latency == 5
+        assert core.fp_mul_latency == 5
+        assert core.fp_div_latency == 12
+
+    def test_l1i(self):
+        l1i = self.cfg.memory.l1i
+        assert l1i.size_bytes == 32 * 1024
+        assert l1i.assoc == 8
+        assert l1i.latency == 1
+
+    def test_l1d(self):
+        l1d = self.cfg.memory.l1d
+        assert l1d.size_bytes == 48 * 1024
+        assert l1d.assoc == 12
+        assert l1d.latency == 5
+        assert l1d.mshrs == 64
+
+    def test_l1d_geometry(self):
+        # 48KB / (12 ways x 64B) = 64 sets; set/way pointer fits 10 bits.
+        assert self.cfg.memory.l1d.num_sets == 64
+
+    def test_l2(self):
+        l2 = self.cfg.memory.l2
+        assert l2.size_bytes == 1024 * 1024
+        assert l2.assoc == 16
+        assert l2.latency == 16
+        assert l2.inclusive_of_l1
+
+    def test_l3(self):
+        l3 = self.cfg.memory.l3
+        assert l3.size_bytes == 64 * 1024 * 1024
+        assert l3.assoc == 16
+        assert l3.latency == 34
+
+    def test_dram(self):
+        assert self.cfg.memory.dram_latency == 160
+
+    def test_tus_defaults(self):
+        assert self.cfg.tus.woq_entries == 64
+        assert self.cfg.tus.wcb_entries == 2
+        assert self.cfg.tus.max_atomic_group == 16
+
+    def test_woq_storage_matches_paper(self):
+        # 34 bits x 64 entries = 272 bytes (Section IV).
+        assert self.cfg.tus.woq_entry_bits == 34
+        assert self.cfg.tus.woq_storage_bytes == 272
+
+    def test_mechanism_params(self):
+        assert self.cfg.mechanisms.ssb_tsob_entries == 1024
+        assert self.cfg.mechanisms.csb_wcb_entries == 2
+
+
+class TestForwardLatency:
+    """Store-to-load forwarding latency depends on SB size (Section V)."""
+
+    @pytest.mark.parametrize("entries,latency", [
+        (114, 5), (65, 5), (64, 4), (33, 4), (32, 3), (16, 3), (1, 3),
+    ])
+    def test_latency(self, entries, latency):
+        assert store_forward_latency(entries) == latency
+
+    def test_config_property(self):
+        assert table_i().with_sb_size(32).core.forward_latency == 3
+
+
+class TestDerivedConfigs:
+    def test_with_sb_size_is_pure(self):
+        base = table_i()
+        derived = base.with_sb_size(32)
+        assert base.core.sb_entries == 114
+        assert derived.core.sb_entries == 32
+
+    def test_with_mechanism(self):
+        assert table_i().with_mechanism("tus").mechanism == "tus"
+
+    def test_with_cores(self):
+        assert table_i().with_cores(16).num_cores == 16
+
+    def test_with_tus(self):
+        cfg = table_i().with_tus(woq_entries=16)
+        assert cfg.tus.woq_entries == 16
+        assert table_i().tus.woq_entries == 64
+
+    def test_sweep_matrix(self):
+        configs = sweep_configs()
+        assert len(configs) == len(MECHANISMS) * len(SB_SIZE_SWEEP)
+        assert configs[("tus", 32)].core.sb_entries == 32
+        assert configs[("tus", 32)].mechanism == "tus"
+
+    def test_miss_latencies_accumulate(self):
+        mem = table_i().memory
+        assert mem.miss_to_l2 == 16
+        assert mem.miss_to_l3 == 50
+        assert mem.miss_to_dram == 210
+
+
+class TestValidation:
+    def test_zero_sb_rejected(self):
+        with pytest.raises(ConfigError):
+            table_i().with_sb_size(0).validate()
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            table_i().with_cores(0).validate()
+
+    def test_bad_cache_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 48 * 1024 + 1, 12, 5).validate()
+
+    def test_non_pow2_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 3 * 64 * 5, 5, 1).validate()
+
+    def test_tus_needs_wcb(self):
+        with pytest.raises(ConfigError):
+            table_i().with_tus(wcb_entries=0).validate()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            table_i().mechanism = "tus"

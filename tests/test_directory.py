@@ -1,0 +1,73 @@
+"""The coherence directory: allocation, lex indexing, busy serialisation."""
+
+from repro.common.addr import LEX_BITS, LINE_SHIFT
+from repro.coherence.directory import Directory
+
+A = 0x1_0040
+
+
+class TestAllocation:
+    def test_get_or_allocate(self):
+        d = Directory()
+        entry = d.get_or_allocate(A)
+        assert entry is not None
+        assert d.lookup(A) is entry
+
+    def test_lookup_missing(self):
+        assert Directory().lookup(A) is None
+
+    def test_line_granular(self):
+        d = Directory()
+        entry = d.get_or_allocate(A)
+        assert d.lookup(A + 8) is entry
+
+    def test_drop(self):
+        d = Directory()
+        d.get_or_allocate(A)
+        d.drop(A)
+        assert d.lookup(A) is None
+
+
+class TestLexIndexing:
+    def test_lex_twins_share_set(self):
+        d = Directory()
+        twin = A + (1 << (LEX_BITS + LINE_SHIFT))
+        assert d.set_index(A) == d.set_index(twin)
+
+    def test_adjacent_lines_different_sets(self):
+        d = Directory()
+        assert d.set_index(A) != d.set_index(A + 64)
+
+
+class TestCapacity:
+    def test_set_conflict_evicts_idle(self):
+        d = Directory(num_sets=1 << 16, assoc=2)
+        stride = 1 << (LEX_BITS + LINE_SHIFT)
+        d.get_or_allocate(A)
+        d.get_or_allocate(A + stride)
+        entry = d.get_or_allocate(A + 2 * stride)
+        assert entry is not None      # an idle entry was dropped
+
+    def test_set_full_of_active_lines_refuses(self):
+        d = Directory(num_sets=1 << 16, assoc=2)
+        stride = 1 << (LEX_BITS + LINE_SHIFT)
+        for i in range(2):
+            entry = d.get_or_allocate(A + i * stride)
+            entry.owner = i           # actively cached: not droppable
+        assert d.allocate(A + 2 * stride) is None
+
+    def test_busy_entries_not_victims(self):
+        d = Directory(num_sets=1 << 16, assoc=1)
+        entry = d.get_or_allocate(A)
+        entry.busy = True
+        stride = 1 << (LEX_BITS + LINE_SHIFT)
+        assert d.allocate(A + stride) is None
+
+
+class TestState:
+    def test_idle_uncached(self):
+        d = Directory()
+        entry = d.get_or_allocate(A)
+        assert entry.idle_uncached
+        entry.sharers.add(3)
+        assert not entry.idle_uncached

@@ -1,0 +1,45 @@
+"""DRAM model: fixed latency plus bandwidth gap."""
+
+import pytest
+
+from repro.mem.dram import DRAM
+
+
+class TestLatency:
+    def test_single_access(self):
+        dram = DRAM(latency=160, gap=4)
+        assert dram.access(100) == 260
+
+    def test_gap_spaces_back_to_back(self):
+        dram = DRAM(latency=160, gap=4)
+        first = dram.access(0)
+        second = dram.access(0)
+        assert second == first + 4
+
+    def test_idle_period_resets_queue(self):
+        dram = DRAM(latency=160, gap=4)
+        dram.access(0)
+        assert dram.access(1000) == 1160
+
+    def test_throughput_bound(self):
+        dram = DRAM(latency=160, gap=4)
+        done = [dram.access(0) for _ in range(100)]
+        assert done[-1] - done[0] == 99 * 4
+
+    def test_access_counter(self):
+        dram = DRAM(latency=10, gap=1)
+        dram.access(0)
+        dram.access(0)
+        assert dram.accesses == 2
+
+    def test_zero_gap_allowed(self):
+        dram = DRAM(latency=10, gap=0)
+        assert dram.access(0) == dram.access(0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            DRAM(latency=0, gap=1)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            DRAM(latency=10, gap=-1)

@@ -1,0 +1,152 @@
+"""Energy and area models: the paper's structural ratios and EDP math."""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.energy.cam import sb_spec, tsob_spec, wcb_spec, woq_spec
+from repro.energy.edp import edp, normalized_edp, speedup
+from repro.energy.mcpat import EnergyBreakdown, compute_energy
+from repro.sim.results import CoreResult, SimResult
+
+
+class TestPaperRatios:
+    """Sections I/IV/V give five concrete structural claims."""
+
+    def test_sb_energy_halves_from_114_to_32(self):
+        ratio = sb_spec(114).energy_per_search() / \
+            sb_spec(32).energy_per_search()
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_sb_area_saving_21_percent(self):
+        saving = 1 - sb_spec(32).area() / sb_spec(114).area()
+        assert saving == pytest.approx(0.21, abs=0.02)
+
+    def test_woq_13x_smaller_than_sb114(self):
+        ratio = sb_spec(114).area() / woq_spec(64).area()
+        assert 11 <= ratio <= 16
+
+    def test_woq_10x_less_search_energy_than_sb114(self):
+        ratio = sb_spec(114).energy_per_search() / \
+            woq_spec(64).energy_per_search()
+        assert ratio == pytest.approx(10.0, rel=0.1)
+
+    def test_woq_5x_less_search_energy_than_sb32(self):
+        ratio = sb_spec(32).energy_per_search() / \
+            woq_spec(64).energy_per_search()
+        assert ratio == pytest.approx(5.0, rel=0.1)
+
+    def test_energy_monotone_in_entries(self):
+        assert sb_spec(114).energy_per_search() > \
+            sb_spec(64).energy_per_search() > \
+            sb_spec(32).energy_per_search()
+
+    def test_area_monotone_in_entries(self):
+        assert sb_spec(114).area() > sb_spec(32).area()
+
+    def test_tsob_leakage_dwarfs_woq(self):
+        assert tsob_spec(1024).leakage_per_cycle() > \
+            10 * woq_spec(64).leakage_per_cycle()
+
+    def test_wcb_spec_sane(self):
+        assert wcb_spec(2).area() < sb_spec(32).area()
+
+
+def fake_result(mechanism="baseline", cycles=1000, **stats):
+    base_stats = {
+        "system.core0.sb.searches": 300.0,
+        "system.core0.sb.inserts": 100.0,
+        "system.mem.core0.l1d.reads": 300.0,
+        "system.mem.core0.l1d.writes": 100.0,
+        "system.mem.core0.l2.reads": 20.0,
+        "system.mem.core0.l2.writes": 20.0,
+        "system.mem.l3.reads": 5.0,
+        "system.mem.dram.accesses": 2.0,
+        "system.mem.protocol.transactions": 10.0,
+    }
+    base_stats.update(stats)
+    return SimResult("w", mechanism, 114, cycles,
+                     [CoreResult(0, 900, cycles, {})], base_stats)
+
+
+class TestSystemEnergy:
+    def test_total_positive(self):
+        result = fake_result()
+        breakdown = compute_energy(result, table_i())
+        assert breakdown.total > 0
+
+    def test_components_cover_structures(self):
+        breakdown = compute_energy(fake_result(), table_i())
+        for name in ("core_dynamic", "sb_dynamic", "sb_static",
+                     "l1d_dynamic", "dram_dynamic", "core_static"):
+            assert name in breakdown.components
+
+    def test_bigger_sb_costs_more(self):
+        small = compute_energy(fake_result(), table_i().with_sb_size(32))
+        big = compute_energy(fake_result(), table_i().with_sb_size(114))
+        assert big.components["sb_dynamic"] > small.components["sb_dynamic"]
+
+    def test_ssb_pays_for_tsob_and_l2_writes(self):
+        cfg = table_i().with_mechanism("ssb")
+        # SSB's per-store write-through lands in the L2 write counter
+        # (update_l2 -> record_write); l2_updates is analysis-only.
+        result = fake_result("ssb", **{
+            "system.core0.mechanism.tsob_drains": 100.0,
+            "system.mem.core0.l2.writes": 120.0})
+        breakdown = compute_energy(result, cfg)
+        assert "tsob_static" in breakdown.components
+        base = compute_energy(fake_result(), table_i())
+        assert breakdown.components["l2_dynamic"] > \
+            base.components["l2_dynamic"]
+
+    def test_l2_updates_not_double_charged(self):
+        with_updates = fake_result(**{"system.mem.core0.l2_updates": 500.0})
+        without = fake_result()
+        a = compute_energy(with_updates, table_i())
+        b = compute_energy(without, table_i())
+        assert a.components["l2_dynamic"] == b.components["l2_dynamic"]
+
+    def test_tus_woq_energy_is_small(self):
+        cfg = table_i().with_mechanism("tus")
+        result = fake_result("tus", **{
+            "system.core0.mechanism.tus.woq.searches": 100.0,
+            "system.core0.mechanism.tus.woq.allocations": 50.0,
+            "system.core0.mechanism.wcb.searches": 100.0})
+        breakdown = compute_energy(result, cfg)
+        assert breakdown.components["woq_dynamic"] < \
+            breakdown.components["sb_dynamic"]
+
+    def test_fraction(self):
+        breakdown = EnergyBreakdown({"a": 1.0, "b": 3.0})
+        assert breakdown.fraction("b") == pytest.approx(0.75)
+
+    def test_static_scales_with_cycles(self):
+        short = compute_energy(fake_result(cycles=100), table_i())
+        long = compute_energy(fake_result(cycles=10_000), table_i())
+        assert long.components["core_static"] > \
+            short.components["core_static"]
+
+
+class TestEDP:
+    def test_edp_product(self):
+        result = fake_result(cycles=100)
+        result.energy = 50.0
+        assert edp(result) == 5000.0
+
+    def test_edp_attaches_on_demand(self):
+        result = fake_result()
+        assert result.energy is None
+        value = edp(result, table_i())
+        assert value > 0 and result.energy is not None
+
+    def test_normalized_edp(self):
+        a, b = fake_result(cycles=100), fake_result(cycles=200)
+        a.energy = b.energy = 10.0
+        assert normalized_edp(a, b) == pytest.approx(0.5)
+
+    def test_speedup(self):
+        fast, slow = fake_result(cycles=100), fake_result(cycles=150)
+        assert speedup(fast, slow) == pytest.approx(1.5)
+
+    def test_normalized_requires_energy(self):
+        with pytest.raises(ValueError):
+            normalized_edp(fake_result(), fake_result())

@@ -1,0 +1,103 @@
+"""Event queue: ordering, cancellation, same-cycle cascades."""
+
+import pytest
+
+from repro.common.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda: fired.append(5))
+        q.schedule(3, lambda: fired.append(3))
+        q.schedule(4, lambda: fired.append(4))
+        q.run_until(10)
+        assert fired == [3, 4, 5]
+
+    def test_same_cycle_fifo(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(7, lambda i=i: fired.append(i))
+        q.run_until(7)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_run_until_is_inclusive(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append(10))
+        q.run_until(9)
+        assert fired == []
+        q.run_until(10)
+        assert fired == [10]
+
+    def test_negative_cycle_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1, lambda: None)
+
+    def test_returns_fired_count(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        assert q.run_until(5) == 2
+
+
+class TestCascades:
+    def test_callback_scheduling_same_cycle_runs(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule(5, lambda: fired.append("second"))
+
+        q.schedule(5, first)
+        q.run_until(5)
+        assert fired == ["first", "second"]
+
+    def test_callback_scheduling_later_does_not_run_early(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, lambda: q.schedule(6, lambda: fired.append("late")))
+        q.run_until(5)
+        assert fired == []
+        q.run_until(6)
+        assert fired == ["late"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(3, lambda: fired.append(1))
+        handle.cancel()
+        q.run_until(10)
+        assert fired == []
+
+    def test_cancel_updates_len(self):
+        q = EventQueue()
+        handle = q.schedule(3, lambda: None)
+        assert len(q) == 1
+        handle.cancel()
+        q.run_until(0)  # opportunity to drop tombstones
+        assert q.next_cycle() is None
+
+    def test_next_cycle_skips_cancelled(self):
+        q = EventQueue()
+        early = q.schedule(1, lambda: None)
+        q.schedule(9, lambda: None)
+        early.cancel()
+        assert q.next_cycle() == 9
+
+
+class TestNextCycle:
+    def test_empty_queue(self):
+        assert EventQueue().next_cycle() is None
+
+    def test_reports_earliest(self):
+        q = EventQueue()
+        q.schedule(8, lambda: None)
+        q.schedule(2, lambda: None)
+        assert q.next_cycle() == 2

@@ -1,0 +1,38 @@
+"""Experiment export: CSV and JSON round trips."""
+
+import csv
+
+from repro.harness.export import from_json, to_csv, to_json
+from repro.harness.report import ExperimentResult
+
+
+def sample():
+    result = ExperimentResult("figX", "Title", ["baseline", "tus"])
+    result.add_row("a", {"baseline": 1.0, "tus": 1.2})
+    result.add_row("b", {"baseline": 1.0, "tus": 0.9})
+    result.add_summary("geomean", {"baseline": 1.0, "tus": 1.04})
+    return result
+
+
+class TestCSV:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "r.csv"
+        to_csv(sample(), path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["row", "baseline", "tus"]
+        assert rows[1][0] == "a"
+        assert float(rows[1][2]) == 1.2
+        assert rows[-1][0] == "geomean"
+
+
+class TestJSON:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "r.json"
+        original = sample()
+        to_json(original, path)
+        clone = from_json(path)
+        assert clone.exp_id == original.exp_id
+        assert clone.rows == original.rows
+        assert clone.summary == original.summary
+        assert clone.value("a", "tus") == 1.2

@@ -1,0 +1,128 @@
+"""End-to-end property-based invariants.
+
+Hypothesis generates small random workloads; every mechanism must run
+them to completion with the same committed work, drain every post-SB
+structure, publish every unauthorized line, and be bit-for-bit
+deterministic.  This is the broadest safety net over the whole stack
+(core + memory + coherence + mechanism).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import table_i
+from repro.cpu.isa import OpKind, UOp, alu, fence, load, store
+from repro.cpu.trace import Trace
+from repro.mem.cacheline import State
+from repro.sim.system import System
+
+MECHANISMS = ("baseline", "ssb", "csb", "spb", "tus")
+
+#: Small pool of lines, some sharing lex order across "far" lines is
+#: impossible here, but same-line reuse and bursts are common.
+LINES = [0x77_0000 + i * 64 for i in range(24)]
+
+
+def op_strategy():
+    return st.one_of(
+        st.tuples(st.just("store"), st.integers(0, len(LINES) - 1),
+                  st.integers(0, 7)),
+        st.tuples(st.just("load"), st.integers(0, len(LINES) - 1),
+                  st.integers(0, 7)),
+        st.tuples(st.just("alu"), st.booleans(), st.just(0)),
+        st.tuples(st.just("fence"), st.just(0), st.just(0)),
+    )
+
+
+def realise(ops):
+    uops = []
+    for kind, a, b in ops:
+        if kind == "store":
+            uops.append(store(LINES[a] + b * 8, 8))
+        elif kind == "load":
+            uops.append(load(LINES[a] + b * 8, 8))
+        elif kind == "alu":
+            uops.append(alu(dep_dist=1 if (a and uops) else None))
+        else:
+            uops.append(fence())
+    return uops
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy(), min_size=1, max_size=120))
+def test_all_mechanisms_complete_and_agree(ops):
+    uops = realise(ops)
+    committed = set()
+    for mechanism in MECHANISMS:
+        config = table_i().with_mechanism(mechanism)
+        system = System(config, [Trace("h", list(uops))])
+        result = system.run(max_cycles=2_000_000)
+        committed.add(result.committed)
+        core = system.cores[0]
+        # Everything retired; nothing left anywhere in the store path.
+        assert core.is_done()
+        assert core.sb.empty
+        assert core.mechanism.drained()
+        for line in system.memsys.ports[0].l1d:
+            assert not line.not_visible
+            assert not line.locked
+    assert len(committed) == 1, "mechanisms must commit identical work"
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy(), min_size=10, max_size=80),
+       st.sampled_from(MECHANISMS))
+def test_determinism_property(ops, mechanism):
+    uops = realise(ops)
+    config = table_i().with_mechanism(mechanism)
+    a = System(config, [Trace("h", list(uops))]).run()
+    b = System(config, [Trace("h", list(uops))]).run()
+    assert a.cycles == b.cycles
+    assert a.stats == b.stats
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(op_strategy(), min_size=10, max_size=60),
+       st.sampled_from(MECHANISMS))
+def test_two_core_sharing_property(ops, mechanism):
+    """Two cores share every line: coherence must converge for every
+    mechanism with all work committed and nothing unauthorized left."""
+    uops = realise(ops)
+    config = table_i().with_cores(2).with_mechanism(mechanism)
+    system = System(config, [Trace("a", list(uops)),
+                             Trace("b", list(uops))])
+    result = system.run(max_cycles=2_000_000)
+    assert result.committed == 2 * len(uops)
+    for port in system.memsys.ports:
+        for line in port.l1d:
+            assert not line.not_visible
+    # Directory consistency: at most one owner per line, and an owned
+    # line is writable in the owner's private hierarchy.
+    for line_addr in LINES:
+        entry = system.memsys.directory.lookup(line_addr)
+        if entry is not None and entry.owner is not None:
+            assert not entry.busy
+            port = system.memsys.ports[entry.owner]
+            assert port.is_writable_private(line_addr) or \
+                port.l1d.probe(line_addr) is None
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_sb_sweep_monotone_sanity(mechanism):
+    """Shrinking the SB never *helps* a store-bound trace by more than
+    noise (the forwarding-latency benefit is bounded)."""
+    uops = []
+    for i in range(600):
+        if i % 3 == 0:
+            uops.append(store(0x88_0000 + (i % 40) * 64 + (i % 8) * 8, 8))
+        else:
+            uops.append(alu())
+    cycles = {}
+    for sb in (32, 114):
+        config = table_i().with_mechanism(mechanism).with_sb_size(sb)
+        cycles[sb] = System(config, [Trace("s", list(uops))]).run().cycles
+    assert cycles[32] >= cycles[114] * 0.9

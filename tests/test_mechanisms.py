@@ -1,0 +1,179 @@
+"""Per-mechanism behaviour: the five store paths on crafted scenarios."""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.cpu.isa import alu, load, store
+from repro.cpu.trace import Trace
+from repro.mechanisms.registry import available, make_mechanism
+from repro.sim.system import System, run_single
+
+
+def run(mechanism, uops, sb=114, cores=1, **kw):
+    config = table_i().with_mechanism(mechanism).with_sb_size(sb)
+    return run_single(config, Trace("t", uops))
+
+
+def burst_trace(lines=200, words=8, base=0x100_0000):
+    uops = []
+    for i in range(lines):
+        for w in range(words):
+            uops.append(store(base + i * 64 + w * 8, 8))
+    uops.extend(alu() for _ in range(64))
+    return uops
+
+
+def scatter_trace(n=120, base=0x200_0000):
+    uops = []
+    for i in range(n):
+        # Irregular fresh lines: strided by a large odd jump.
+        uops.append(store(base + i * 64 * 97, 8))
+        uops.extend(alu() for _ in range(6))
+    return uops
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(available()) == {"baseline", "csb", "spb", "ssb", "tus"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_mechanism("nope", None, None, None, None, None)
+
+
+class TestBaseline:
+    def test_blocks_on_store_miss(self):
+        result = run("baseline", scatter_trace())
+        assert result.stat(
+            "system.core0.mechanism.drain_blocked_cycles") > 0
+
+    def test_prefetch_at_commit_issued(self):
+        result = run("baseline", scatter_trace())
+        assert result.stat("system.core0.mechanism.commit_prefetches") > 0
+
+    def test_one_l1d_write_per_store(self):
+        uops = burst_trace(lines=50)
+        result = run("baseline", uops)
+        stores = sum(1 for u in uops if u.kind.is_store)
+        assert result.sum_stats("l1d.writes") >= stores
+
+
+class TestTUS:
+    def test_faster_than_baseline_on_bursts(self):
+        uops = burst_trace()
+        base = run("baseline", uops)
+        tus = run("tus", uops)
+        assert tus.cycles < base.cycles
+
+    def test_coalescing_reduces_l1d_writes(self):
+        uops = burst_trace(lines=100, words=8)
+        base = run("baseline", uops)
+        tus = run("tus", uops)
+        assert tus.sum_stats("l1d.writes") < base.sum_stats("l1d.writes") / 3
+
+    def test_unauthorized_writes_happen(self):
+        result = run("tus", scatter_trace())
+        assert result.stat(
+            "system.core0.mechanism.tus.unauthorized_writes") > 0
+
+    def test_woq_groups_become_visible(self):
+        result = run("tus", burst_trace(lines=60))
+        visible = result.stat(
+            "system.core0.mechanism.tus.woq.visible_lines")
+        assert visible >= 60
+
+    def test_no_unauthorized_residue(self):
+        config = table_i().with_mechanism("tus")
+        system = System(config, [Trace("t", burst_trace(lines=40))])
+        system.run()
+        for line in system.memsys.ports[0].l1d:
+            assert not line.not_visible
+
+    def test_storage_overhead_is_paper_figure(self):
+        assert table_i().tus.woq_storage_bytes == 272
+
+
+class TestSSB:
+    def test_absorbs_scatter_without_sb_stalls(self):
+        base = run("baseline", scatter_trace(n=200))
+        ssb = run("ssb", scatter_trace(n=200))
+        assert ssb.cores[0].stalls["sb"] < base.cores[0].stalls["sb"]
+
+    def test_writes_through_to_l2(self):
+        result = run("ssb", burst_trace(lines=50))
+        stores = 50 * 8
+        assert result.sum_stats("l2_updates") >= stores * 0.9
+
+    def test_no_coalescing(self):
+        result = run("ssb", burst_trace(lines=50))
+        assert result.stat("system.core0.mechanism.tsob_drains") >= 50 * 8
+
+    def test_tsob_capacity_backs_up(self):
+        # More stores than the TSOB can hold: the SB must still fill.
+        cfg = table_i().with_mechanism("ssb")
+        uops = burst_trace(lines=400, words=8)   # 3200 stores > 1024
+        result = run_single(cfg, Trace("t", uops))
+        assert result.cores[0].stalls["sb"] > 0
+
+
+class TestCSB:
+    def test_coalesces_like_tus(self):
+        uops = burst_trace(lines=100, words=8)
+        csb = run("csb", uops)
+        tus = run("tus", uops)
+        assert csb.sum_stats("l1d.writes") == pytest.approx(
+            tus.sum_stats("l1d.writes"), rel=0.2)
+
+    def test_blocks_on_flush_miss(self):
+        result = run("csb", scatter_trace())
+        assert result.stat(
+            "system.core0.mechanism.flush_blocked_cycles") > 0
+
+    def test_group_writes_counted(self):
+        result = run("csb", burst_trace(lines=60))
+        assert result.stat("system.core0.mechanism.group_writes") > 0
+
+
+class TestSPB:
+    def test_bursts_fire_on_sequential_stores(self):
+        result = run("spb", burst_trace(lines=100))
+        assert result.stat("system.core0.mechanism.page_bursts") > 0
+
+    def test_no_burst_on_irregular(self):
+        result = run("spb", scatter_trace())
+        assert result.stat("system.core0.mechanism.page_bursts") == 0
+
+    def test_prefetches_full_pages(self):
+        result = run("spb", burst_trace(lines=128))
+        bursts = result.stat("system.core0.mechanism.page_bursts")
+        prefetches = result.stat(
+            "system.core0.mechanism.burst_prefetches")
+        assert prefetches > bursts * 10
+
+
+class TestRelativeOrdering:
+    """The headline shape: who wins on which behaviour (Section VI)."""
+
+    def test_coalescers_win_on_warm_bursts(self):
+        # Warm ring bursts: TUS and CSB beat baseline clearly.
+        uops = []
+        for rep in range(4):
+            for i in range(100):
+                for w in range(8):
+                    uops.append(store(0x300_0000 + i * 64 + w * 8, 8))
+            uops.extend(alu() for _ in range(200))
+        results = {m: run(m, uops) for m in ("baseline", "tus", "csb")}
+        assert results["tus"].cycles < results["baseline"].cycles
+        assert results["csb"].cycles < results["baseline"].cycles
+
+    def test_store_wait_free_wins_on_scatter(self):
+        uops = scatter_trace(n=150)
+        results = {m: run(m, uops) for m in ("baseline", "tus", "ssb")}
+        assert results["tus"].cycles <= results["baseline"].cycles
+        assert results["ssb"].cycles <= results["baseline"].cycles
+
+    def test_all_mechanisms_equal_on_pure_compute(self):
+        uops = [alu() for _ in range(2000)]
+        cycles = {m: run(m, uops).cycles
+                  for m in ("baseline", "ssb", "csb", "spb", "tus")}
+        assert len(set(cycles.values())) == 1

@@ -1,0 +1,282 @@
+"""The memory system: hit/miss timing, coherence, TUS hook plumbing."""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.common.events import EventQueue
+from repro.coherence.memsys import MemorySystem
+from repro.coherence.msgs import SnoopKind, SnoopReply, SnoopResult
+from repro.mem.cacheline import State
+
+LINE = 0x4_0000
+
+
+def make_system(cores=1):
+    config = table_i().with_cores(cores)
+    events = EventQueue()
+    return MemorySystem(config, events), events
+
+
+def run_all(events, limit=10_000):
+    events.run_until(limit)
+
+
+class TestLoads:
+    def test_l1_hit_latency(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.l1d.allocate(LINE, State.S)
+        done = []
+        port.load(LINE, 100, done.append)
+        assert done == [100 + 5]   # L1D latency from Table I
+
+    def test_miss_goes_through_hierarchy(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        done = []
+        port.load(LINE, 0, done.append)
+        run_all(events)
+        assert len(done) == 1
+        # L2 (16) + L3 (34) + DRAM (160) + return L2 (16) = 226 minimum.
+        assert done[0] >= 226
+
+    def test_miss_installs_line(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.load(LINE, 0, lambda c: None)
+        run_all(events)
+        assert port.l1d.probe(LINE) is not None
+        assert port.l2.probe(LINE) is not None
+
+    def test_second_load_hits_l2_after_l1_eviction(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.load(LINE, 0, lambda c: None)
+        run_all(events)
+        port.l1d.invalidate(LINE)
+        done = []
+        port.load(LINE, 1000, done.append)
+        run_all(events)
+        assert done[0] == 1000 + 16   # private L2 round trip
+
+    def test_secondary_miss_merges(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        done = []
+        port.load(LINE, 0, done.append)
+        port.load(LINE + 8, 1, done.append)
+        run_all(events)
+        assert len(done) == 2
+        assert sys_.dram.accesses == 1
+
+
+class TestStores:
+    def test_request_write_grants_writable(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        assert not port.is_writable(LINE)
+        port.request_write(LINE, 0)
+        run_all(events)
+        assert port.is_writable(LINE)
+
+    def test_write_hit_sets_modified(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.request_write(LINE, 0)
+        run_all(events)
+        port.write_hit(LINE, 500)
+        assert port.l1d.probe(LINE).state == State.M
+
+    def test_write_hit_without_permission_raises(self):
+        sys_, events = make_system()
+        with pytest.raises(Exception):
+            sys_.ports[0].write_hit(LINE, 0)
+
+    def test_upgrade_from_shared(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.load(LINE, 0, lambda c: None)
+        run_all(events)
+        assert port.l1d.probe(LINE).state in (State.S, State.E)
+        port.request_write(LINE, 1000)
+        run_all(events, 5000)
+        assert port.is_writable(LINE)
+
+    def test_writable_private_sees_l2(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.request_write(LINE, 0)
+        run_all(events)
+        port.l1d.invalidate(LINE)
+        assert not port.is_writable(LINE)
+        assert port.is_writable_private(LINE)
+
+    def test_callback_fires_on_grant(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        done = []
+        port.request_write(LINE, 0, done.append)
+        run_all(events)
+        assert len(done) == 1
+
+    def test_immediate_callback_when_already_writable(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        port.request_write(LINE, 0)
+        run_all(events)
+        done = []
+        port.request_write(LINE, 999, done.append)
+        assert done == [999]
+
+
+class TestCoherence:
+    def test_getx_invalidates_remote_copy(self):
+        sys_, events = make_system(cores=2)
+        sys_.ports[0].load(LINE, 0, lambda c: None)
+        run_all(events)
+        sys_.ports[1].request_write(LINE, 1000)
+        run_all(events, 5000)
+        assert sys_.ports[0].l1d.probe(LINE) is None
+        assert sys_.ports[1].is_writable(LINE)
+
+    def test_gets_downgrades_remote_owner(self):
+        sys_, events = make_system(cores=2)
+        sys_.ports[0].request_write(LINE, 0)
+        run_all(events)
+        sys_.ports[0].write_hit(LINE, 500)
+        sys_.ports[1].load(LINE, 1000, lambda c: None)
+        run_all(events, 5000)
+        remote = sys_.ports[0].l1d.probe(LINE)
+        assert remote is not None and remote.state == State.S
+
+    def test_dirty_remote_data_forwarded(self):
+        sys_, events = make_system(cores=2)
+        sys_.ports[0].request_write(LINE, 0)
+        run_all(events)
+        sys_.ports[0].write_hit(LINE, 500)
+        done = []
+        sys_.ports[1].load(LINE, 1000, done.append)
+        run_all(events, 5000)
+        assert done and sys_.c_forwards.value == 1
+
+    def test_directory_tracks_owner(self):
+        sys_, events = make_system(cores=2)
+        sys_.ports[1].request_write(LINE, 0)
+        run_all(events)
+        entry = sys_.directory.lookup(LINE)
+        assert entry.owner == 1
+
+    def test_ping_pong_ownership(self):
+        sys_, events = make_system(cores=2)
+        for round_start, core in ((0, 0), (1000, 1), (2000, 0)):
+            sys_.ports[core].request_write(LINE, round_start)
+            run_all(events, round_start + 900)
+        assert sys_.ports[0].is_writable(LINE)
+        assert sys_.ports[1].l1d.probe(LINE) is None
+
+
+class TestInclusion:
+    def test_l2_eviction_back_invalidates_l1(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        cfg = port.l2.config
+        # Fill one L2 set completely, then one more line in the same set.
+        step = cfg.num_sets * 64
+        base = 0x10_0000
+        for i in range(cfg.assoc + 1):
+            port.request_write(base + i * step, i * 3000)
+            run_all(events, (i + 1) * 3000)
+        resident_l1 = sum(
+            1 for i in range(cfg.assoc + 1)
+            if port.l1d.probe(base + i * step) is not None)
+        resident_l2 = sum(
+            1 for i in range(cfg.assoc + 1)
+            if port.l2.probe(base + i * step) is not None)
+        assert resident_l2 == cfg.assoc
+        assert resident_l1 <= resident_l2   # inclusion
+
+    def test_l2_veto_protects_not_visible_l1_lines(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        line = port.l1d.allocate(LINE, State.I)
+        line.not_visible = True
+        assert port._l2_victim_veto(
+            type("V", (), {"addr": LINE})()) is True
+
+
+class TestTUSHooks:
+    def test_fill_hook_fires_for_unauthorized_line(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        line = port.l1d.allocate(LINE, State.I)
+        line.not_visible = True
+        fired = []
+        port.fill_hook = lambda addr, l, cycle: fired.append(addr)
+        port.request_write(LINE, 0)
+        run_all(events)
+        assert fired == [LINE]
+        assert line.ready and line.state == State.M
+
+    def test_read_fill_does_not_authorize(self):
+        sys_, events = make_system()
+        port = sys_.ports[0]
+        line = port.l1d.allocate(LINE, State.I)
+        line.not_visible = True
+        port.fill_hook = lambda *a: pytest.fail("must not fire on GetS")
+        port.request_read(LINE + 64, 0)   # unrelated line: sanity
+        port._fill(LINE, State.S, 100, None)
+        assert not line.ready
+
+    def test_snoop_hook_consulted_for_not_visible(self):
+        sys_, events = make_system(cores=2)
+        port0 = sys_.ports[0]
+        # Core 0 owns the line, then marks it unauthorized again.
+        port0.request_write(LINE, 0)
+        run_all(events)
+        l1line = port0.l1d.probe(LINE)
+        l1line.not_visible = True
+        calls = []
+
+        def hook(addr, kind, requester, cycle):
+            calls.append((addr, kind, requester))
+            l1line.not_visible = False
+            return port0._snoop_normal(addr, kind, port0.l1d.probe(addr))
+
+        port0.snoop_hook = hook
+        sys_.ports[1].request_write(LINE, 1000)
+        run_all(events, 6000)
+        assert calls and calls[0][0] == LINE
+        assert calls[0][2] == 1
+
+    def test_snoop_without_hook_raises(self):
+        sys_, events = make_system(cores=2)
+        port0 = sys_.ports[0]
+        port0.request_write(LINE, 0)
+        run_all(events)
+        port0.l1d.probe(LINE).not_visible = True
+        sys_.ports[1].request_write(LINE, 1000)
+        with pytest.raises(Exception):
+            run_all(events, 6000)
+
+    def test_delayed_snoop_polls_until_visible(self):
+        sys_, events = make_system(cores=2)
+        port0 = sys_.ports[0]
+        port0.request_write(LINE, 0)
+        run_all(events)
+        l1line = port0.l1d.probe(LINE)
+        l1line.not_visible = True
+        polls = []
+
+        def hook(addr, kind, requester, cycle):
+            polls.append(cycle)
+            if len(polls) < 3:
+                return SnoopReply(SnoopResult.DELAY)
+            l1line.not_visible = False
+            return port0._snoop_normal(addr, kind, l1line)
+
+        port0.snoop_hook = hook
+        sys_.ports[1].request_write(LINE, 1000)
+        run_all(events, 20_000)
+        assert len(polls) == 3
+        assert sys_.ports[1].is_writable(LINE)
+        assert sys_.c_delays.value == 2

@@ -1,0 +1,150 @@
+"""The paper's worked examples (Figures 2-5), step by step.
+
+Each test reconstructs one of the paper's illustrated scenarios against
+the real implementation and checks the states the figure shows.
+"""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+from repro.coherence.memsys import MemorySystem
+from repro.core.tus_controller import TUSController
+from repro.mem.cacheline import State
+from repro.mem.wcb import InsertResult, WCBFile
+
+# Distinct lines named as in the paper's figures.
+A, B, J, K, L = (0x10_0040, 0x10_0080, 0x10_00C0, 0x10_0100, 0x10_0140)
+
+
+def controller():
+    config = table_i()
+    events = EventQueue()
+    memsys = MemorySystem(config, events)
+    return (TUSController(config, memsys.ports[0], StatGroup("tus")),
+            memsys, events)
+
+
+class TestFigure2WritePath:
+    """Figure 2: K is written unauthorized, A's permission arrives and
+    A is made visible in WOQ order."""
+
+    def test_walkthrough(self):
+        ctrl, memsys, events = controller()
+        port = memsys.ports[0]
+        # Writes to A, J, K missed in L1D and wrote as unauthorized.
+        for line in (A, J, K):
+            assert ctrl.can_accept([(line, 0xFF)])
+            ctrl.write_group([(line, 0xFF)], 0)
+        assert [e.line for e in ctrl.woq] == [A, J, K]
+        for line in (A, J, K):
+            l1 = port.l1d.probe(line)
+            assert l1.not_visible and not l1.ready
+        # Permission and data arrive for A: combined, made visible.
+        port._fill(A, State.E, 100, None)
+        assert not port.l1d.probe(A).not_visible
+        assert port.l1d.probe(A).state == State.M
+        # J and K still wait, in order.
+        assert [e.line for e in ctrl.woq] == [J, K]
+
+
+class TestFigure3StoreCycle:
+    """Figure 3: completed stores A1, J1; then A2 finds A not-visible,
+    creating the cycle that merges {A, J} into one atomic group."""
+
+    def test_walkthrough(self):
+        ctrl, memsys, events = controller()
+        ctrl.write_group([(A, 0x01)], 0)
+        ctrl.write_group([(J, 0x01)], 1)
+        a_entry = ctrl.woq.find(A)
+        j_entry = ctrl.woq.find(J)
+        assert a_entry.group != j_entry.group   # separate groups
+        # A2 completes: hits A in not-visible state -> cycle -> {A, J}.
+        assert ctrl.can_accept([(A, 0x02)])
+        ctrl.write_group([(A, 0x02)], 2)
+        assert a_entry.group == j_entry.group
+        assert a_entry.mask == 0x03             # mask updated (M_A)
+        # The group becomes visible only when BOTH are ready.
+        port = memsys.ports[0]
+        port._fill(A, State.E, 50, None)
+        assert port.l1d.probe(A).not_visible    # J not ready yet
+        port._fill(J, State.E, 60, None)
+        assert not port.l1d.probe(A).not_visible
+        assert not port.l1d.probe(J).not_visible
+
+
+class TestFigure4WCBCoalescing:
+    """Figure 4: sequence A1 A2 B1 B2 A3 L2 with two WCBs: A3 forms the
+    atomic group {A, B}; L2 finds no room and forces the flush; J (an
+    older singleton group) is always made visible first."""
+
+    def test_wcb_side(self):
+        wcb = WCBFile(2)
+        assert wcb.insert(A, 0x01) == InsertResult.ALLOCATED
+        assert wcb.insert(A, 0x02) == InsertResult.COALESCED
+        assert wcb.insert(B, 0x01) == InsertResult.ALLOCATED
+        assert wcb.insert(B, 0x02) == InsertResult.COALESCED
+        # A3: back to buffer A while B was last written -> cycle.
+        assert wcb.insert(A, 0x04) == InsertResult.COALESCED
+        assert len({e.group for e in wcb.buffers}) == 1
+        # L2: not found, no free buffer -> the WCBs must be flushed.
+        assert wcb.insert(L, 0x02) == InsertResult.NEED_FLUSH
+
+    def test_woq_side_j_visible_first(self):
+        ctrl, memsys, events = controller()
+        port = memsys.ports[0]
+        # J is already its own (older) atomic group in the WOQ.
+        ctrl.write_group([(J, 0x01)], 0)
+        # The merged {A, B} group arrives from the WCB flush.
+        ctrl.write_group([(A, 0x07), (B, 0x03)], 1)
+        a_entry, b_entry = ctrl.woq.find(A), ctrl.woq.find(B)
+        assert a_entry.group == b_entry.group
+        assert ctrl.woq.find(J).group != a_entry.group
+        # Even with {A, B} fully ready, J publishes first.
+        port._fill(A, State.E, 10, None)
+        port._fill(B, State.E, 20, None)
+        assert port.l1d.probe(A).not_visible
+        port._fill(J, State.E, 30, None)
+        assert not port.l1d.probe(A).not_visible
+        assert not port.l1d.probe(B).not_visible
+
+    def test_group_respects_associativity_budget(self):
+        # "The resulting combined store group ... cannot exceed the
+        # associativity of the cache in any given set."
+        ctrl, memsys, events = controller()
+        port = memsys.ports[0]
+        num_sets = port.l1d.config.num_sets
+        base = 0x20_0000
+        group = [(base + i * num_sets * 64, 0x01)
+                 for i in range(port.l1d.config.assoc + 1)]
+        assert not ctrl.can_accept(group)
+
+
+class TestFigure5CrossCoreResolution:
+    """Figure 5 end to end: two cores with overlapping atomic groups;
+    lex order decides that one proceeds and one relinquishes, and both
+    eventually publish (no deadlock, no rollback)."""
+
+    def test_two_core_overlap_converges(self):
+        config = table_i().with_cores(2)
+        events = EventQueue()
+        memsys = MemorySystem(config, events)
+        ctrl0 = TUSController(config, memsys.ports[0], StatGroup("c0"))
+        ctrl1 = TUSController(config, memsys.ports[1], StatGroup("c1"))
+        C, D = 0x30_0040, 0x30_0080
+        # Core 0 writes C then D; core 1 writes D then C (overlap).
+        ctrl0.write_group([(C, 0x01)], 0)
+        ctrl0.write_group([(D, 0x01)], 1)
+        ctrl1.write_group([(D, 0x02)], 0)
+        ctrl1.write_group([(C, 0x02)], 1)
+        events.run_until(100_000)
+        assert ctrl0.drained and ctrl1.drained
+        for port in memsys.ports:
+            for line in port.l1d:
+                assert not line.not_visible
+        # Exactly one core owns each line at the end.
+        for line_addr in (C, D):
+            entry = memsys.directory.lookup(line_addr)
+            assert entry is not None
+            assert entry.owner in (0, 1)

@@ -1,0 +1,67 @@
+"""Small-scale Parsec-profile runs: the multicore path end to end.
+
+Full 16-core runs live in the benchmark harness; here 4-core versions
+verify coherence convergence, sharing effects, and the TUS conflict
+machinery on every parallel profile.
+"""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.sim.system import System
+from repro.workloads import benchmarks, make_parallel_traces
+
+CORES = 4
+LENGTH = 800
+
+
+@pytest.mark.parametrize("bench", benchmarks("parsec"))
+def test_parsec_profile_runs_multicore(bench):
+    config = table_i().with_cores(CORES).with_mechanism("tus")
+    traces = make_parallel_traces(bench, CORES, LENGTH, seed=11)
+    system = System(config, traces, workload=bench)
+    result = system.run()
+    assert result.committed == CORES * LENGTH
+    for port in system.memsys.ports:
+        for line in port.l1d:
+            assert not line.not_visible
+
+
+@pytest.mark.parametrize("mechanism",
+                         ["baseline", "ssb", "csb", "spb", "tus"])
+def test_dedup_all_mechanisms(mechanism):
+    config = table_i().with_cores(CORES).with_mechanism(mechanism)
+    traces = make_parallel_traces("dedup", CORES, LENGTH, seed=3)
+    result = System(config, traces, workload="dedup").run()
+    assert result.committed == CORES * LENGTH
+
+
+def test_sharing_generates_coherence_traffic():
+    config = table_i().with_cores(CORES)
+    traces = make_parallel_traces("streamcluster", CORES, 3000, seed=5)
+    result = System(config, traces, workload="sc").run()
+    assert result.stat("system.mem.protocol.invalidations") > 0
+
+
+def test_tus_conflicts_on_shared_profiles():
+    """Across the parallel suite, TUS's delay/relinquish machinery must
+    actually fire somewhere (otherwise the multicore path is untested
+    by the figures)."""
+    config = table_i().with_cores(CORES).with_mechanism("tus")
+    touched = 0
+    for bench in ("streamcluster", "dedup", "x264", "fluidanimate"):
+        traces = make_parallel_traces(bench, CORES, 3000, seed=7)
+        result = System(config, traces, workload=bench).run()
+        touched += result.stat("system.mem.protocol.delayed_snoops")
+        touched += result.stat("system.mem.protocol.relinquished")
+    assert touched > 0
+
+
+def test_more_cores_more_contention():
+    traces2 = make_parallel_traces("streamcluster", 2, 2000, seed=9)
+    traces4 = make_parallel_traces("streamcluster", 4, 2000, seed=9)
+    r2 = System(table_i().with_cores(2), traces2).run()
+    r4 = System(table_i().with_cores(4), traces4).run()
+    inv2 = r2.stat("system.mem.protocol.invalidations")
+    inv4 = r4.stat("system.mem.protocol.invalidations")
+    assert inv4 >= inv2

@@ -1,0 +1,59 @@
+"""Stream prefetcher: stride detection and issue."""
+
+from repro.mem.prefetcher import StreamPrefetcher
+
+
+class TestStrideDetection:
+    def test_no_prefetch_before_confidence(self):
+        pf = StreamPrefetcher(degree=2)
+        assert pf.observe(0x1000) == []
+        assert pf.observe(0x1040) == []   # first stride observation
+
+    def test_prefetch_after_two_strides(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        targets = pf.observe(0x1080)
+        assert targets == [0x10C0, 0x1100]
+
+    def test_degree_respected(self):
+        pf = StreamPrefetcher(degree=4)
+        for addr in (0x1000, 0x1040, 0x1080):
+            targets = pf.observe(addr)
+        assert len(targets) == 4
+
+    def test_negative_stride(self):
+        pf = StreamPrefetcher(degree=1)
+        pf.observe(0x2000)
+        pf.observe(0x1FC0)
+        targets = pf.observe(0x1F80)
+        assert targets == [0x1F40]
+
+    def test_stride_change_resets_confidence(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        pf.observe(0x1080)
+        assert pf.observe(0x1200) == []   # broken stride
+
+    def test_same_line_repeat_is_ignored(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.observe(0x1000)
+        assert pf.observe(0x1010) == []   # same cache line
+
+    def test_independent_streams(self):
+        pf = StreamPrefetcher(degree=1)
+        # Two interleaved far-apart streams both train.
+        a = [0x1_0000, 0x1_0040, 0x1_0080]
+        b = [0x9_0000, 0x9_0040, 0x9_0080]
+        got = []
+        for x, y in zip(a, b):
+            got += pf.observe(x)
+            got += pf.observe(y)
+        assert 0x1_00C0 in got and 0x9_00C0 in got
+
+    def test_table_capacity_evicts_oldest(self):
+        pf = StreamPrefetcher(degree=1, table_size=2)
+        for i in range(4):
+            pf.observe(0x10_0000 * (i + 1))
+        assert len(pf._streams) <= 2

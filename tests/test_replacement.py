@@ -1,0 +1,74 @@
+"""Replacement policies, including the NACK-refresh iteration order."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.cacheline import CacheLine, State
+from repro.mem.replacement import (LRU, MRU, RandomReplacement, make_policy)
+
+
+def lines(n):
+    return [CacheLine(0x40 * i, State.S) for i in range(n)]
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_policy("lru"), LRU)
+        assert isinstance(make_policy("mru"), MRU)
+        assert isinstance(make_policy("random", seed=1), RandomReplacement)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("belady")
+
+
+class TestVictimIteration:
+    """`victims` yields candidates in preference order — the L2 uses the
+    tail of this order when earlier victims are vetoed (NACK refresh)."""
+
+    def test_lru_yields_oldest_first(self):
+        policy = LRU()
+        ls = lines(4)
+        for i, line in enumerate(ls):
+            policy.touch(line, i)
+        order = list(policy.victims(ls))
+        assert order == ls
+
+    def test_pinned_lines_excluded(self):
+        policy = LRU()
+        ls = lines(3)
+        for i, line in enumerate(ls):
+            policy.touch(line, i)
+        ls[0].not_visible = True
+        order = list(policy.victims(ls))
+        assert ls[0] not in order and len(order) == 2
+
+    def test_random_deterministic_by_seed(self):
+        ls = lines(6)
+        a = list(RandomReplacement(seed=3).victims(list(ls)))
+        b = list(RandomReplacement(seed=3).victims(list(ls)))
+        assert a == b
+
+    def test_touch_refreshes_lru(self):
+        policy = LRU()
+        ls = lines(3)
+        for i, line in enumerate(ls):
+            policy.touch(line, i)
+        policy.touch(ls[0], 99)
+        assert policy.victim(ls) is ls[1]
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    def test_lru_victim_is_least_recent(self, touches):
+        policy = LRU()
+        ls = lines(6)
+        for line in ls:
+            policy.touch(line, 0)
+        last_touch = {i: 0 for i in range(6)}
+        for step, idx in enumerate(touches, start=1):
+            policy.touch(ls[idx], step)
+            last_touch[idx] = step
+        victim = policy.victim(ls)
+        oldest = min(range(6), key=lambda i: (last_touch[i], i))
+        # The victim must be one of the least-recently-touched lines.
+        assert last_touch[ls.index(victim)] == last_touch[oldest]

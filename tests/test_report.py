@@ -1,0 +1,43 @@
+"""Report rendering: experiment tables and S-curves."""
+
+from repro.harness.report import ExperimentResult, render_scurve
+
+
+class TestExperimentResult:
+    def make(self, fmt="ratio"):
+        result = ExperimentResult("figX", "Test figure",
+                                  ["baseline", "tus"], fmt=fmt)
+        result.add_row("benchA", {"baseline": 1.0, "tus": 1.25})
+        result.add_row("benchB", {"baseline": 1.0, "tus": 0.97})
+        result.add_summary("geomean", {"baseline": 1.0, "tus": 1.1})
+        return result
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "figX" in text
+        assert "benchA" in text and "benchB" in text
+        assert "geomean" in text
+        assert "1.250" in text
+
+    def test_percent_format(self):
+        result = self.make(fmt="percent")
+        assert "125.00%" in result.render()
+
+    def test_value_lookup(self):
+        result = self.make()
+        assert result.value("benchA", "tus") == 1.25
+        assert result.value("geomean", "tus") == 1.1
+
+    def test_missing_column_renders_dash(self):
+        result = ExperimentResult("f", "t", ["a", "b"])
+        result.add_row("r", {"a": 1.0})
+        assert "-" in result.render()
+
+
+class TestSCurve:
+    def test_summary_statistics(self):
+        text = render_scurve("curve", {
+            "tus": [1.0, 1.1, 1.2, 1.3, 0.99, 1.02],
+        })
+        assert "tus" in text
+        assert "apps>+1%: 4/6" in text

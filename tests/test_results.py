@@ -1,0 +1,55 @@
+"""SimResult and CoreResult accessors."""
+
+import pytest
+
+from repro.sim.results import CoreResult, SimResult
+
+
+def make(cycles=100, committed=250, energy=None):
+    return SimResult("w", "tus", 114, cycles,
+                     [CoreResult(0, committed, cycles, {"sb": 10})],
+                     {"system.mem.core0.l1d.writes": 5.0,
+                      "system.mem.core1.l1d.writes": 7.0},
+                     energy=energy)
+
+
+class TestSimResult:
+    def test_ipc(self):
+        assert make().ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert make(cycles=0).ipc == 0.0
+
+    def test_committed_sums_cores(self):
+        result = SimResult("w", "tus", 114, 10,
+                           [CoreResult(0, 5, 10, {}),
+                            CoreResult(1, 7, 10, {})], {})
+        assert result.committed == 12
+
+    def test_stall_fraction(self):
+        assert make().stall_fraction("sb") == pytest.approx(0.1)
+
+    def test_stall_fraction_unknown_reason(self):
+        assert make().stall_fraction("xyz") == 0.0
+
+    def test_sum_stats_matches_suffix(self):
+        assert make().sum_stats("l1d.writes") == 12.0
+
+    def test_stat_default(self):
+        assert make().stat("missing", 3.0) == 3.0
+
+    def test_edp(self):
+        assert make(energy=2.0).edp == 200.0
+        assert make().edp is None
+
+    def test_core_ipc(self):
+        core = CoreResult(0, 50, 25, {})
+        assert core.ipc(25) == 2.0
+
+    def test_round_trip_preserves_everything(self):
+        original = make(energy=9.5)
+        clone = SimResult.from_dict(original.to_dict())
+        assert clone.energy == 9.5
+        assert clone.cores[0].stalls == {"sb": 10}
+        assert clone.mechanism == "tus"
+        assert clone.sb_entries == 114

@@ -1,0 +1,115 @@
+"""Statistics framework: counters, histograms, formulas, trees."""
+
+import pytest
+
+from repro.common.stats import Counter, Histogram, StatGroup, geomean
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram("h")
+        for v in (2, 4, 6):
+            h.sample(v)
+        assert h.mean == 4
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", bucket_width=1, num_buckets=4)
+        h.sample(100)
+        assert h.overflow == 1
+
+    def test_bucketing(self):
+        h = Histogram("h", bucket_width=10, num_buckets=4)
+        h.sample(25)
+        assert h.buckets[2] == 1
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestStatGroup:
+    def test_counter_identity(self):
+        g = StatGroup("g")
+        assert g.counter("x") is g.counter("x")
+
+    def test_getitem_counter(self):
+        g = StatGroup("g")
+        g.counter("x").inc(7)
+        assert g["x"] == 7
+
+    def test_formula(self):
+        g = StatGroup("g")
+        c = g.counter("hits")
+        g.formula("double", lambda: c.value * 2)
+        c.inc(4)
+        assert g["double"] == 8
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            StatGroup("g")["nothing"]
+
+    def test_get_default(self):
+        assert StatGroup("g").get("nope", 1.5) == 1.5
+
+    def test_children_nest(self):
+        g = StatGroup("sys")
+        g.child("core").counter("c").inc(2)
+        flat = g.flatten()
+        assert flat["sys.core.c"] == 2
+
+    def test_flatten_includes_formula(self):
+        g = StatGroup("g")
+        g.formula("f", lambda: 3.0)
+        assert g.flatten()["g.f"] == 3.0
+
+    def test_reset_recursive(self):
+        g = StatGroup("g")
+        g.child("a").counter("c").inc(5)
+        g.reset()
+        assert g.child("a")["c"] == 0
+
+    def test_render_contains_values(self):
+        g = StatGroup("top")
+        g.counter("events").inc(12)
+        text = g.render()
+        assert "events" in text and "12" in text
+
+    def test_walk_visits_all(self):
+        g = StatGroup("a")
+        g.child("b").child("c")
+        names = [x.name for x in g.walk()]
+        assert names == ["a", "b", "c"]
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == 3.0
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_invariant_to_order(self):
+        assert geomean([2, 8, 4]) == pytest.approx(geomean([8, 4, 2]))

@@ -1,0 +1,122 @@
+"""Store buffer: order, commit, drain, forwarding search."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import CoreConfig
+from repro.cpu.isa import store
+from repro.cpu.storebuffer import StoreBuffer
+
+
+def make_sb(entries=4):
+    return StoreBuffer(CoreConfig(sb_entries=entries))
+
+
+class TestLifecycle:
+    def test_insert_order(self):
+        sb = make_sb()
+        sb.insert(store(0x1000))
+        sb.insert(store(0x2000))
+        assert sb.head().line == 0x1000
+
+    def test_full(self):
+        sb = make_sb(entries=2)
+        sb.insert(store(0x1000))
+        sb.insert(store(0x2000))
+        assert sb.full
+        with pytest.raises(OverflowError):
+            sb.insert(store(0x3000))
+
+    def test_head_committed_requires_commit(self):
+        sb = make_sb()
+        entry = sb.insert(store(0x1000))
+        assert sb.head_committed() is None
+        entry.committed = True
+        assert sb.head_committed() is entry
+
+    def test_drain_is_fifo(self):
+        sb = make_sb()
+        sb.insert(store(0x1000))
+        sb.insert(store(0x2000))
+        assert sb.pop_head().line == 0x1000
+        assert sb.pop_head().line == 0x2000
+        assert sb.empty
+
+    def test_uncommitted_younger_does_not_unblock_head(self):
+        sb = make_sb()
+        sb.insert(store(0x1000))
+        younger = sb.insert(store(0x2000))
+        younger.committed = True
+        assert sb.head_committed() is None   # x86-TSO: head first
+
+
+class TestForwarding:
+    def test_hit_same_word(self):
+        sb = make_sb()
+        sb.insert(store(0x1000, 8))
+        assert sb.search(0x1000, 8) is not None
+
+    def test_miss_different_word_same_line(self):
+        sb = make_sb()
+        sb.insert(store(0x1000, 8))
+        assert sb.search(0x1008, 8) is None
+
+    def test_miss_different_line(self):
+        sb = make_sb()
+        sb.insert(store(0x1000, 8))
+        assert sb.search(0x2000, 8) is None
+
+    def test_youngest_match_wins(self):
+        sb = make_sb()
+        first = sb.insert(store(0x1000, 8))
+        second = sb.insert(store(0x1000, 8))
+        assert sb.search(0x1000, 8) is second
+
+    def test_search_after_drain_misses(self):
+        sb = make_sb()
+        entry = sb.insert(store(0x1000, 8))
+        entry.committed = True
+        sb.pop_head()
+        assert sb.search(0x1000, 8) is None
+
+    def test_partial_overlap_forwards(self):
+        sb = make_sb()
+        sb.insert(store(0x1000, 8))
+        assert sb.search(0x1004, 8) is not None
+
+    def test_search_counters(self):
+        sb = make_sb()
+        sb.insert(store(0x1000, 8))
+        sb.search(0x1000, 8)
+        sb.search(0x2000, 8)
+        assert sb.stats["searches"] == 2
+        assert sb.stats["forwards"] == 1
+
+
+class TestForwardLatency:
+    @pytest.mark.parametrize("entries,expected", [(114, 5), (64, 4), (32, 3)])
+    def test_latency_tracks_size(self, entries, expected):
+        assert make_sb(entries).forward_latency == expected
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.booleans()),
+                min_size=1, max_size=50))
+def test_sb_fifo_property(ops):
+    """Property: drains come out in exactly insertion order and the
+    by-line index never disagrees with a linear search."""
+    sb = make_sb(entries=64)
+    inserted = []
+    drained = []
+    for line_idx, do_drain in ops:
+        if do_drain and not sb.empty:
+            head = sb.head()
+            head.committed = True
+            drained.append(sb.pop_head().line)
+        elif not sb.full:
+            addr = 0x9000 + line_idx * 64
+            sb.insert(store(addr, 8))
+            inserted.append(addr & ~63)
+    while not sb.empty:
+        drained.append(sb.pop_head().line)
+    assert drained == inserted

@@ -1,0 +1,63 @@
+"""Trace serialisation round trips."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads import make_trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_identical_after_reload(self, tmp_path):
+        trace = make_trace("synth.burst", 2000, seed=5)
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        assert clone.name == trace.name
+        assert clone.seed == trace.seed
+        assert len(clone) == len(trace)
+        for a, b in zip(trace, clone):
+            assert (a.kind, a.addr, a.size, a.dep_dist) == \
+                (b.kind, b.addr, b.size, b.dep_dist)
+
+    def test_dep_dists_survive(self, tmp_path):
+        trace = make_trace("505.mcf", 3000, seed=1)
+        path = tmp_path / "m.trace"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        deps = [u.dep_dist for u in trace]
+        assert [u.dep_dist for u in clone] == deps
+        assert any(d is not None for d in deps)
+
+    def test_simulation_equivalence(self, tmp_path):
+        from repro import run_single, table_i
+        trace = make_trace("synth.burst", 1500, seed=9)
+        path = tmp_path / "s.trace"
+        save_trace(trace, path)
+        clone = load_trace(path)
+        a = run_single(table_i(), trace)
+        b = run_single(table_i(), clone)
+        assert a.cycles == b.cycles
+
+
+class TestErrors:
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = make_trace("synth.burst", 500)
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-10]) + "\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v"
+        path.write_text('{"format": 999, "length": 0}\n')
+        with pytest.raises(TraceError):
+            load_trace(path)

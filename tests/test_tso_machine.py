@@ -1,0 +1,142 @@
+"""TUS preserves x86-TSO: machine outcomes are a subset of the reference.
+
+This is the executable version of the paper's Section III-D argument.
+The exhaustive check runs every litmus program; the hypothesis test
+generates random small programs and random schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tso.litmus import all_litmus_tests, coalescing_cycle, X, Y
+from repro.tso.machine import (TUSMachine, enumerate_tus_outcomes,
+                               random_walk_outcomes)
+from repro.tso.program import Fence, Load, Program, Store
+from repro.tso.reference import enumerate_outcomes
+
+
+class TestLitmusSubset:
+    @pytest.mark.parametrize("name", sorted(all_litmus_tests()))
+    def test_tus_subset_of_tso(self, name):
+        program = all_litmus_tests()[name]
+        tso = enumerate_outcomes(program)
+        tus = enumerate_tus_outcomes(program)
+        assert tus <= tso, f"{name}: TUS produced non-TSO outcomes"
+
+    @pytest.mark.parametrize("name", sorted(all_litmus_tests()))
+    def test_tus_produces_something(self, name):
+        program = all_litmus_tests()[name]
+        assert enumerate_tus_outcomes(program)
+
+
+class TestCoalescingAtomicity:
+    def test_aba_observer_never_sees_new_a_before_b(self):
+        # Program: X=1; Y=1; X=2 with a cycle merging {X, Y}.  If an
+        # observer reads X=2, it must also read Y=1 (the group published
+        # atomically and the groups in between published first).
+        outcomes = enumerate_tus_outcomes(coalescing_cycle())
+        for regs, _mem in outcomes:
+            values = dict(regs)
+            if values["r1"] == 2:
+                assert values["r2"] == 1
+
+    def test_machine_coalesces_same_line(self):
+        machine = TUSMachine(Program([[Store(X, 1), Store(X, 2)]]))
+        machine.step(0, "exec")
+        machine.step(0, "exec")
+        machine.step(0, "drain")
+        machine.step(0, "drain")
+        assert len(machine.cores[0].groups) == 1
+
+    def test_cycle_merges_pending_groups(self):
+        machine = TUSMachine(Program([[
+            Store(X, 1), Store(Y, 1), Store(X, 2)]]))
+        for _ in range(3):
+            machine.step(0, "exec")
+        for _ in range(3):
+            machine.step(0, "drain")
+        assert len(machine.cores[0].groups) == 1   # {X, Y} merged
+
+    def test_group_publishes_atomically(self):
+        machine = TUSMachine(Program([[
+            Store(X, 1), Store(Y, 1), Store(X, 2)]]))
+        for _ in range(3):
+            machine.step(0, "exec")
+        for _ in range(3):
+            machine.step(0, "drain")
+        machine.step(0, "visible")
+        assert machine.memory == {X: 2, Y: 1}
+
+
+class TestLocalReads:
+    def test_load_sees_own_sb(self):
+        machine = TUSMachine(Program([[Store(X, 7), Load(X, "r1")]]))
+        machine.step(0, "exec")
+        machine.step(0, "exec")
+        assert machine.regs["r1"] == 7
+
+    def test_load_sees_pending_group(self):
+        machine = TUSMachine(Program([[Store(X, 7), Load(X, "r1")]]))
+        machine.step(0, "exec")
+        machine.step(0, "drain")
+        machine.step(0, "exec")
+        assert machine.regs["r1"] == 7
+
+    def test_load_sees_youngest_pending_write(self):
+        machine = TUSMachine(Program([[
+            Store(X, 1), Store(X, 2), Load(X, "r1")]]))
+        machine.step(0, "exec")
+        machine.step(0, "drain")
+        machine.step(0, "exec")
+        machine.step(0, "drain")
+        machine.step(0, "exec")
+        assert machine.regs["r1"] == 2
+
+
+class TestFences:
+    def test_fence_blocked_until_drained(self):
+        machine = TUSMachine(Program([[Store(X, 1), Fence()]]))
+        machine.step(0, "exec")
+        steps = machine.enabled_steps()
+        assert (0, "exec") not in steps   # fence waits
+        machine.step(0, "drain")
+        machine.step(0, "visible")
+        assert (0, "exec") in machine.enabled_steps()
+
+
+def _program_strategy():
+    addr = st.sampled_from([X, Y])
+    value = st.integers(1, 3)
+    return st.lists(
+        st.lists(
+            st.one_of(
+                st.builds(Store, addr, value),
+                st.builds(lambda a: ("load", a), addr),
+            ),
+            min_size=1, max_size=3),
+        min_size=2, max_size=2,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_program_strategy())
+def test_random_programs_subset(threads):
+    """Property: for random 2-thread programs, every outcome of the TUS
+    machine under random schedules is x86-TSO-allowed."""
+    counter = [0]
+
+    def realise(thread):
+        ops = []
+        for op in thread:
+            if isinstance(op, tuple):
+                counter[0] += 1
+                ops.append(Load(op[1], f"r{counter[0]}"))
+            else:
+                ops.append(op)
+        return ops
+
+    program = Program([realise(t) for t in threads])
+    tso = enumerate_outcomes(program)
+    tus = random_walk_outcomes(program, walks=60, seed=7)
+    assert tus <= tso

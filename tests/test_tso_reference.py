@@ -1,0 +1,86 @@
+"""The operational x86-TSO reference model on classic litmus shapes."""
+
+from repro.tso.litmus import (message_passing, store_buffering,
+                              store_buffering_fenced, store_forwarding, X, Y)
+from repro.tso.program import Fence, Load, Program, Store
+from repro.tso.reference import enumerate_outcomes
+
+
+def regs_of(outcomes):
+    return {dict(regs) for regs in
+            [tuple(sorted(o[0])) for o in outcomes] and None or []}
+
+
+def reg_tuples(outcomes):
+    return {o[0] for o in outcomes}
+
+
+class TestStoreBuffering:
+    def test_relaxed_outcome_allowed(self):
+        # The signature TSO behaviour: both loads read 0.
+        outcomes = enumerate_outcomes(store_buffering())
+        assert (("r1", 0), ("r2", 0)) in reg_tuples(outcomes)
+
+    def test_all_four_outcomes(self):
+        outcomes = reg_tuples(enumerate_outcomes(store_buffering()))
+        assert len(outcomes) == 4
+
+    def test_fences_forbid_zero_zero(self):
+        outcomes = reg_tuples(enumerate_outcomes(store_buffering_fenced()))
+        assert (("r1", 0), ("r2", 0)) not in outcomes
+        assert len(outcomes) == 3
+
+
+class TestMessagePassing:
+    def test_stale_flag_forbidden(self):
+        # r1=1 (saw the flag) with r2=0 (missed the data) violates TSO's
+        # store->store order.
+        outcomes = reg_tuples(enumerate_outcomes(message_passing()))
+        assert (("r1", 1), ("r2", 0)) not in outcomes
+
+    def test_allowed_outcomes(self):
+        outcomes = reg_tuples(enumerate_outcomes(message_passing()))
+        assert (("r1", 1), ("r2", 1)) in outcomes
+        assert (("r1", 0), ("r2", 0)) in outcomes
+        assert (("r1", 0), ("r2", 1)) in outcomes
+
+
+class TestStoreForwarding:
+    def test_own_store_always_seen(self):
+        # r1 and r3 read the cores' own just-written values, always.
+        for outcome in enumerate_outcomes(store_forwarding()):
+            regs = dict(outcome[0])
+            assert regs["r1"] == 1
+            assert regs["r3"] == 1
+
+
+class TestLoadOrdering:
+    def test_loads_execute_in_program_order(self):
+        # r1=1 then r2 must see at least the first store's effect if the
+        # writes are ordered behind one flag store.
+        prog = Program([
+            [Store(X, 1)],
+            [Load(X, "r1"), Load(X, "r2")],
+        ])
+        for outcome in enumerate_outcomes(prog):
+            regs = dict(outcome[0])
+            if regs["r1"] == 1:
+                assert regs["r2"] == 1   # same location: no going back
+
+
+class TestFinalMemory:
+    def test_final_memory_reflects_all_stores(self):
+        prog = Program([[Store(X, 1)], [Store(Y, 2)]])
+        for outcome in enumerate_outcomes(prog):
+            memory = dict(outcome[1])
+            assert memory[X] == 1 and memory[Y] == 2
+
+    def test_same_location_race_has_both_orders(self):
+        prog = Program([[Store(X, 1)], [Store(X, 2)]])
+        finals = {dict(o[1])[X] for o in enumerate_outcomes(prog)}
+        assert finals == {1, 2}
+
+    def test_fence_is_noop_with_empty_sb(self):
+        prog = Program([[Fence(), Store(X, 1)]])
+        outcomes = enumerate_outcomes(prog)
+        assert len(outcomes) == 1

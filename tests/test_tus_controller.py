@@ -1,0 +1,236 @@
+"""The TUS controller: unauthorized writes, visibility order, conflicts."""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.common.events import EventQueue
+from repro.coherence.memsys import MemorySystem
+from repro.coherence.msgs import SnoopKind, SnoopResult
+from repro.common.stats import StatGroup
+from repro.core.tus_controller import TUSController
+from repro.mem.cacheline import State
+
+A, B, C = 0x1_0040, 0x1_0080, 0x1_00C0
+
+
+def make_controller(cores=1, **tus_overrides):
+    config = table_i().with_cores(cores)
+    if tus_overrides:
+        config = config.with_tus(**tus_overrides)
+    events = EventQueue()
+    memsys = MemorySystem(config, events)
+    ctrl = TUSController(config, memsys.ports[0], StatGroup("tus"))
+    return ctrl, memsys, events
+
+
+class TestUnauthorizedWrite:
+    def test_absent_line_allocated_invisible(self):
+        ctrl, memsys, events = make_controller()
+        assert ctrl.can_accept([(A, 0xFF)])
+        ctrl.write_group([(A, 0xFF)], 0)
+        line = memsys.ports[0].l1d.probe(A)
+        assert line is not None
+        assert line.not_visible and not line.ready
+        assert not line.state.writable
+        assert ctrl.woq.contains(A)
+
+    def test_permission_arrival_combines_and_publishes(self):
+        ctrl, memsys, events = make_controller()
+        ctrl.write_group([(A, 0xFF)], 0)
+        events.run_until(10_000)
+        line = memsys.ports[0].l1d.probe(A)
+        assert not line.not_visible        # made visible
+        assert line.state == State.M
+        assert ctrl.drained
+
+    def test_visibility_respects_woq_order(self):
+        ctrl, memsys, events = make_controller()
+        ctrl.write_group([(A, 0xFF)], 0)
+        ctrl.write_group([(B, 0xFF)], 0)
+        # Grant B's permission by hand, before A's.
+        port = memsys.ports[0]
+        port._fill(B, State.E, 50, None)
+        assert port.l1d.probe(B).ready
+        assert port.l1d.probe(B).not_visible   # A (older) still pending
+        events.run_until(10_000)
+        assert not port.l1d.probe(B).not_visible
+
+    def test_visible_hit_reenters_woq_ready(self):
+        ctrl, memsys, events = make_controller()
+        port = memsys.ports[0]
+        port.request_write(A, 0)
+        events.run_until(10_000)
+        port.write_hit(A, 500)               # dirty visible line
+        # Park an older unauthorized line (no events run afterwards, so
+        # it never becomes ready) to keep younger entries invisible.
+        ctrl.write_group([(B, 1)], 600)
+        ctrl.write_group([(A, 0xF0)], 601)
+        line = port.l1d.probe(A)
+        assert line.not_visible and line.ready
+        assert ctrl.woq.find(A).ready
+        # The old modified data was first pushed to the L2.
+        assert port.c_l2_updates.value == 1
+
+    def test_clean_visible_hit_skips_l2_update(self):
+        ctrl, memsys, events = make_controller()
+        port = memsys.ports[0]
+        port.request_write(A, 0)
+        events.run_until(10_000)               # line E, clean
+        ctrl.write_group([(A, 0xF0)], 600)
+        assert port.c_l2_updates.value == 0
+
+
+class TestCycles:
+    def test_cycle_merges_groups(self):
+        ctrl, memsys, events = make_controller()
+        ctrl.write_group([(A, 0x0F)], 0)
+        ctrl.write_group([(B, 0x0F)], 1)
+        # A second write to A while it is still unauthorized: ABA cycle.
+        assert ctrl.can_accept([(A, 0xF0)])
+        ctrl.write_group([(A, 0xF0)], 2)
+        groups = {e.group for e in ctrl.woq}
+        assert len(groups) == 1
+        assert ctrl.woq.find(A).mask == 0xFF
+
+    def test_cycle_group_becomes_visible_atomically(self):
+        ctrl, memsys, events = make_controller()
+        ctrl.write_group([(A, 0x0F)], 0)
+        ctrl.write_group([(B, 0x0F)], 1)
+        ctrl.write_group([(A, 0xF0)], 2)
+        events.run_until(10_000)
+        port = memsys.ports[0]
+        assert not port.l1d.probe(A).not_visible
+        assert not port.l1d.probe(B).not_visible
+        assert ctrl.drained
+
+    def test_max_atomic_group_blocks_oversized_merge(self):
+        ctrl, memsys, events = make_controller(max_atomic_group=2)
+        ctrl.write_group([(A, 1)], 0)
+        ctrl.write_group([(B, 1)], 1)
+        ctrl.write_group([(C, 1)], 2)
+        # Merging A..tail would create a 3-line group: disallowed.
+        assert not ctrl.can_accept([(A, 2)])
+
+    def test_can_cycle_false_blocks_merge(self):
+        ctrl, memsys, events = make_controller()
+        ctrl.write_group([(A, 1)], 0)
+        ctrl.write_group([(B, 1)], 1)
+        for entry in ctrl.woq:
+            entry.can_cycle = False
+        assert not ctrl.can_accept([(A, 2)])
+
+
+class TestResourceLimits:
+    def test_woq_full_blocks(self):
+        ctrl, memsys, events = make_controller(woq_entries=2)
+        ctrl.write_group([(A, 1)], 0)
+        ctrl.write_group([(B, 1)], 1)
+        assert not ctrl.can_accept([(C, 1)])
+
+    def test_group_larger_than_max_rejected(self):
+        ctrl, memsys, events = make_controller(max_atomic_group=2)
+        group = [(A, 1), (B, 1), (C, 1)]
+        assert not ctrl.can_accept(group)
+
+    def test_set_full_of_pinned_lines_blocks(self):
+        ctrl, memsys, events = make_controller()
+        port = memsys.ports[0]
+        num_sets = port.l1d.config.num_sets
+        base = 0x80_0000
+        target_set = (base >> 6) & (num_sets - 1)
+        # Pin every way of the target set with unauthorized lines.
+        for way in range(port.l1d.config.assoc):
+            addr = base + way * num_sets * 64
+            line = port.l1d.allocate(addr, State.I)
+            line.not_visible = True
+        conflict = base + port.l1d.config.assoc * num_sets * 64
+        assert not ctrl.can_accept([(conflict, 1)])
+
+    def test_cumulative_check_catches_overflow(self):
+        ctrl, memsys, events = make_controller(woq_entries=3)
+        groups = [[(A, 1), (B, 1)], [(C, 1), (C + 64, 1)]]
+        assert ctrl.can_accept(groups[0])
+        assert ctrl.can_accept(groups[1])
+        assert not ctrl.can_accept_all(groups)
+
+
+class TestExternalRequests:
+    def _owned_unauthorized(self, ctrl, memsys, events, line_addr):
+        """Write ``line_addr`` unauthorized and grant its permission, but
+        keep it invisible by parking an older never-ready entry."""
+        blocker = 0x50_0040
+        ctrl.write_group([(blocker, 1)], 0)
+        blocker_entry = ctrl.woq.find(blocker)
+        ctrl.write_group([(line_addr, 1)], 1)
+        events.run_until(10_000)
+        # Permissions arrived for both; forcibly regress the blocker so
+        # the group stays at the WOQ head unready.
+        blocker_entry.ready = False
+        blocker_entry.request_outstanding = True   # pretend in flight
+        ctrl.woq.find(line_addr).ready = True
+        return ctrl.woq.find(line_addr)
+
+    def test_delay_when_lex_prefix_owned(self):
+        # Request line is ready and every missing permission among the
+        # older-or-equal WOQ entries has higher lex: the core delays.
+        ctrl, memsys, events = make_controller(cores=2)
+        high = 0x9_0040    # lex above A
+        ctrl.write_group([(A, 1)], 0)      # unauthorized, not ready
+        ctrl.write_group([(high, 1)], 0)   # younger, not ready
+        entry_a = ctrl.woq.find(A)
+        entry_a.ready = True               # permission arrived for A only
+        reply = ctrl._on_snoop(A, SnoopKind.INVALIDATE, 1, 10)
+        assert reply.result == SnoopResult.DELAY
+
+    def test_relinquish_when_lower_lex_missing(self):
+        ctrl, memsys, events = make_controller(cores=2)
+        port = memsys.ports[0]
+        low, req = A, 0x9_0040
+        ctrl.write_group([(low, 1)], 0)
+        ctrl.write_group([(req, 1)], 0)
+        entry_low = ctrl.woq.find(low)
+        entry_req = ctrl.woq.find(req)
+        # Simulate: req owned (ready), low still missing.
+        line_req = port.l1d.probe(req)
+        line_req.state = State.M
+        line_req.ready = True
+        entry_req.ready = True
+        entry_low.ready = False
+        reply = ctrl._on_snoop(req, SnoopKind.INVALIDATE, 1, 100)
+        assert reply.result == SnoopResult.RELINQUISH_OLD_DATA
+        assert not entry_req.ready
+        assert entry_req.deferred
+        line = port.l1d.probe(req)
+        assert line.not_visible and not line.state.valid
+
+    def test_snoop_freezes_group_cycles(self):
+        ctrl, memsys, events = make_controller(cores=2)
+        ctrl.write_group([(A, 1)], 0)
+        entry = ctrl.woq.find(A)
+        entry.ready = False
+        ctrl._on_snoop(A, SnoopKind.INVALIDATE, 1, 10)
+        assert not entry.can_cycle
+
+    def test_relinquished_line_rerequested_and_completes(self):
+        ctrl, memsys, events = make_controller(cores=2)
+        port = memsys.ports[0]
+        ctrl.write_group([(A, 1)], 0)
+        events.run_until(300)   # in-flight or granted
+        events.run_until(10_000)
+        assert ctrl.drained     # sanity: normal path completes
+
+    def test_end_to_end_two_core_conflict(self):
+        """Core 1 writes the same line core 0 holds unauthorized; the
+        directory polls until core 0 publishes, then transfers it."""
+        config = table_i().with_cores(2)
+        events = EventQueue()
+        memsys = MemorySystem(config, events)
+        ctrl0 = TUSController(config, memsys.ports[0], StatGroup("t0"))
+        ctrl0.write_group([(A, 1)], 0)
+        # Core 1 demands the line while core 0's GetX is in flight.
+        memsys.ports[1].request_write(A, 10)
+        events.run_until(50_000)
+        assert memsys.ports[1].is_writable(A)
+        assert ctrl0.drained
+        line0 = memsys.ports[0].l1d.probe(A)
+        assert line0 is None or not line0.not_visible

@@ -1,0 +1,115 @@
+"""TUS optional features and edge behaviours."""
+
+import pytest
+
+from repro.common.config import table_i
+from repro.cpu.isa import alu, load, store
+from repro.cpu.trace import Trace
+from repro.sim.system import System, run_single
+
+
+def forwarding_trace():
+    """Stores immediately re-read long after they left the SB."""
+    uops = []
+    for i in range(40):
+        line = 0x77_0000 + i * 64 * 211   # irregular: long-latency miss
+        uops.append(store(line, 8))
+    # Enough filler that the stores have left the SB (into the WOQ)
+    # before the loads execute, then read the stored words back.
+    uops.extend(alu(dep_dist=1) for _ in range(300))
+    for i in range(40):
+        line = 0x77_0000 + i * 64 * 211
+        uops.append(load(line, 8))
+    return Trace("fwd", uops)
+
+
+class TestL1DForwarding:
+    """Section IV 'Other considerations': forwarding unauthorized data
+    to local loads is legal; the paper implemented and disabled it."""
+
+    def test_disabled_by_default(self):
+        config = table_i().with_mechanism("tus")
+        result = run_single(config, forwarding_trace())
+        assert result.sum_stats("l1d_unauthorized_forwards") == 0
+
+    def test_enabled_serves_covered_loads(self):
+        config = table_i().with_mechanism("tus").with_tus(
+            l1d_forwarding=True)
+        result = run_single(config, forwarding_trace())
+        # Some loads must hit unauthorized-but-locally-written bytes.
+        assert result.sum_stats("l1d_unauthorized_forwards") > 0
+
+    def test_enabled_never_slower(self):
+        trace = forwarding_trace()
+        base = run_single(table_i().with_mechanism("tus"),
+                          Trace("a", trace.uops))
+        fwd = run_single(
+            table_i().with_mechanism("tus").with_tus(l1d_forwarding=True),
+            Trace("b", trace.uops))
+        assert fwd.cycles <= base.cycles * 1.02
+
+    def test_uncovered_bytes_still_wait(self):
+        # Load a word the store mask does not cover: must not forward.
+        uops = [store(0x88_0000, 8)]
+        uops.extend(alu(dep_dist=1) for _ in range(250))
+        uops.append(load(0x88_0020, 8))
+        config = table_i().with_mechanism("tus").with_tus(
+            l1d_forwarding=True)
+        result = run_single(config, Trace("u", uops))
+        assert result.sum_stats("l1d_unauthorized_forwards") == 0
+
+
+class TestWOQSizing:
+    @pytest.mark.parametrize("entries", [4, 16, 64, 256])
+    def test_any_woq_size_completes(self, entries):
+        config = table_i().with_mechanism("tus").with_tus(
+            woq_entries=entries)
+        uops = [store(0x99_0000 + i * 64 * 131, 8) for i in range(150)]
+        result = run_single(config, Trace("w", uops))
+        assert result.committed == 150
+
+    def test_bigger_woq_not_slower(self):
+        uops = [store(0xAA_0000 + i * 64 * 131, 8) for i in range(200)]
+        cycles = {}
+        for entries in (8, 64):
+            config = table_i().with_mechanism("tus").with_tus(
+                woq_entries=entries)
+            cycles[entries] = run_single(
+                config, Trace("w", list(uops))).cycles
+        assert cycles[64] <= cycles[8] * 1.02
+
+    def test_storage_scales_with_entries(self):
+        small = table_i().with_tus(woq_entries=16).tus
+        big = table_i().with_tus(woq_entries=256).tus
+        assert small.woq_storage_bytes < 272 < big.woq_storage_bytes
+
+
+class TestWCBSizing:
+    @pytest.mark.parametrize("buffers", [1, 2, 4, 8])
+    def test_any_wcb_count_completes(self, buffers):
+        config = table_i().with_mechanism("tus").with_tus(
+            wcb_entries=buffers)
+        uops = []
+        for i in range(60):
+            line = 0xBB_0000 + (i % 6) * 64
+            uops.append(store(line + (i % 8) * 8, 8))
+        result = run_single(config, Trace("w", uops))
+        assert result.committed == 60
+
+
+class TestCodeOverwriteCorner:
+    """Self-modifying-code-style pattern: a line is stored and then the
+    run ends with fences forcing full visibility (the paper prioritises
+    L1I by forcing visibility via CanCycle=false; at trace granularity
+    the observable contract is simply that everything publishes)."""
+
+    def test_store_fence_store_same_line(self):
+        from repro.cpu.isa import fence
+        uops = [store(0xCC_0000, 8), fence(), store(0xCC_0000, 8),
+                fence(), alu()]
+        config = table_i().with_mechanism("tus")
+        system = System(config, [Trace("c", uops)])
+        result = system.run()
+        assert result.committed == 5
+        line = system.memsys.ports[0].l1d.probe(0xCC_0000)
+        assert line is not None and not line.not_visible

@@ -1,0 +1,165 @@
+"""The Write Ordering Queue: order, atomic groups, visibility."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.woq import WriteOrderingQueue
+
+A, B, C, D = 0x1040, 0x1080, 0x10C0, 0x1100
+
+
+def make_woq(capacity=8):
+    return WriteOrderingQueue(capacity)
+
+
+class TestAllocation:
+    def test_append_order_preserved(self):
+        woq = make_woq()
+        for line in (A, B, C):
+            woq.append(line, 0xFF)
+        assert [e.line for e in woq] == [A, B, C]
+
+    def test_each_line_own_group(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        b = woq.append(B, 1)
+        assert a.group != b.group
+
+    def test_duplicate_line_rejected(self):
+        woq = make_woq()
+        woq.append(A, 1)
+        with pytest.raises(ValueError):
+            woq.append(A, 2)
+
+    def test_capacity_enforced(self):
+        woq = make_woq(capacity=1)
+        woq.append(A, 1)
+        with pytest.raises(OverflowError):
+            woq.append(B, 1)
+
+    def test_room_for(self):
+        woq = make_woq(capacity=2)
+        assert woq.room_for(2)
+        woq.append(A, 1)
+        assert woq.room_for(1)
+        assert not woq.room_for(2)
+
+    def test_explicit_group_placement(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        b = woq.append(B, 1, group=a.group)
+        assert a.group == b.group
+
+
+class TestSearch:
+    def test_find_by_any_offset(self):
+        woq = make_woq()
+        woq.append(A, 1)
+        assert woq.find(A + 8) is not None
+
+    def test_find_counts_searches(self):
+        woq = make_woq()
+        woq.find(A)
+        assert woq.stats["searches"] == 1
+
+    def test_get_quiet_no_stats(self):
+        woq = make_woq()
+        woq.get_quiet(A)
+        assert woq.stats["searches"] == 0
+
+
+class TestGroupMerge:
+    def test_merge_to_tail(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        woq.append(B, 1)
+        woq.append(C, 1)
+        affected = woq.merge_to_tail(a)
+        assert len(affected) == 3
+        assert len({e.group for e in woq}) == 1
+
+    def test_merge_leaves_older_entries_alone(self):
+        woq = make_woq()
+        woq.append(A, 1)
+        b = woq.append(B, 1)
+        woq.append(C, 1)
+        woq.merge_to_tail(b)
+        groups = [e.group for e in woq]
+        assert groups[0] != groups[1]
+        assert groups[1] == groups[2]
+
+    def test_group_size_after_merge(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        woq.append(B, 1)
+        woq.append(C, 1)
+        assert woq.group_size_after_merge(a) == 3
+
+
+class TestVisibility:
+    def test_head_group_single(self):
+        woq = make_woq()
+        woq.append(A, 1)
+        woq.append(B, 1)
+        assert [e.line for e in woq.head_group()] == [A]
+
+    def test_head_group_after_merge(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        woq.append(B, 1)
+        woq.merge_to_tail(a)
+        assert [e.line for e in woq.head_group()] == [A, B]
+
+    def test_head_group_ready_requires_all(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        b = woq.append(B, 1, group=a.group)
+        a.ready = True
+        assert not woq.head_group_ready()
+        b.ready = True
+        assert woq.head_group_ready()
+
+    def test_pop_head_group(self):
+        woq = make_woq()
+        a = woq.append(A, 1)
+        woq.append(B, 1, group=a.group)
+        woq.append(C, 1)
+        popped = woq.pop_head_group()
+        assert {e.line for e in popped} == {A, B}
+        assert [e.line for e in woq] == [C]
+        assert woq.find(A) is None
+
+    def test_pop_empty(self):
+        assert make_woq().pop_head_group() == []
+
+    def test_ordering_across_groups(self):
+        # The paper's Figure 4 note: J remains its own (older) atomic
+        # group and is always made visible before the merged {A, B}.
+        woq = make_woq()
+        woq.append(D, 1)        # "J"
+        a = woq.append(A, 1)
+        woq.append(B, 1)
+        woq.merge_to_tail(a)    # {A, B}
+        assert [e.line for e in woq.head_group()] == [D]
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=30))
+def test_woq_group_contiguity(line_indices):
+    """Property: after any mix of appends and cycle merges, atomic groups
+    are contiguous runs in WOQ order."""
+    woq = WriteOrderingQueue(64)
+    base = 0x40_0000
+    for idx in line_indices:
+        line = base + idx * 64
+        entry = woq.find(line)
+        if entry is None:
+            woq.append(line, 1)
+        else:
+            woq.merge_to_tail(entry)
+    seen = []
+    for entry in woq:
+        if entry.group in seen and seen[-1] != entry.group:
+            raise AssertionError("non-contiguous atomic group")
+        if entry.group not in seen:
+            seen.append(entry.group)

@@ -1,0 +1,165 @@
+"""Workload generators: catalogs, determinism, profile-intent checks."""
+
+import pytest
+
+from repro.common.addr import line_addr, page_addr
+from repro.cpu.isa import OpKind
+from repro.workloads import (all_profiles, benchmarks, make_parallel_traces,
+                             make_trace, profile, sb_bound_benchmarks)
+from repro.workloads.profiles import generate
+from repro.workloads.regions import ColdRegion, WarmRegion, arena_base
+
+
+class TestCatalog:
+    def test_suites_present(self):
+        assert len(benchmarks("spec")) >= 15
+        assert len(benchmarks("tf")) >= 3
+        assert len(benchmarks("parsec")) == 10
+        assert len(benchmarks("synthetic")) >= 5
+
+    def test_sb_bound_selection(self):
+        bound = sb_bound_benchmarks("spec")
+        assert "502.gcc5" in bound
+        assert "505.mcf" in bound
+        assert "548.exchange2" not in bound
+
+    def test_unique_names(self):
+        profiles = all_profiles()
+        assert len(profiles) == len(set(profiles))
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            profile("999.nope")
+
+    def test_headline_profiles_documented(self):
+        assert "26.1%" in profile("502.gcc5").description
+        assert "long-latency" in profile("505.mcf").description
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = make_trace("502.gcc5", 2000, seed=3)
+        b = make_trace("502.gcc5", 2000, seed=3)
+        assert [(u.kind, u.addr) for u in a] == \
+            [(u.kind, u.addr) for u in b]
+
+    def test_different_seed_differs(self):
+        a = make_trace("502.gcc5", 2000, seed=3)
+        b = make_trace("502.gcc5", 2000, seed=4)
+        assert [(u.kind, u.addr) for u in a] != \
+            [(u.kind, u.addr) for u in b]
+
+    def test_length_respected(self):
+        assert len(make_trace("505.mcf", 1234)) == 1234
+
+
+class TestProfileIntent:
+    """Traces must exhibit the behaviour their profile claims."""
+
+    def test_gcc5_is_burst_heavy(self):
+        summary = make_trace("502.gcc5", 20_000).summary()
+        assert summary.max_store_burst > 500
+        assert summary.mean_stores_per_line_run > 2
+
+    def test_mcf_stores_are_irregular(self):
+        trace = make_trace("505.mcf", 20_000)
+        lines = [line_addr(u.addr) for u in trace if u.kind.is_store]
+        sequential = sum(1 for a, b in zip(lines, lines[1:])
+                         if b == a + 64)
+        assert sequential / max(1, len(lines)) < 0.2
+
+    def test_mcf_has_pointer_chasing(self):
+        trace = make_trace("505.mcf", 20_000)
+        chases = sum(1 for u in trace
+                     if u.kind.is_load and u.dep_dist is not None)
+        assert chases > 10
+
+    def test_bw2_store_lines_fit_cache(self):
+        trace = make_trace("503.bw2", 20_000)
+        lines = {line_addr(u.addr) for u in trace if u.kind.is_store}
+        assert len(lines) * 64 <= 48 * 1024
+
+    def test_bw2_no_coalescing_potential(self):
+        summary = make_trace("503.bw2", 20_000).summary()
+        assert summary.mean_stores_per_line_run <= 1.5
+
+    def test_lbm_streams_cold_memory(self):
+        trace = make_trace("519.lbm", 30_000)
+        lines = [line_addr(u.addr) for u in trace if u.kind.is_store]
+        assert lines, "lbm must store"
+        # Streaming: each line is visited in exactly one consecutive run
+        # (8 words), never revisited later.
+        runs = 1 + sum(1 for a, b in zip(lines, lines[1:]) if a != b)
+        assert runs == len(set(lines))
+
+    def test_ferret_interleaves_streams(self):
+        trace = make_trace("ferret", 20_000)
+        pages = [page_addr(u.addr) for u in trace if u.kind.is_store]
+        transitions = sum(1 for a, b in zip(pages, pages[1:]) if a != b)
+        assert transitions > len(pages) * 0.2
+
+    def test_streamcluster_reads_its_stores(self):
+        trace = make_trace("streamcluster", 20_000)
+        store_lines = {line_addr(u.addr) for u in trace if u.kind.is_store}
+        load_hits = sum(1 for u in trace if u.kind.is_load
+                        and line_addr(u.addr) in store_lines)
+        loads = sum(1 for u in trace if u.kind.is_load)
+        assert load_hits / max(1, loads) > 0.2
+
+    def test_fence_profile_has_fences(self):
+        summary = make_trace("synth.fences", 20_000).summary()
+        assert summary.fences > 10
+
+    def test_compute_profiles_have_low_store_ratio(self):
+        summary = make_trace("548.exchange2", 20_000).summary()
+        assert summary.store_ratio < 0.1
+
+
+class TestParallel:
+    def test_one_trace_per_core(self):
+        traces = make_parallel_traces("dedup", 4, 1000)
+        assert len(traces) == 4
+
+    def test_cores_get_distinct_private_streams(self):
+        traces = make_parallel_traces("dedup", 2, 2000)
+        a = {line_addr(u.addr) for u in traces[0] if u.kind.is_mem}
+        b = {line_addr(u.addr) for u in traces[1] if u.kind.is_mem}
+        # Private regions differ; only the shared region may overlap.
+        assert a != b
+
+    def test_shared_region_actually_shared(self):
+        traces = make_parallel_traces("streamcluster", 4, 12_000)
+        per_core = [
+            {line_addr(u.addr) for u in trace if u.kind.is_store}
+            for trace in traces
+        ]
+        pairwise = [per_core[i] & per_core[j]
+                    for i in range(4) for j in range(i + 1, 4)]
+        assert any(pairwise), "parallel profiles must share store lines"
+
+
+class TestRegions:
+    def test_warm_region_wraps(self):
+        region = WarmRegion(0x1000, 4 * 64)
+        lines = [region.next_line() for _ in range(8)]
+        assert lines[0] == lines[4]
+
+    def test_cold_region_never_repeats(self):
+        region = ColdRegion(0x1000)
+        lines = [region.next_line() for _ in range(100)]
+        assert len(set(lines)) == 100
+
+    def test_cold_random_fresh_never_repeats(self):
+        import random
+        region = ColdRegion(0x1000)
+        rng = random.Random(1)
+        lines = [region.random_fresh_line(rng) for _ in range(200)]
+        assert len(set(lines)) == len(lines)
+
+    def test_arena_bases_disjoint_across_cores(self):
+        assert abs(arena_base(0, 0) - arena_base(1, 0)) >= (1 << 30)
+
+    def test_arena_bases_do_not_alias_in_lex(self):
+        from repro.common.addr import lex_order
+        orders = {lex_order(arena_base(0, i)) for i in range(12)}
+        assert len(orders) == 12

@@ -1,0 +1,15 @@
+"""Calibration helper: print baseline SB stalls + per-mechanism speedups."""
+import sys, time
+from repro.harness.runner import Runner
+from repro.workloads import sb_bound_benchmarks, benchmarks
+
+benches = sys.argv[1:] or (sb_bound_benchmarks("spec") + sb_bound_benchmarks("tf"))
+runner = Runner(st_length=40_000, use_disk_cache=True)
+print(f"{'bench':16} {'sbst%':>6} | " + " ".join(f"{m:>7}" for m in ("ssb","csb","spb","tus")))
+t0 = time.time()
+for b in benches:
+    row = [f"{b:16} {runner.sb_stalls(b,'baseline',114)*100:6.2f} |"]
+    for m in ("ssb","csb","spb","tus"):
+        row.append(f"{runner.speedup(b, m, 114):7.3f}")
+    print(" ".join(row), flush=True)
+print(f"total {time.time()-t0:.0f}s")

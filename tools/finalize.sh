@@ -1,0 +1,7 @@
+#!/bin/bash
+# Final deliverable generation: EXPERIMENTS.md + output transcripts.
+set -x
+cd /root/repo
+python tools/make_experiments_md.py
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt | tail -5
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt | tail -5
