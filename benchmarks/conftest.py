@@ -1,24 +1,35 @@
 """Shared fixtures for the figure-regeneration benchmarks.
 
 Each benchmark regenerates one table/figure of the paper through the
-cached experiment runner: the first execution simulates every required
-(benchmark, mechanism, SB-size) point (this can take tens of minutes on
-a cold cache — run ``python tools/warm_cache.py`` once to prefill it);
-subsequent executions replay from the on-disk cache in seconds.
+cached experiment runner.  On a cold cache the session fixture first
+fans every figure's simulation points out across worker processes
+(``REPRO_WORKERS`` processes, default all cores; set ``REPRO_WORKERS=1``
+to force the serial path); subsequent executions replay from the
+on-disk cache in seconds.  ``python tools/warm_cache.py`` or
+``python -m repro sweep all`` prefill the same cache standalone.
 
 The regenerated rows are printed so ``pytest benchmarks/
 --benchmark-only -s`` doubles as the artifact that reproduces the
 paper's evaluation section.
 """
 
+import os
+
 import pytest
 
-from repro.harness import Runner
+from repro.harness import Runner, sweep_all
+from repro.harness.parallel import default_workers
 
 
 @pytest.fixture(scope="session")
 def runner():
-    return Runner()
+    r = Runner()
+    workers = default_workers()
+    if workers > 1 and os.environ.get("REPRO_PREWARM", "1") != "0":
+        # Cold-cache fill in parallel; with a warm cache this only
+        # verifies every point is cached (simulates nothing).
+        sweep_all(r, workers=workers)
+    return r
 
 
 def run_once(benchmark, fn):

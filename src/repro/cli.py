@@ -7,6 +7,9 @@ Commands
 ``compare``  run all five mechanisms on one benchmark, side by side
 ``figure``   regenerate one of the paper's figures (fig8..fig15, writes,
              dse, sbcost) and print its rows
+``sweep``    regenerate figures through the parallel harness: shard the
+             cache-missing simulation points across worker processes
+             and print run telemetry
 ``litmus``   run the x86-TSO litmus checks
 ``bench``    list the available benchmarks with their descriptions
 
@@ -16,6 +19,8 @@ Examples
     python -m repro run --bench 502.gcc5 --mechanism tus
     python -m repro compare --bench 505.mcf --sb 32
     python -m repro figure fig9
+    python -m repro sweep fig8 --workers 8
+    python -m repro sweep all --workers 16 --export-dir out/
     python -m repro litmus
 """
 
@@ -66,27 +71,69 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    from .harness import (Runner, dse, fig8, fig9, fig10, fig11, fig12,
-                          fig13, fig14, fig15, l1d_writes, sb_cost)
-    figures = {
-        "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
-        "fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
-        "writes": l1d_writes, "dse": dse,
-    }
+    from .harness import FIGURES, Runner, sb_cost
     if args.name == "sbcost":
         print(sb_cost().render())
         return 0
-    if args.name not in figures:
+    if args.name not in FIGURES:
         print(f"unknown figure {args.name!r}; "
-              f"known: {', '.join(sorted(figures))}, sbcost",
+              f"known: {', '.join(sorted(FIGURES))}, sbcost",
               file=sys.stderr)
         return 2
     runner = Runner()
-    output = figures[args.name](runner)
+    output = FIGURES[args.name](runner)
     results = output.values() if isinstance(output, dict) else [output]
     for result in results:
         print(result.render())
         print()
+    return 0
+
+
+def _sweep_runner(args):
+    from .harness import Runner
+    kwargs = {}
+    for attr, key in (("st_length", "st_length"),
+                      ("par_length", "par_length"),
+                      ("simpoints", "simpoints"),
+                      ("parsec_simpoints", "parsec_simpoints"),
+                      ("cores", "num_cores_parallel"),
+                      ("seed", "seed")):
+        value = getattr(args, attr)
+        if value is not None:
+            kwargs[key] = value
+    return Runner(cache_dir=args.cache,
+                  use_disk_cache=not args.no_disk_cache, **kwargs)
+
+
+def _cmd_sweep(args) -> int:
+    from .harness import FIGURES, render_telemetry, sweep_all, sweep_figure
+    from .harness.export import telemetry_to_json, to_csv, to_json
+    runner = _sweep_runner(args)
+    if args.name == "all":
+        outputs, telemetry = sweep_all(runner, workers=args.workers)
+        results = [r for parts in outputs.values() for r in parts]
+    elif args.name in FIGURES:
+        results, telemetry = sweep_figure(args.name, runner,
+                                          workers=args.workers,
+                                          benches=args.benches)
+    else:
+        print(f"unknown figure {args.name!r}; "
+              f"known: {', '.join(sorted(FIGURES))}, all",
+              file=sys.stderr)
+        return 2
+    for result in results:
+        print(result.render())
+        print()
+    print(render_telemetry(telemetry))
+    if args.export_dir:
+        from pathlib import Path
+        out = Path(args.export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            to_csv(result, out / f"{result.exp_id}.csv")
+            to_json(result, out / f"{result.exp_id}.json")
+        telemetry_to_json(telemetry, out / "telemetry.json")
+        print(f"exported {len(results)} result(s) to {out}/")
     return 0
 
 
@@ -140,6 +187,35 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("name", help="fig8..fig15, writes, dse, sbcost")
     fig_p.set_defaults(fn=_cmd_figure)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="regenerate figures via the parallel harness")
+    sweep_p.add_argument("name",
+                         help="fig8..fig15, writes, dse, or 'all'")
+    sweep_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: all cores, or "
+                              "$REPRO_WORKERS)")
+    sweep_p.add_argument("--benches", nargs="+", default=None,
+                         help="restrict the figure to these benchmarks")
+    sweep_p.add_argument("--cache", default=None,
+                         help="result cache directory (default: "
+                              "$REPRO_CACHE or ./.repro_cache)")
+    sweep_p.add_argument("--no-disk-cache", action="store_true",
+                         help="simulate every point, ignore the cache")
+    sweep_p.add_argument("--st-length", type=int, default=None,
+                         help="single-thread trace length (uops)")
+    sweep_p.add_argument("--par-length", type=int, default=None,
+                         help="per-core trace length for parallel runs")
+    sweep_p.add_argument("--simpoints", type=int, default=None,
+                         help="simpoints per single-thread benchmark")
+    sweep_p.add_argument("--parsec-simpoints", type=int, default=None,
+                         help="simpoints per parallel benchmark")
+    sweep_p.add_argument("--cores", type=int, default=None,
+                         help="cores for parallel benchmarks")
+    sweep_p.add_argument("--seed", type=int, default=None)
+    sweep_p.add_argument("--export-dir", default=None,
+                         help="write CSV/JSON results + telemetry here")
+    sweep_p.set_defaults(fn=_cmd_sweep)
 
     lit_p = sub.add_parser("litmus", help="x86-TSO litmus checks")
     lit_p.set_defaults(fn=_cmd_litmus)

@@ -65,7 +65,11 @@ class MemorySystem:
         dstats = self.stats.child("protocol")
         self.c_transactions = dstats.counter("transactions")
         self.c_retries = dstats.counter("retries", "busy/conflict retries")
-        self.c_invalidations = dstats.counter("invalidations")
+        self.c_invalidations = dstats.counter(
+            "invalidations", "remote copies invalidated (once per "
+            "transaction and target)")
+        self.c_downgrades = dstats.counter(
+            "downgrades", "exclusive owners downgraded to shared")
         self.c_delays = dstats.counter("delayed_snoops",
                                        "snoops answered DELAY by TUS")
         self.c_relinquish = dstats.counter("relinquished",
@@ -106,11 +110,16 @@ class MemorySystem:
 
     def _resolve_snoops(self, trans: Transaction, entry, cycle: int,
                         on_done: Callable[[int], None]) -> None:
-        """Invalidate/downgrade remote copies, honouring DELAY re-polls."""
+        """Invalidate/downgrade remote copies, honouring DELAY re-polls.
+
+        Targets that already answered are recorded on the transaction
+        and skipped when a DELAY forces a re-poll — re-snooping them
+        would re-invalidate their caches and double-count stats.
+        """
         kind = (SnoopKind.DOWNGRADE if trans.req == ReqType.GETS
                 else SnoopKind.INVALIDATE)
-        targets = self._snoop_targets(trans, entry)
-        data_from_remote = False
+        targets = [core_id for core_id in self._snoop_targets(trans, entry)
+                   if core_id not in trans.resolved]
         for core_id in targets:
             reply = self.ports[core_id]._snoop(trans.addr, kind,
                                                trans.requester, cycle)
@@ -124,13 +133,19 @@ class MemorySystem:
                     retry,
                     lambda: self._resolve_snoops(trans, entry, retry, on_done))
                 return
+            trans.resolved.add(core_id)
+            if kind == SnoopKind.INVALIDATE:
+                self.c_invalidations.inc()
+            else:
+                self.c_downgrades.inc()
             if reply.result == SnoopResult.RELINQUISH_OLD_DATA:
                 self.c_relinquish.inc()
-                data_from_remote = True
+                trans.data_from_remote = True
             elif reply.result == SnoopResult.ACK_DATA:
-                data_from_remote = True
+                trans.data_from_remote = True
             self._apply_snoop(entry, core_id, kind)
-        self._supply_data(trans, entry, cycle, data_from_remote, on_done)
+        self._supply_data(trans, entry, cycle, trans.data_from_remote,
+                          on_done)
 
     def _snoop_targets(self, trans: Transaction, entry) -> List[int]:
         others = set(entry.sharers)
@@ -556,7 +571,6 @@ class CorePort:
     # -- snoops ---------------------------------------------------------------
     def _snoop(self, addr: int, kind: SnoopKind, requester: int,
                cycle: int) -> SnoopReply:
-        self.system.c_invalidations.inc()
         line = self.l1d.probe(addr)
         if line is not None and line.not_visible:
             if self.snoop_hook is None:

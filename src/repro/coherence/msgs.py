@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Set
 
 
 class ReqType(enum.Enum):
@@ -67,3 +67,12 @@ class Transaction:
     #: Number of times the directory re-polled a delaying core.
     polls: int = 0
     prefetch: bool = False
+    #: Targets that already answered this transaction's snoop (ACK,
+    #: ACK_DATA, or RELINQUISH).  A DELAY re-poll must not snoop them
+    #: again: their caches were already invalidated/downgraded and the
+    #: stats already counted them.
+    resolved: Set[int] = field(default_factory=set)
+    #: True once any resolved target supplied (or relinquished) dirty
+    #: data; must survive DELAY re-polls so the data forward is not
+    #: forgotten.
+    data_from_remote: bool = False

@@ -22,6 +22,8 @@ to derive the sweep points used in the evaluation.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -238,6 +240,17 @@ class SystemConfig:
         """Return a copy with modified TUS parameters."""
         return dataclasses.replace(
             self, tus=dataclasses.replace(self.tus, **kwargs))
+
+    def digest(self) -> str:
+        """Stable short hash over every configuration field.
+
+        The experiment cache keys simulation points by this digest, so
+        any parameter change — not just the (mechanism, SB) pair — makes
+        a distinct cache entry; two configs collide iff they are equal.
+        """
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          default=str).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
 
 
 def table_i() -> SystemConfig:

@@ -7,15 +7,25 @@ order of cache-line addresses (the low 16 bits, shared with the
 directory index):
 
 * the core *delays* the request if it already holds write permission for
-  every line of lesser-or-equal lex order among the WOQ entries that are
-  older than (or equal to) the requested line — those older groups can
-  become visible with no external help, so forward progress is
-  guaranteed;
-* otherwise the core *relinquishes*: every older-or-equal ready entry
-  whose lex order is greater than the lex-least missing permission gives
-  its permission up (the requester is served the unmodified copy from
-  the private L2), keeping only a lex-prefix of permissions — which is
-  exactly the set that can never participate in a cross-core cycle.
+  every line of lesser-or-equal lex order among the WOQ entries the
+  requested line's visibility depends on — those can become visible
+  with no external help, so forward progress is guaranteed;
+* otherwise the core *relinquishes*: every ready entry in that
+  dependency set whose lex order is greater than the lex-least missing
+  permission gives its permission up (the requester is served the
+  unmodified copy from the private L2), keeping only a lex-prefix of
+  permissions — which is exactly the set that can never participate in
+  a cross-core cycle.
+
+The dependency set is every entry from the WOQ head through the *end of
+the requested entry's atomic group* (groups are contiguous runs and
+become visible all-or-nothing), so it includes same-group members
+younger than the requested line.  Considering only older-or-equal
+entries is unsound: core A can delay a request for line R because
+everything older is ready while R's own group still waits on a younger
+member held by core B — which is itself delaying because of a line A
+holds.  The lex comparison over the full dependency set breaks such
+cycles (any chain of delays follows strictly increasing lex order).
 
 This module is pure policy: it inspects the WOQ and returns a decision;
 the TUS controller applies it.
@@ -57,24 +67,41 @@ class AuthorizationUnit:
         entry = self.woq.find(line)
         if entry is None:
             raise ValueError(f"{line:#x} is not tracked by the WOQ")
-        older = self.woq.older_entries(entry, inclusive=True)
+        deps = self._dependency_set(entry)
         req_lex = lex_order(line)
-        missing = [e for e in older if not e.ready]
+        missing = [e for e in deps if not e.ready]
         min_missing_lex = min((lex_order(e.line) for e in missing),
                               default=None)
         if entry.ready and (min_missing_lex is None
                             or min_missing_lex > req_lex):
             # We hold permission for every line of lesser-or-equal lex
-            # order: the older groups complete without external help, so
-            # the request can safely wait for us.
+            # order that the entry's visibility depends on: those groups
+            # complete without external help, so the request can safely
+            # wait for us.
             return Decision(delay=True)
         if min_missing_lex is None:
-            # The entry itself lacks permission but everything older is
-            # ready: nothing to relinquish beyond acknowledging.
+            # The entry itself lacks permission but everything it
+            # depends on is ready: nothing to relinquish beyond
+            # acknowledging.
             return Decision(delay=False, relinquish=[])
-        give_up = [e for e in older
+        give_up = [e for e in deps
                    if e.ready and lex_order(e.line) > min_missing_lex]
         return Decision(delay=False, relinquish=give_up)
+
+    def _dependency_set(self, entry: WOQEntry) -> List[WOQEntry]:
+        """Every entry whose readiness gates ``entry``'s visibility:
+        the head through the end of ``entry``'s atomic group (groups are
+        contiguous runs popped all-or-nothing, so younger same-group
+        members count too)."""
+        deps: List[WOQEntry] = []
+        past = False
+        for candidate in self.woq:
+            if past and candidate.group != entry.group:
+                break
+            deps.append(candidate)
+            if candidate is entry:
+                past = True
+        return deps
 
     def reissue_target(self) -> Optional[WOQEntry]:
         """The line whose deferred permission request should be re-sent.

@@ -1,10 +1,17 @@
-"""Experiment harness: runner, per-figure experiments, text reports."""
+"""Experiment harness: runner, per-figure experiments, parallel sweeps,
+text reports."""
 
 from .experiments import (MECHS, dse, fig8, fig9, fig10, fig11, fig12,
                           fig13, fig14, fig15, l1d_writes, sb_cost)
-from .report import ExperimentResult, render_scurve
-from .runner import Runner, default_runner
+from .parallel import (PointCollector, SweepTelemetry, collect_points,
+                       run_points)
+from .report import ExperimentResult, render_scurve, render_telemetry
+from .runner import Point, Runner, default_runner
+from .sweep import FIGURES, sweep_all, sweep_figure
 
 __all__ = ["MECHS", "dse", "fig8", "fig9", "fig10", "fig11", "fig12",
            "fig13", "fig14", "fig15", "l1d_writes", "sb_cost",
-           "ExperimentResult", "render_scurve", "Runner", "default_runner"]
+           "ExperimentResult", "render_scurve", "render_telemetry",
+           "Point", "Runner", "default_runner", "PointCollector",
+           "SweepTelemetry", "collect_points", "run_points",
+           "FIGURES", "sweep_all", "sweep_figure"]

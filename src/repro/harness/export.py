@@ -38,6 +38,14 @@ def to_json(result: ExperimentResult, path: Union[str, Path]) -> None:
         json.dump(document, handle, indent=2)
 
 
+def telemetry_to_json(telemetry, path: Union[str, Path]) -> None:
+    """Write one sweep batch's telemetry (see
+    :class:`~repro.harness.parallel.SweepTelemetry`) as JSON, for
+    tracking simulation throughput across runs."""
+    with open(Path(path), "w") as handle:
+        json.dump(telemetry.to_dict(), handle, indent=2, sort_keys=True)
+
+
 def from_json(path: Union[str, Path]) -> ExperimentResult:
     """Load an experiment previously written by :func:`to_json`."""
     with open(Path(path)) as handle:

@@ -1,0 +1,206 @@
+"""Process-pool fan-out for simulation sweeps.
+
+Independent (benchmark, mechanism, SB-size, simpoint) points are
+sharded across worker processes; each worker re-creates the runner from
+its trace parameters and executes :meth:`Runner.simulate`, which is a
+pure function of the point — so the fan-out produces *byte-identical*
+results to the serial path (seeds derive from the point, never from
+worker identity or scheduling order).
+
+The layer also produces :class:`SweepTelemetry` for every batch:
+per-point wall-clock and uops/sec, cache hit/miss counts, and worker
+utilization.  Cache misses are simulated; hits are replayed from the
+runner's memory/disk cache, so re-running an unchanged figure simulates
+zero points.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import SystemConfig
+from ..sim.results import CoreResult, SimResult
+from .runner import Point, Runner, _simulate_payload
+
+
+@dataclass
+class PointTiming:
+    """Telemetry for one executed (cache-miss) point."""
+
+    label: str
+    wall_seconds: float
+    uops: int
+
+    @property
+    def uops_per_sec(self) -> float:
+        return self.uops / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass
+class SweepTelemetry:
+    """What one :func:`run_points` batch did and how fast."""
+
+    workers: int
+    points_total: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    timings: List[PointTiming] = field(default_factory=list)
+
+    @property
+    def simulated(self) -> int:
+        return len(self.timings)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulation time across all workers."""
+        return sum(t.wall_seconds for t in self.timings)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock spent simulating."""
+        if not self.wall_seconds or not self.workers:
+            return 0.0
+        return min(1.0, self.busy_seconds
+                   / (self.workers * self.wall_seconds))
+
+    @property
+    def uops_per_sec(self) -> float:
+        """Aggregate simulation throughput over the batch wall-clock."""
+        if not self.wall_seconds:
+            return 0.0
+        return sum(t.uops for t in self.timings) / self.wall_seconds
+
+    def to_dict(self) -> Dict:
+        return {
+            "workers": self.workers,
+            "points_total": self.points_total,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization,
+            "uops_per_sec": self.uops_per_sec,
+            "points": [
+                {"label": t.label, "wall_seconds": t.wall_seconds,
+                 "uops": t.uops, "uops_per_sec": t.uops_per_sec}
+                for t in self.timings
+            ],
+        }
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: every core."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def run_points(runner: Runner, points: List[Point],
+               workers: Optional[int] = None) -> SweepTelemetry:
+    """Execute a batch of points, sharding cache misses across workers.
+
+    Results land in the runner's memory and disk caches, so any figure
+    driven afterwards replays them without simulating.  Duplicate
+    points (same cache key) are executed once.
+    """
+    if workers is None:
+        workers = default_workers()
+    start = time.perf_counter()
+    telemetry = SweepTelemetry(workers=workers, points_total=len(points))
+    misses: Dict[Tuple, Point] = {}
+    for pt in points:
+        if runner.cached(pt) is not None:
+            telemetry.cache_hits += 1
+        else:
+            misses.setdefault(runner.point_key(pt), pt)
+    todo = list(misses.values())
+    if len(todo) <= 1 or workers <= 1:
+        for pt in todo:
+            t0 = time.perf_counter()
+            result = runner.simulate(pt)
+            runner.store(pt, result)
+            telemetry.timings.append(PointTiming(
+                pt.label(), time.perf_counter() - t0, result.committed))
+    else:
+        _fan_out(runner, todo, workers, telemetry)
+    telemetry.wall_seconds = time.perf_counter() - start
+    return telemetry
+
+
+def _fan_out(runner: Runner, todo: List[Point], workers: int,
+             telemetry: SweepTelemetry) -> None:
+    params = runner.params()
+    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+        pending = {pool.submit(_simulate_payload, (params, pt)): pt
+                   for pt in todo}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                pt = pending.pop(future)
+                data, sim_seconds = future.result()
+                result = SimResult.from_dict(data)
+                runner.store(pt, result)
+                telemetry.timings.append(PointTiming(
+                    pt.label(), sim_seconds, result.committed))
+
+
+class _DryRunResult(SimResult):
+    """Placeholder handed out while only *collecting* points: any metric
+    a figure reads is a positive constant, so derived arithmetic
+    (ratios, geomeans, stall fractions) stays finite."""
+
+    def stat(self, key: str, default: float = 0.0) -> float:
+        return 1.0
+
+    def sum_stats(self, suffix: str) -> float:
+        return 1.0
+
+
+def _dummy_result() -> SimResult:
+    return _DryRunResult(workload="dry-run", mechanism="none", sb_entries=0,
+                         cycles=1, cores=[CoreResult(0, 1, 1, {})], stats={},
+                         energy=1.0)
+
+
+class PointCollector(Runner):
+    """A dry-run runner that records every point an experiment asks for.
+
+    Driving a figure function with a collector yields the exact point
+    set the figure needs — the work-list the parallel fan-out then
+    shards — without simulating anything (requests get a placeholder
+    result).
+    """
+
+    def __init__(self, like: Runner) -> None:
+        super().__init__(cache_dir=str(like.cache_dir),
+                         use_disk_cache=False, **like.params())
+        self.points: List[Point] = []
+        self._seen: set = set()
+
+    @property
+    def unique_points(self) -> List[Point]:
+        return list(self.points)
+
+    def run(self, bench: str, mechanism: str, sb_entries: int,
+            config: Optional[SystemConfig] = None, tag: str = "",
+            point: int = 0) -> SimResult:
+        pt = Point(bench, mechanism, sb_entries, tag, point, config)
+        key = self.point_key(pt)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.points.append(pt)
+        return _dummy_result()
+
+
+def collect_points(runner: Runner, experiment, *args, **kwargs
+                   ) -> List[Point]:
+    """Run ``experiment(collector, ...)`` in dry-run mode and return the
+    unique simulation points it requested, in first-request order."""
+    collector = PointCollector(runner)
+    experiment(collector, *args, **kwargs)
+    return collector.unique_points

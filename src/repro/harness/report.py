@@ -70,6 +70,38 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def render_telemetry(telemetry, slowest: int = 5) -> str:
+    """Render one sweep batch's telemetry as text.
+
+    ``telemetry`` is a :class:`~repro.harness.parallel.SweepTelemetry`
+    (taken duck-typed to keep this module's imports rendering-only).
+    Shows the cache hit/miss split, throughput, worker utilization, and
+    the ``slowest`` individual points — the ones worth re-sharding or
+    shrinking first.
+    """
+    lines = ["== sweep telemetry =="]
+    lines.append(
+        f"points: {telemetry.points_total} total, "
+        f"{telemetry.cache_hits} cache hits, "
+        f"{telemetry.simulated} simulated")
+    lines.append(
+        f"wall-clock: {telemetry.wall_seconds:.2f}s   "
+        f"workers: {telemetry.workers}   "
+        f"utilization: {telemetry.utilization:.0%}")
+    if telemetry.simulated:
+        lines.append(
+            f"throughput: {telemetry.uops_per_sec:,.0f} uops/s "
+            f"({telemetry.busy_seconds:.2f}s busy across workers)")
+        worst = sorted(telemetry.timings,
+                       key=lambda t: -t.wall_seconds)[:slowest]
+        lines.append(f"slowest points (of {telemetry.simulated}):")
+        for timing in worst:
+            lines.append(
+                f"  {timing.label:<40} {timing.wall_seconds:7.2f}s  "
+                f"{timing.uops_per_sec:10,.0f} uops/s")
+    return "\n".join(lines)
+
+
 def render_scurve(title: str, series: Dict[str, List[float]],
                   width: int = 60) -> str:
     """Render sorted per-mechanism speedup series (an S-curve) as text.

@@ -3,9 +3,15 @@
 Every figure of the evaluation is a set of (benchmark, mechanism,
 SB-size) simulation points; the :class:`Runner` executes them once and
 caches the :class:`~repro.sim.results.SimResult` both in memory and on
-disk.  The disk cache is keyed by the run parameters *and a hash of the
-package sources*, so editing any model invalidates stale results
-automatically.
+disk.  The disk cache is keyed by the run parameters, the configuration
+digest, *and a hash of the package sources*, so editing any model or
+any config field invalidates stale results automatically.
+
+A simulation point is fully described by a :class:`Point`; executing
+one is a pure function of the point and the runner's trace parameters
+(:meth:`Runner.simulate`), which is what lets
+:mod:`repro.harness.parallel` shard points across worker processes and
+still produce byte-identical results.
 """
 
 from __future__ import annotations
@@ -13,14 +19,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import SystemConfig, table_i
 from ..energy.mcpat import attach_energy
 from ..sim.results import SimResult
 from ..sim.system import System
 from ..workloads import make_parallel_traces, make_trace, profile
+
+#: Stride between simpoint seeds (prime, so point seeds never collide
+#: with neighbouring base seeds).
+POINT_SEED_STRIDE = 1009
 
 
 def _source_fingerprint() -> str:
@@ -40,6 +51,30 @@ def source_fingerprint() -> str:
     if _FINGERPRINT is None:
         _FINGERPRINT = _source_fingerprint()
     return _FINGERPRINT
+
+
+@dataclass(frozen=True)
+class Point:
+    """One simulation point: everything needed to execute it.
+
+    ``config`` carries an explicit override (the DSE ablations);
+    ``tag`` keeps the override's human-readable label in the cache key.
+    """
+
+    bench: str
+    mechanism: str
+    sb_entries: int
+    tag: str = ""
+    point: int = 0
+    config: Optional[SystemConfig] = None
+
+    def label(self) -> str:
+        parts = [self.bench, self.mechanism, f"sb{self.sb_entries}"]
+        if self.tag:
+            parts.append(self.tag)
+        if self.point:
+            parts.append(f"p{self.point}")
+        return "/".join(parts)
 
 
 class Runner:
@@ -68,6 +103,20 @@ class Runner:
         self.cache_dir = Path(cache_dir)
         self._memory: Dict[Tuple, SimResult] = {}
 
+    def params(self) -> Dict:
+        """Constructor kwargs that reproduce this runner's trace and
+        warmup parameters in another process (cache settings excluded:
+        workers never touch the disk cache)."""
+        return {
+            "st_length": self.st_length,
+            "par_length": self.par_length,
+            "num_cores_parallel": self.num_cores_parallel,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "simpoints": self.simpoints,
+            "parsec_simpoints": self.parsec_simpoints,
+        }
+
     # ------------------------------------------------------------------
     def run(self, bench: str, mechanism: str, sb_entries: int,
             config: Optional[SystemConfig] = None, tag: str = "",
@@ -75,24 +124,14 @@ class Runner:
         """Run one simulation point (cached).
 
         ``config`` overrides the derived configuration (used by the DSE
-        ablations); pass a distinguishing ``tag`` with it so the cache
-        key stays unique.  ``point`` selects the simpoint (each gets an
+        ablations).  ``point`` selects the simpoint (each gets an
         independently seeded trace).
         """
-        parallel = profile(bench).suite == "parsec"
-        seed = self.seed + 1009 * point
-        key = (bench, mechanism, sb_entries, tag,
-               self.num_cores_parallel if parallel else 1,
-               self.par_length if parallel else self.st_length, seed,
-               self.warmup_fraction)
-        if key in self._memory:
-            return self._memory[key]
-        result = self._load_disk(key)
+        pt = Point(bench, mechanism, sb_entries, tag, point, config)
+        result = self.cached(pt)
         if result is None:
-            result = self._execute(bench, mechanism, sb_entries, config,
-                                   parallel, seed)
-            self._store_disk(key, result)
-        self._memory[key] = result
+            result = self.simulate(pt)
+            self.store(pt, result)
         return result
 
     def run_points(self, bench: str, mechanism: str, sb_entries: int,
@@ -104,25 +143,68 @@ class Runner:
         return [self.run(bench, mechanism, sb_entries, config, tag, point)
                 for point in range(points)]
 
-    def _execute(self, bench: str, mechanism: str, sb_entries: int,
-                 config: Optional[SystemConfig], parallel: bool,
-                 seed: int) -> SimResult:
-        if config is None:
-            config = table_i()
-        config = config.with_mechanism(mechanism).with_sb_size(sb_entries)
+    def run_many(self, points: Iterable[Point], workers: Optional[int] = None):
+        """Execute a batch of points, fanning cache misses out across
+        worker processes.  Returns a
+        :class:`~repro.harness.parallel.SweepTelemetry`."""
+        from .parallel import run_points   # avoid an import cycle
+        return run_points(self, list(points), workers=workers)
+
+    # -- point execution ----------------------------------------------------
+    def point_seed(self, pt: Point) -> int:
+        return self.seed + POINT_SEED_STRIDE * pt.point
+
+    def simulate(self, pt: Point) -> SimResult:
+        """Execute one point, bypassing every cache.
+
+        Pure in the point and the runner's trace parameters: the same
+        point simulated in any process yields a byte-identical result
+        (see :meth:`SimResult.canonical_json`).
+        """
+        parallel = profile(pt.bench).suite == "parsec"
+        seed = self.point_seed(pt)
+        config = pt.config if pt.config is not None else table_i()
+        config = config.with_mechanism(pt.mechanism) \
+            .with_sb_size(pt.sb_entries)
         if parallel:
             config = config.with_cores(self.num_cores_parallel)
             traces = make_parallel_traces(
-                bench, self.num_cores_parallel, self.par_length, seed)
+                pt.bench, self.num_cores_parallel, self.par_length, seed)
         else:
             config = config.with_cores(1)
-            traces = [make_trace(bench, self.st_length, seed)]
-        system = System(config, traces, workload=bench)
+            traces = [make_trace(pt.bench, self.st_length, seed)]
+        system = System(config, traces, workload=pt.bench)
         total_uops = sum(len(t) for t in traces)
         result = system.run(
             warmup_committed=int(total_uops * self.warmup_fraction))
         attach_energy(result, config)
         return result
+
+    # -- cache --------------------------------------------------------------
+    def point_key(self, pt: Point) -> Tuple:
+        parallel = profile(pt.bench).suite == "parsec"
+        digest = pt.config.digest() if pt.config is not None else ""
+        return (pt.bench, pt.mechanism, pt.sb_entries, pt.tag, digest,
+                self.num_cores_parallel if parallel else 1,
+                self.par_length if parallel else self.st_length,
+                self.point_seed(pt), self.warmup_fraction)
+
+    def cached(self, pt: Point) -> Optional[SimResult]:
+        """Look the point up in the memory and disk caches (promoting a
+        disk hit into memory); ``None`` on a miss."""
+        key = self.point_key(pt)
+        if key in self._memory:
+            return self._memory[key]
+        result = self._load_disk(key)
+        if result is not None:
+            self._memory[key] = result
+        return result
+
+    def store(self, pt: Point, result: SimResult) -> None:
+        """Insert an executed point into both cache layers."""
+        key = self.point_key(pt)
+        self._store_disk(key, result)
+        self._memory[key] = result
 
     # -- derived metrics (aggregated over simpoints) ------------------------
     def cycles(self, bench: str, mechanism: str, sb_entries: int,
@@ -181,10 +263,25 @@ class Runner:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._cache_path(key)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
         with open(tmp, "w") as handle:
-            json.dump(result.to_dict(), handle)
+            handle.write(result.canonical_json())
         os.replace(tmp, path)
+
+
+def _simulate_payload(payload: Tuple[Dict, Point]) -> Tuple[Dict, float]:
+    """Worker-process entry point: execute one point, no caches.
+
+    Returns the result's dict form plus the simulation wall-clock; a
+    module-level function so it pickles under every multiprocessing
+    start method.
+    """
+    import time
+    params, pt = payload
+    runner = Runner(use_disk_cache=False, **params)
+    start = time.perf_counter()
+    result = runner.simulate(pt)
+    return result.to_dict(), time.perf_counter() - start
 
 
 _DEFAULT_RUNNER: Optional[Runner] = None

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -65,7 +66,13 @@ class SimResult:
         return sum(v for k, v in self.stats.items() if k.endswith(suffix))
 
     def to_dict(self) -> Dict:
-        """JSON-serialisable form (for the harness disk cache)."""
+        """JSON-serialisable form (for the harness disk cache).
+
+        Dict contents are emitted in sorted-key order so the form is
+        *stable*: two equal results serialise identically regardless of
+        the insertion order of their stats/stalls dicts (required for
+        the cache and for cross-process result comparison).
+        """
         return {
             "workload": self.workload,
             "mechanism": self.mechanism,
@@ -74,11 +81,21 @@ class SimResult:
             "energy": self.energy,
             "cores": [
                 {"core_id": c.core_id, "committed": c.committed,
-                 "finish_cycle": c.finish_cycle, "stalls": c.stalls}
-                for c in self.cores
+                 "finish_cycle": c.finish_cycle,
+                 "stalls": dict(sorted(c.stalls.items()))}
+                for c in sorted(self.cores, key=lambda c: c.core_id)
             ],
-            "stats": self.stats,
+            "stats": dict(sorted(self.stats.items())),
         }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialisation: equal results give equal strings.
+
+        The parallel harness compares worker output against the serial
+        path with this, and the disk cache stores it.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimResult":

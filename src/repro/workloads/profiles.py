@@ -98,6 +98,25 @@ class Profile:
     # shared by all cores.
     shared_fraction: float = 0.0
     shared_ws_kb: int = 16
+    #: The shared draw is skewed towards a small hot subset of lines
+    #: common to every core (locks, queue heads, reduction variables).
+    #: A uniform draw over the full shared arena never conflicts at
+    #: test-scale trace lengths: 256 candidate lines and ~a dozen
+    #: touches per core leave the cross-core intersection empty.
+    shared_hot_lines: int = 16
+    #: Probability that a shared access lands in the hot subset (the
+    #: rest of the probability mass is uniform over the whole arena).
+    shared_hot_weight: float = 0.8
+    #: Fraction of warm loads that read the shared region, so
+    #: read-shared -> upgrade -> invalidate patterns occur.  ``None``
+    #: follows ``shared_fraction``.
+    shared_load_fraction: Optional[float] = None
+    #: Fraction of compute-phase micro-ops that *update* a shared line
+    #: (flag/queue-head/reduction writes).  Profiles without a
+    #: local-store phase would otherwise never write shared data and
+    #: could not generate invalidations.  ``None``: a quarter of
+    #: ``shared_fraction``.
+    shared_store_fraction: Optional[float] = None
 
     def phase_weights(self) -> List[Tuple[str, float]]:
         """Per-episode draw weights.
@@ -152,6 +171,15 @@ class _Generator:
         #: Shared across cores: same base regardless of core id.
         self.shared_region = WarmRegion(arena_base(9999, 12),
                                         profile.shared_ws_kb * 1024)
+        hot = min(profile.shared_hot_lines, self.shared_region.num_lines)
+        self.shared_hot = [self.shared_region.line_at(i) for i in range(hot)]
+        # Zipf(s=1) weights: the first hot line draws ~30% of the hot
+        # mass, so even short traces make every core touch it.
+        weight, cum = 0.0, []
+        for i in range(hot):
+            weight += 1.0 / (i + 1)
+            cum.append(weight)
+        self._hot_cum = cum
 
     # -- emission helpers -----------------------------------------------
     def emit(self, uop: UOp) -> None:
@@ -185,7 +213,12 @@ class _Generator:
             self._last_chase_load = len(self.uops)
             self.emit(UOp(OpKind.LOAD, addr, 8, dep_dist=dep))
             return
-        if (self.p.loads_from_store_region
+        shared = self.p.shared_load_fraction
+        if shared is None:
+            shared = self.p.shared_fraction
+        if shared and self.rng.random() < shared:
+            addr = self.shared_line()
+        elif (self.p.loads_from_store_region
                 and self.rng.random() < self.p.loads_from_store_region):
             addr = self.store_region.random_line(self.rng)
         else:
@@ -196,10 +229,24 @@ class _Generator:
     def emit_store(self, line: int, word_index: int) -> None:
         self.emit(UOp(OpKind.STORE, line + (word_index % 8) * 8, 8))
 
+    def shared_line(self) -> int:
+        """A line in the cross-core shared arena, Zipf-skewed hot."""
+        if self.shared_hot \
+                and self.rng.random() < self.p.shared_hot_weight:
+            return self.rng.choices(self.shared_hot,
+                                    cum_weights=self._hot_cum)[0]
+        return self.shared_region.random_line(self.rng)
+
     # -- phases -----------------------------------------------------------
     def phase_compute(self) -> None:
         length = self.rng.randint(*self.p.compute_len)
+        shared_store = self.p.shared_store_fraction
+        if shared_store is None:
+            shared_store = self.p.shared_fraction / 4
         for _ in range(length):
+            if shared_store and self.rng.random() < shared_store:
+                self.emit_store(self.shared_line(), self.rng.randrange(8))
+                continue
             if self.rng.random() < self.p.load_fraction:
                 self.emit_load()
             else:
@@ -244,7 +291,7 @@ class _Generator:
         for _ in range(run):
             if (self.p.shared_fraction
                     and self.rng.random() < self.p.shared_fraction):
-                line = self.shared_region.random_line(self.rng)
+                line = self.shared_line()
             else:
                 line = self.store_region.random_line(self.rng)
             for word in range(self.p.words_per_line):

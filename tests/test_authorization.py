@@ -89,6 +89,46 @@ class TestFigure5:
         assert [e.line for e in decision.relinquish] == [D]
 
 
+class TestGroupDependencies:
+    """Visibility is per atomic group: a request's dependency set must
+    include same-group members *younger* than the requested line.
+
+    Regression for a live deadlock (x264 under TUS): core A held D
+    (ready) in a group still missing the younger member C, and delayed
+    the request for D because everything *older* was ready; meanwhile C
+    was held by core B, itself delaying because of a line A held.  The
+    lex comparison over the full group dependency set makes A
+    relinquish instead (lex(C) < lex(D)), breaking the cycle."""
+
+    def group_woq(self, lines_ready):
+        woq = WriteOrderingQueue(16)
+        group = woq.new_group_id()
+        for line, ready in lines_ready:
+            entry = woq.append(line, 0xFF, group)
+            entry.ready = ready
+        return AuthorizationUnit(woq), woq
+
+    def test_younger_missing_group_member_forbids_delay(self):
+        # Core A of the deadlock: D ready, same-group younger C missing.
+        auth, _ = self.group_woq([(D, True), (C, False)])
+        decision = auth.check(D)
+        assert not decision.delay
+        assert [e.line for e in decision.relinquish] == [D]
+
+    def test_younger_missing_with_higher_lex_still_delays(self):
+        # Core B of the deadlock: C ready, same-group younger D missing.
+        # lex(D) > lex(C), so waiting is safe — B's delay is legal.
+        auth, _ = self.group_woq([(C, True), (D, False)])
+        assert auth.check(C).delay
+
+    def test_other_groups_stay_out_of_the_dependency_set(self):
+        # R (younger, separate group, not ready) does not gate the
+        # visibility of C's group and must not force a relinquish.
+        auth, woq = self.group_woq([(P, True), (C, True)])
+        woq.append(R, 0xFF)           # own group, not ready
+        assert auth.check(C).delay
+
+
 class TestReissueTarget:
     def test_targets_lex_least_missing_in_head_group(self):
         auth, woq = unit_with([(D, False), (C, False)])

@@ -280,3 +280,65 @@ class TestTUSHooks:
         assert len(polls) == 3
         assert sys_.ports[1].is_writable(LINE)
         assert sys_.c_delays.value == 2
+
+    def test_delay_repolls_do_not_inflate_invalidations(self):
+        """Regression: each DELAY re-poll used to count another
+        invalidation; the target must be counted once per transaction."""
+        sys_, events = make_system(cores=2)
+        port0 = sys_.ports[0]
+        port0.request_write(LINE, 0)
+        run_all(events)
+        l1line = port0.l1d.probe(LINE)
+        l1line.not_visible = True
+        polls = []
+
+        def hook(addr, kind, requester, cycle):
+            polls.append(cycle)
+            if len(polls) < 4:
+                return SnoopReply(SnoopResult.DELAY)
+            l1line.not_visible = False
+            return port0._snoop_normal(addr, kind, l1line)
+
+        port0.snoop_hook = hook
+        sys_.ports[1].request_write(LINE, 1000)
+        run_all(events, 30_000)
+        assert len(polls) == 4
+        assert sys_.c_invalidations.value == 1
+
+    def test_resolved_targets_not_resnooped_after_delay(self):
+        """With one target ACKing before another DELAYs, the re-poll
+        must only revisit the delaying core: re-snooping the resolved
+        one would re-invalidate its caches and double-count stats."""
+        sys_, events = make_system(cores=3)
+        port0, port1 = sys_.ports[0], sys_.ports[1]
+        # Cores 0 and 1 both hold the line shared; targets are snooped
+        # in core order, so core 0 ACKs first, then core 1 delays.
+        port0.request_read(LINE, 0)
+        run_all(events)
+        port1.request_read(LINE, 2000)
+        run_all(events)
+        l1line1 = port1.l1d.probe(LINE)
+        l1line1.not_visible = True
+        snoops = {0: 0, 1: 0}
+
+        def hook1(addr, kind, requester, cycle):
+            snoops[1] += 1
+            if snoops[1] < 3:
+                return SnoopReply(SnoopResult.DELAY)
+            l1line1.not_visible = False
+            return port1._snoop_normal(addr, kind, l1line1)
+
+        original = port0._snoop
+
+        def counting_snoop(addr, kind, requester, cycle):
+            snoops[0] += 1
+            return original(addr, kind, requester, cycle)
+
+        port1.snoop_hook = hook1
+        port0._snoop = counting_snoop
+        sys_.ports[2].request_write(LINE, 4000)
+        run_all(events, 40_000)
+        assert sys_.ports[2].is_writable(LINE)
+        assert snoops[1] == 3          # two delays + the final ACK
+        assert snoops[0] == 1          # never re-snooped by the re-polls
+        assert sys_.c_invalidations.value == 2   # one per target

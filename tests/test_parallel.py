@@ -1,0 +1,171 @@
+"""The parallel experiment harness: fan-out, caching, telemetry.
+
+The contract under test: sharding simulation points across worker
+processes is invisible in the results (byte-identical to the serial
+path), a warm cache simulates nothing, and the telemetry accounts for
+every point.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import (FIGURES, Point, Runner, collect_points, fig9,
+                           run_points, sweep_figure)
+from repro.harness.parallel import PointCollector, default_workers
+from repro.harness.report import render_telemetry
+
+SMALL = ["synth.burst", "synth.scatter"]
+
+
+def small_runner(tmp_path, **overrides):
+    kwargs = dict(cache_dir=str(tmp_path), st_length=2500, par_length=300,
+                  num_cores_parallel=4, simpoints=1, parsec_simpoints=1)
+    kwargs.update(overrides)
+    return Runner(**kwargs)
+
+
+def small_points():
+    return [Point(b, m, sb) for b in ("synth.burst", "blackscholes")
+            for m in ("baseline", "tus") for sb in (32, 114)]
+
+
+class TestFanOut:
+    def test_parallel_results_byte_identical_to_serial(self, tmp_path):
+        points = small_points()
+        serial = small_runner(tmp_path / "serial", use_disk_cache=False)
+        parallel = small_runner(tmp_path / "par", use_disk_cache=False)
+        expected = {serial.point_key(p): serial.simulate(p)
+                    for p in points}
+        telemetry = run_points(parallel, points, workers=4)
+        assert telemetry.simulated == len(points)
+        for point in points:
+            got = parallel.cached(point)
+            want = expected[parallel.point_key(point)]
+            assert got.canonical_json() == want.canonical_json()
+
+    def test_warm_cache_rerun_simulates_nothing(self, tmp_path):
+        runner = small_runner(tmp_path)
+        points = small_points()
+        cold = run_points(runner, points, workers=2)
+        assert cold.simulated == len(points)
+        warm = run_points(runner, points, workers=2)
+        assert warm.simulated == 0
+        assert warm.cache_hits == len(points)
+        # A fresh runner on the same disk cache also simulates nothing.
+        rerun = run_points(small_runner(tmp_path), points, workers=2)
+        assert rerun.simulated == 0
+
+    def test_duplicate_points_simulated_once(self, tmp_path):
+        runner = small_runner(tmp_path)
+        point = Point("synth.burst", "baseline", 114)
+        telemetry = run_points(runner, [point, point, point], workers=2)
+        assert telemetry.points_total == 3
+        assert telemetry.simulated == 1
+
+    def test_deterministic_per_point_seeds(self, tmp_path):
+        runner = small_runner(tmp_path, use_disk_cache=False)
+        a = runner.simulate(Point("synth.burst", "baseline", 114, point=0))
+        b = runner.simulate(Point("synth.burst", "baseline", 114, point=1))
+        c = runner.simulate(Point("synth.burst", "baseline", 114, point=0))
+        assert a.cycles != b.cycles          # different simpoint seeds
+        assert a.canonical_json() == c.canonical_json()
+
+
+class TestTelemetry:
+    def test_accounts_for_every_point(self, tmp_path):
+        runner = small_runner(tmp_path)
+        points = small_points()
+        run_points(runner, points[:3], workers=2)
+        telemetry = run_points(runner, points, workers=2)
+        assert telemetry.points_total == len(points)
+        assert telemetry.cache_hits == 3
+        assert telemetry.simulated == len(points) - 3
+        assert 0.0 <= telemetry.utilization <= 1.0
+        assert telemetry.uops_per_sec > 0
+        assert all(t.wall_seconds >= 0 and t.uops > 0
+                   for t in telemetry.timings)
+
+    def test_render_and_export(self, tmp_path):
+        from repro.harness.export import telemetry_to_json
+        runner = small_runner(tmp_path)
+        telemetry = run_points(
+            runner, [Point("synth.burst", "tus", 32)], workers=1)
+        text = render_telemetry(telemetry)
+        assert "cache hits" in text and "utilization" in text
+        out = tmp_path / "telemetry.json"
+        telemetry_to_json(telemetry, out)
+        import json
+        data = json.loads(out.read_text())
+        assert data["simulated"] == 1
+        assert data["points"][0]["label"] == "synth.burst/tus/sb32"
+
+
+class TestPointCollection:
+    def test_collector_simulates_nothing(self, tmp_path):
+        runner = small_runner(tmp_path)
+        collector = PointCollector(runner)
+        result = collector.run("synth.burst", "baseline", 114)
+        assert result.cycles == 1           # placeholder, not a simulation
+        assert collector.points == [Point("synth.burst", "baseline", 114)]
+
+    def test_fig9_points_cover_matrix(self, tmp_path):
+        runner = small_runner(tmp_path)
+        points = collect_points(runner, fig9, benches=SMALL)
+        combos = {(p.bench, p.mechanism, p.sb_entries) for p in points}
+        assert combos == {(b, m, 114) for b in SMALL
+                          for m in ("baseline", "ssb", "csb", "spb", "tus")}
+
+    def test_every_figure_collects_points(self, tmp_path):
+        runner = small_runner(tmp_path)
+        for name, fn in FIGURES.items():
+            from repro.harness.sweep import figure_kwargs
+            kwargs = figure_kwargs(name, SMALL + ["blackscholes"])
+            points = collect_points(runner, fn, **kwargs)
+            assert points, f"{name} collected no points"
+
+
+class TestSweepFigure:
+    def test_matches_serial_figure(self, tmp_path):
+        parallel = small_runner(tmp_path / "a")
+        serial = small_runner(tmp_path / "b")
+        results, telemetry = sweep_figure("fig9", parallel, workers=2,
+                                          benches=SMALL)
+        direct = fig9(serial, benches=SMALL)
+        assert results[0].rows == direct.rows
+        assert results[0].summary == direct.summary
+        assert telemetry.points_total == telemetry.simulated \
+            + telemetry.cache_hits
+
+    def test_unknown_figure_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            sweep_figure("fig99", small_runner(tmp_path))
+
+    def test_default_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="wall-clock speedup needs >=4 real cores")
+def test_fanout_at_least_2x_faster_with_4_workers(tmp_path):
+    """Acceptance: >=4 workers beat the serial path by >=2x wall-clock
+    on a figure-sized batch (only meaningful on a multicore host)."""
+    import time
+    points = [Point(b, m, sb) for b in ("synth.burst", "synth.scatter")
+              for m in ("baseline", "ssb", "csb", "spb", "tus")
+              for sb in (32, 114)]
+    serial = small_runner(tmp_path / "s", use_disk_cache=False,
+                          st_length=8000)
+    t0 = time.perf_counter()
+    for point in points:
+        serial.simulate(point)
+    serial_seconds = time.perf_counter() - t0
+    parallel = small_runner(tmp_path / "p", use_disk_cache=False,
+                            st_length=8000)
+    t0 = time.perf_counter()
+    telemetry = run_points(parallel, points, workers=4)
+    parallel_seconds = time.perf_counter() - t0
+    assert telemetry.simulated == len(points)
+    assert parallel_seconds * 2 <= serial_seconds, (
+        f"parallel {parallel_seconds:.2f}s vs serial {serial_seconds:.2f}s")

@@ -57,6 +57,16 @@ def test_tus_conflicts_on_shared_profiles():
     assert touched > 0
 
 
+@pytest.mark.parametrize("bench", benchmarks("parsec"))
+def test_all_profiles_generate_invalidations_at_16_cores(bench):
+    """Regression for the dead-sharing bug: every paper-scale (16-core)
+    Parsec profile must exercise the coherence protocol."""
+    config = table_i().with_cores(16)
+    traces = make_parallel_traces(bench, 16, 600, seed=2)
+    result = System(config, traces, workload=bench).run()
+    assert result.stat("system.mem.protocol.invalidations") > 0
+
+
 def test_more_cores_more_contention():
     traces2 = make_parallel_traces("streamcluster", 2, 2000, seed=9)
     traces4 = make_parallel_traces("streamcluster", 4, 2000, seed=9)

@@ -137,6 +137,37 @@ class TestParallel:
                     for i in range(4) for j in range(i + 1, 4)]
         assert any(pairwise), "parallel profiles must share store lines"
 
+    @pytest.mark.parametrize("bench", benchmarks("parsec"))
+    def test_all_cores_conflict_on_shared_lines(self, bench):
+        """Regression: every Parsec profile's 16-core traces must have a
+        line *all* cores store to — the skewed hot-set draw guarantees
+        it even at test-scale trace lengths.  A uniform draw over the
+        shared arena left the intersection empty (zero invalidations)."""
+        prof = profile(bench)
+        base = arena_base(9999, 12)
+        end = base + prof.shared_ws_kb * 1024
+        traces = make_parallel_traces(bench, 16, 1200, seed=13)
+        shared_stores = [
+            {line_addr(u.addr) for u in trace
+             if u.kind.is_store and base <= u.addr < end}
+            for trace in traces
+        ]
+        common = set.intersection(*shared_stores)
+        assert common, f"{bench}: no shared line stored by all 16 cores"
+
+    @pytest.mark.parametrize("bench", benchmarks("parsec"))
+    def test_shared_lines_also_loaded(self, bench):
+        """Shared data must be read as well as written, so read-shared ->
+        upgrade -> invalidate sequences occur in simulation."""
+        prof = profile(bench)
+        base = arena_base(9999, 12)
+        end = base + prof.shared_ws_kb * 1024
+        traces = make_parallel_traces(bench, 4, 3000, seed=13)
+        shared_loads = sum(
+            1 for trace in traces for u in trace
+            if u.kind == OpKind.LOAD and base <= u.addr < end)
+        assert shared_loads > 0, f"{bench}: no loads touch shared lines"
+
 
 class TestRegions:
     def test_warm_region_wraps(self):

@@ -1,18 +1,27 @@
-"""Precompute every simulation point the figures need (fills the cache)."""
+"""Precompute every simulation point the figures need (fills the cache).
+
+Points are collected across all figures, deduplicated, and sharded
+over worker processes (all cores by default; override with
+``REPRO_WORKERS`` or ``--workers``).  Equivalent to
+``python -m repro sweep all``.
+"""
+import argparse
 import time
-from repro.harness import (Runner, dse, fig8, fig9, fig10, fig11, fig12,
-                           fig13, fig14, fig15, l1d_writes, sb_cost)
+
+from repro.harness import Runner, render_telemetry, sb_cost, sweep_all
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: all cores)")
+args = parser.parse_args()
 
 runner = Runner()
 t0 = time.time()
-for name, fn in [("fig9", fig9), ("fig10", fig10), ("fig11", fig11),
-                 ("writes", l1d_writes), ("fig13", fig13),
-                 ("fig15", fig15), ("fig12", fig12), ("fig14", fig14),
-                 ("fig8", fig8), ("dse", dse)]:
-    t1 = time.time()
-    out = fn(runner)
-    for part in (out.values() if isinstance(out, dict) else [out]):
+outputs, telemetry = sweep_all(runner, workers=args.workers)
+for name, parts in outputs.items():
+    for part in parts:
         print(part.render(), flush=True)
-    print(f"-- {name} done in {time.time()-t1:.0f}s (total {time.time()-t0:.0f}s)", flush=True)
+    print(f"-- {name} done (total {time.time()-t0:.0f}s)", flush=True)
 print(sb_cost().render())
+print(render_telemetry(telemetry))
 print(f"ALL DONE in {time.time()-t0:.0f}s")
