@@ -10,7 +10,9 @@ Commands
 ``sweep``    regenerate figures through the parallel harness: shard the
              cache-missing simulation points across worker processes
              and print run telemetry
-``litmus``   run the x86-TSO litmus checks
+``litmus``   run the x86-TSO litmus checks (optionally one mechanism)
+``check``    model-check protocol invariants over all interleavings of
+             a small scenario (exhaustive BFS, or ``--fuzz`` swarm)
 ``bench``    list the available benchmarks with their descriptions
 
 Examples
@@ -21,7 +23,10 @@ Examples
     python -m repro figure fig9
     python -m repro sweep fig8 --workers 8
     python -m repro sweep all --workers 16 --export-dir out/
-    python -m repro litmus
+    python -m repro litmus --mechanism tus
+    python -m repro check --cores 2 --lines 2 --mechanism tus
+    python -m repro check --scenario overlap --mechanism tus --unsound-auth
+    python -m repro check --cores 3 --fuzz 500 --seed 7
 """
 
 from __future__ import annotations
@@ -137,17 +142,48 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_litmus(_args) -> int:
-    from .tso import (all_litmus_tests, enumerate_outcomes,
-                      enumerate_tus_outcomes)
+def _cmd_litmus(args) -> int:
+    from .tso import all_litmus_tests, enumerate_outcomes, \
+        enumerate_mechanism_outcomes
+    mechanisms = MECHANISMS if args.mechanism == "all" else (args.mechanism,)
     failures = 0
     for name, program in all_litmus_tests().items():
         tso = enumerate_outcomes(program)
-        tus = enumerate_tus_outcomes(program)
-        ok = tus <= tso
-        failures += not ok
-        print(f"{name:15} tso={len(tso):3} tus={len(tus):3} "
-              f"{'OK' if ok else 'VIOLATION'}")
+        cells = []
+        for mechanism in mechanisms:
+            outcomes = enumerate_mechanism_outcomes(program, mechanism)
+            ok = outcomes <= tso
+            failures += not ok
+            cells.append(f"{mechanism}={len(outcomes):<3}"
+                         f"{'' if ok else '!'}")
+        status = "OK" if not any(c.endswith("!") for c in cells) \
+            else "VIOLATION"
+        print(f"{name:15} tso={len(tso):3} {' '.join(cells)} {status}")
+    return 1 if failures else 0
+
+
+def _cmd_check(args) -> int:
+    from .harness.checks import CheckJob, run_checks
+    from .modelcheck import SCENARIOS
+    mechanisms = MECHANISMS if args.mechanism == "all" else (args.mechanism,)
+    scenarios = tuple(sorted(SCENARIOS)) if args.scenario == "all" \
+        else (args.scenario,)
+    jobs = [CheckJob(scenario=scenario, mechanism=mechanism,
+                     cores=args.cores, lines=args.lines,
+                     unsound=args.unsound_auth, max_depth=args.depth,
+                     max_states=args.max_states, max_cycles=args.max_cycles,
+                     fuzz_runs=args.fuzz, seed=args.seed)
+            for scenario in scenarios for mechanism in mechanisms]
+    reports = run_checks(jobs, workers=args.workers)
+    failures = 0
+    for report in reports:
+        print(report.summary())
+        if report.violation is not None:
+            failures += 1
+            print(report.violation.describe())
+            print()
+    total = len(reports)
+    print(f"{total - failures}/{total} checks passed")
     return 1 if failures else 0
 
 
@@ -218,7 +254,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.set_defaults(fn=_cmd_sweep)
 
     lit_p = sub.add_parser("litmus", help="x86-TSO litmus checks")
+    lit_p.add_argument("--mechanism", default="all",
+                       choices=MECHANISMS + ("all",),
+                       help="check one store-path model (default: all)")
     lit_p.set_defaults(fn=_cmd_litmus)
+
+    chk_p = sub.add_parser(
+        "check", help="model-check protocol invariants exhaustively")
+    chk_p.add_argument("--scenario", default="all",
+                       help="scenario name or 'all' (see repro.modelcheck"
+                            ".SCENARIOS)")
+    chk_p.add_argument("--mechanism", default="all",
+                       choices=MECHANISMS + ("all",))
+    chk_p.add_argument("--cores", type=int, default=2,
+                       help="cores in the reduced system (2-3 is "
+                            "exhaustively tractable)")
+    chk_p.add_argument("--lines", type=int, default=2,
+                       help="distinct cache lines the scenario touches")
+    chk_p.add_argument("--depth", type=int, default=64,
+                       help="max decisions per schedule before truncation")
+    chk_p.add_argument("--max-states", type=int, default=100_000,
+                       help="execution budget before truncation")
+    chk_p.add_argument("--max-cycles", type=int, default=20_000,
+                       help="per-run cycle budget (deadlock backstop)")
+    chk_p.add_argument("--fuzz", type=int, default=0, metavar="RUNS",
+                       help="swarm mode: this many random schedules "
+                            "instead of exhaustive BFS")
+    chk_p.add_argument("--seed", type=int, default=0,
+                       help="base seed for --fuzz schedules")
+    chk_p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all cores, or "
+                            "$REPRO_WORKERS)")
+    chk_p.add_argument("--unsound-auth", action="store_true",
+                       help="revert the atomic-group authorization fix "
+                            "(expect a wait-graph counterexample)")
+    chk_p.set_defaults(fn=_cmd_check)
 
     bench_p = sub.add_parser("bench", help="list benchmarks")
     bench_p.set_defaults(fn=_cmd_bench)

@@ -66,6 +66,21 @@ class Directory:
             self._sets[idx] = entries
         return entries
 
+    def probe(self, addr: int) -> Optional[DirEntry]:
+        """Side-effect-free lookup: no stats, no LRU touch.  Used by the
+        model checker's invariants, which must not perturb replacement
+        state."""
+        addr = line_addr(addr)
+        for entry in self._sets.get(self.set_index(addr), ()):
+            if entry.addr == addr:
+                return entry
+        return None
+
+    def entries(self) -> List[DirEntry]:
+        """Every tracked entry (unordered); for state hashing."""
+        return [entry for entries in self._sets.values()
+                for entry in entries]
+
     def lookup(self, addr: int) -> Optional[DirEntry]:
         """Return the entry tracking ``addr``, or None."""
         addr = line_addr(addr)

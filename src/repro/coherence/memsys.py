@@ -62,6 +62,9 @@ class MemorySystem:
         self.dram = DRAM(config.memory.dram_latency, config.memory.dram_gap,
                          stats=self.stats.child("dram"))
         self.ports = [CorePort(self, cid) for cid in range(config.num_cores)]
+        #: Transactions between start and data supply, oldest first.  The
+        #: model checker reads this to build the delay wait-for graph.
+        self.inflight: List[Transaction] = []
         dstats = self.stats.child("protocol")
         self.c_transactions = dstats.counter("transactions")
         self.c_retries = dstats.counter("retries", "busy/conflict retries")
@@ -92,9 +95,12 @@ class MemorySystem:
         addr = line_addr(addr)
         trans = Transaction(req, addr, requester, cycle, prefetch=prefetch)
         self.c_transactions.inc()
+        self.inflight.append(trans)
         arrive = cycle + self.config.memory.l3.latency
         self.events.schedule(arrive, lambda: self._at_directory(trans, arrive,
-                                                                on_done))
+                                                                on_done),
+                             label=f"dir:{req.value}:{addr:#x}",
+                             actor=requester)
 
     def _at_directory(self, trans: Transaction, cycle: int,
                       on_done: Callable[[int], None]) -> None:
@@ -103,7 +109,8 @@ class MemorySystem:
             self.c_retries.inc()
             retry = cycle + BUSY_RETRY
             self.events.schedule(
-                retry, lambda: self._at_directory(trans, retry, on_done))
+                retry, lambda: self._at_directory(trans, retry, on_done),
+                label=f"busy:{trans.addr:#x}", actor=trans.requester)
             return
         entry.busy = True
         self._resolve_snoops(trans, entry, cycle, on_done)
@@ -118,6 +125,7 @@ class MemorySystem:
         """
         kind = (SnoopKind.DOWNGRADE if trans.req == ReqType.GETS
                 else SnoopKind.INVALIDATE)
+        trans.waiting_on = None
         targets = [core_id for core_id in self._snoop_targets(trans, entry)
                    if core_id not in trans.resolved]
         for core_id in targets:
@@ -128,10 +136,12 @@ class MemorySystem:
                 # on its own; poll until it does.
                 self.c_delays.inc()
                 trans.polls += 1
+                trans.waiting_on = core_id
                 retry = cycle + POLL_INTERVAL
                 self.events.schedule(
                     retry,
-                    lambda: self._resolve_snoops(trans, entry, retry, on_done))
+                    lambda: self._resolve_snoops(trans, entry, retry, on_done),
+                    label=f"poll:{trans.addr:#x}", actor=trans.requester)
                 return
             trans.resolved.add(core_id)
             if kind == SnoopKind.INVALIDATE:
@@ -187,12 +197,25 @@ class MemorySystem:
         else:
             entry.sharers.discard(trans.requester)
             entry.owner = trans.requester
-        entry.busy = False
+        # The entry stays busy until the fill is installed at the
+        # requester.  Releasing it here would let a later transaction
+        # snoop the new owner *before* the data arrives — the remote
+        # cache answers from its stale (empty) state and the line ends
+        # up writable at one core while another holds a valid copy.
         done = data_cycle + mem.l2.latency  # shared level back to L1D
-        port = self.ports[trans.requester]
         grant_state = State.S if trans.req == ReqType.GETS else State.E
         self.events.schedule(
-            done, lambda: port._fill(trans.addr, grant_state, done, on_done))
+            done, lambda: self._finish(trans, entry, grant_state, done,
+                                       on_done),
+            label=f"fill:{trans.addr:#x}", actor=trans.requester)
+
+    def _finish(self, trans: Transaction, entry, state: State, cycle: int,
+                on_done: Callable[[int], None]) -> None:
+        """Install the fill at the requester, then release the line."""
+        self.ports[trans.requester]._fill(trans.addr, state, cycle, on_done)
+        entry.busy = False
+        if trans in self.inflight:
+            self.inflight.remove(trans)
 
     def _install_l3(self, addr: int, cycle: int) -> None:
         if self.l3.probe(addr) is not None:
@@ -226,6 +249,11 @@ class CorePort:
             Callable[[int, SnoopKind, int, int], SnoopReply]] = None
         #: TUS: fired when a fill reaches a line holding unauthorized data.
         self.fill_hook: Optional[Callable[[int, CacheLine, int], None]] = None
+        #: CSB: consulted when a snoop reaches a *visible* line; True
+        #: answers DELAY (the holder is mid-flush on an atomic group and
+        #: the lex rule says it finishes first).
+        self.hold_hook: Optional[
+            Callable[[int, SnoopKind, int, int], bool]] = None
         #: Optional observer (repro.tso.observer): called with the lines
         #: that just became globally visible, atomically.
         self.visibility_hook: Optional[
@@ -460,7 +488,8 @@ class CorePort:
             done = cycle + cfg.l2.latency
             self.system.events.schedule(
                 done, lambda: self._fill(addr, max(state, State.E) if is_write
-                                         else state, done, None))
+                                         else state, done, None),
+                label=f"l2fill:{addr:#x}", actor=self.core_id)
             return
         req = ReqType.GETX if is_write else ReqType.GETS
         if is_write and (l2line is not None or self.l1d.probe(addr)):
@@ -577,6 +606,9 @@ class CorePort:
                 raise ProtocolError(
                     "snoop hit a not-visible line but no TUS hook is set")
             return self.snoop_hook(addr, kind, requester, cycle)
+        if (line is not None and self.hold_hook is not None
+                and self.hold_hook(addr, kind, requester, cycle)):
+            return SnoopReply(SnoopResult.DELAY)
         return self._snoop_normal(addr, kind, line)
 
     def _snoop_normal(self, addr: int, kind: SnoopKind,

@@ -76,3 +76,8 @@ class Transaction:
     #: data; must survive DELAY re-polls so the data forward is not
     #: forgotten.
     data_from_remote: bool = False
+    #: Core currently answering this transaction's snoop with DELAY
+    #: (None while no delay is outstanding).  The model checker's
+    #: wait-for graph is built from these edges: a cycle of live delays
+    #: is the deadlock the lex order is supposed to exclude.
+    waiting_on: Optional[int] = None

@@ -168,6 +168,13 @@ class TUSConfig:
     #: Store-to-load forwarding from unauthorized L1D lines.  The paper
     #: found no benefit and disabled it; loads alias to the line and wait.
     l1d_forwarding: bool = False
+    #: Test-only: revert the authorization unit's dependency set to the
+    #: pre-fix "older-or-equal entries" rule (PR 1 extended it to span
+    #: the requested entry's whole atomic group).  The unsound rule lets
+    #: two cores with overlapping atomic groups delay each other forever
+    #: — the x264 livelock.  Kept behind a flag so the model checker can
+    #: demonstrate that it finds the bug; never enable for measurements.
+    unsound_authorization: bool = False
 
     def validate(self) -> None:
         if self.woq_entries < 1:

@@ -4,6 +4,14 @@ The memory system schedules completions (miss fills, permission grants,
 DRAM returns) as events; the core loop pops all events due at the current
 cycle before stepping.  Events scheduled for the same cycle fire in
 insertion order, which makes simulations bit-for-bit reproducible.
+
+For the model checker (:mod:`repro.modelcheck`) every entry also carries
+its scheduled cycle, its insertion sequence number, a short ``label``
+describing what it does and the ``actor`` core it acts for.  The checker
+enumerates the due entries (:meth:`EventQueue.due_entries`) and fires
+them one at a time in a scheduler-chosen order
+(:meth:`EventQueue.fire_entry`), which is how interleavings that the
+normal FIFO loop would never produce become reachable.
 """
 
 from __future__ import annotations
@@ -28,13 +36,20 @@ class EventQueue:
     def __len__(self) -> int:
         return self._live
 
-    def schedule(self, cycle: int, callback: Callable[[], Any]) -> "_Entry":
+    def schedule(self, cycle: int, callback: Callable[[], Any],
+                 label: str = "", actor: Optional[int] = None) -> "_Entry":
         """Schedule ``callback`` to run at ``cycle``; returns a handle
-        whose :meth:`_Entry.cancel` prevents the callback from firing."""
+        whose :meth:`_Entry.cancel` prevents the callback from firing.
+
+        ``label`` and ``actor`` (a core id) are free-form annotations used
+        by the model checker for state hashing and readable schedules;
+        they do not affect simulation.
+        """
         if cycle < 0:
             raise ValueError("cannot schedule an event in negative time")
-        entry = _Entry(callback)
-        heapq.heappush(self._heap, (cycle, next(self._counter), entry))
+        seq = next(self._counter)
+        entry = _Entry(callback, cycle, seq, label, actor)
+        heapq.heappush(self._heap, (cycle, seq, entry))
         self._live += 1
         return entry
 
@@ -61,6 +76,31 @@ class EventQueue:
             entry.fire()
             fired += 1
 
+    # -- model-checker access ----------------------------------------------
+    def due_entries(self, cycle: int) -> List["_Entry"]:
+        """Live entries scheduled at or before ``cycle``, in the order
+        :meth:`run_until` would fire them.  The heap is not modified."""
+        due = [(c, s, e) for (c, s, e) in self._heap
+               if c <= cycle and not e.cancelled]
+        due.sort(key=lambda item: (item[0], item[1]))
+        return [e for _, _, e in due]
+
+    def fire_entry(self, entry: "_Entry") -> None:
+        """Fire one specific live entry out of heap order.
+
+        The entry is tombstoned afterwards so the normal pop path skips
+        it; lazy deletion keeps the heap invariant intact.
+        """
+        if entry.cancelled:
+            raise ValueError("cannot fire a cancelled event")
+        entry.fire()
+        entry.cancelled = True
+
+    def pending(self) -> List["_Entry"]:
+        """All live entries (unsorted beyond heap order); for state
+        hashing."""
+        return [e for (_, _, e) in self._heap if not e.cancelled]
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
@@ -70,11 +110,17 @@ class EventQueue:
 class _Entry:
     """Handle for a scheduled event."""
 
-    __slots__ = ("_callback", "cancelled")
+    __slots__ = ("_callback", "cancelled", "cycle", "seq", "label", "actor")
 
-    def __init__(self, callback: Callable[[], Any]) -> None:
+    def __init__(self, callback: Callable[[], Any], cycle: int = 0,
+                 seq: int = 0, label: str = "",
+                 actor: Optional[int] = None) -> None:
         self._callback = callback
         self.cancelled = False
+        self.cycle = cycle
+        self.seq = seq
+        self.label = label
+        self.actor = actor
 
     def cancel(self) -> None:
         self.cancelled = True

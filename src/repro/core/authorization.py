@@ -52,10 +52,18 @@ class Decision:
 
 
 class AuthorizationUnit:
-    """Pure combinational lex-order check over WOQ contents."""
+    """Pure combinational lex-order check over WOQ contents.
 
-    def __init__(self, woq: WriteOrderingQueue) -> None:
+    ``unsound_dependency_set`` reverts to the pre-fix rule (dependency
+    set = older-or-equal entries only).  It exists solely so the model
+    checker can reproduce the livelock the sound rule prevents; see
+    :attr:`repro.common.config.TUSConfig.unsound_authorization`.
+    """
+
+    def __init__(self, woq: WriteOrderingQueue,
+                 unsound_dependency_set: bool = False) -> None:
         self.woq = woq
+        self.unsound_dependency_set = unsound_dependency_set
 
     def check(self, addr: int) -> Decision:
         """Decide how to answer an external request for ``addr``.
@@ -93,6 +101,9 @@ class AuthorizationUnit:
         the head through the end of ``entry``'s atomic group (groups are
         contiguous runs popped all-or-nothing, so younger same-group
         members count too)."""
+        if self.unsound_dependency_set:
+            # The buggy pre-fix rule: ignore younger same-group members.
+            return self.woq.older_entries(entry)
         deps: List[WOQEntry] = []
         past = False
         for candidate in self.woq:

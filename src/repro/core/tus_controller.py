@@ -40,7 +40,8 @@ class TUSController:
         self.port = port
         self.woq = WriteOrderingQueue(config.tus.woq_entries,
                                       stats.child("woq"))
-        self.auth = AuthorizationUnit(self.woq)
+        self.auth = AuthorizationUnit(
+            self.woq, config.tus.unsound_authorization)
         self.stats = stats
         self._c_unauth_writes = stats.counter(
             "unauthorized_writes", "stores written to L1D without permission")
@@ -253,7 +254,8 @@ class TUSController:
             return
         retry = cycle + 4
         self.port.system.events.schedule(
-            retry, lambda: self._retry_permission(entry.line, retry))
+            retry, lambda: self._retry_permission(entry.line, retry),
+            label=f"tus-retry:{entry.line:#x}", actor=self.port.core_id)
 
     def _retry_permission(self, line: int, cycle: int) -> None:
         entry = self.woq.get_quiet(line)

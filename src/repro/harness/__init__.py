@@ -1,6 +1,7 @@
 """Experiment harness: runner, per-figure experiments, parallel sweeps,
 text reports."""
 
+from .checks import CheckJob, run_check, run_checks
 from .experiments import (MECHS, dse, fig8, fig9, fig10, fig11, fig12,
                           fig13, fig14, fig15, l1d_writes, sb_cost)
 from .parallel import (PointCollector, SweepTelemetry, collect_points,
@@ -14,4 +15,5 @@ __all__ = ["MECHS", "dse", "fig8", "fig9", "fig10", "fig11", "fig12",
            "ExperimentResult", "render_scurve", "render_telemetry",
            "Point", "Runner", "default_runner", "PointCollector",
            "SweepTelemetry", "collect_points", "run_points",
-           "FIGURES", "sweep_all", "sweep_figure"]
+           "FIGURES", "sweep_all", "sweep_figure",
+           "CheckJob", "run_check", "run_checks"]

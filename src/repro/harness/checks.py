@@ -1,0 +1,63 @@
+"""Process-pool fan-out for model-check runs.
+
+A check matrix (scenario x mechanism) is embarrassingly parallel: every
+cell builds its own reduced system and explores it independently, and a
+:class:`~repro.modelcheck.explorer.CheckReport` is plain picklable data.
+Cells are sharded across worker processes with the same worker-count
+policy as the simulation sweeps (:func:`repro.harness.parallel
+.default_workers`); results come back in submission order so output is
+stable regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..modelcheck import CheckReport, explore, fuzz
+from .parallel import default_workers
+
+
+@dataclass(frozen=True)
+class CheckJob:
+    """One cell of the check matrix."""
+
+    scenario: str
+    mechanism: str
+    cores: int = 2
+    lines: int = 2
+    unsound: bool = False
+    max_depth: int = 64
+    max_states: int = 100_000
+    max_cycles: int = 20_000
+    fuzz_runs: int = 0          # 0 = exhaustive, >0 = swarm mode
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}/{self.mechanism}"
+
+
+def run_check(job: CheckJob) -> CheckReport:
+    """Execute one check job (also the process-pool entry point)."""
+    if job.fuzz_runs:
+        return fuzz(job.scenario, job.mechanism, cores=job.cores,
+                    lines=job.lines, runs=job.fuzz_runs, seed=job.seed,
+                    unsound=job.unsound, max_cycles=job.max_cycles)
+    return explore(job.scenario, job.mechanism, cores=job.cores,
+                   lines=job.lines, max_depth=job.max_depth,
+                   max_states=job.max_states, max_cycles=job.max_cycles,
+                   unsound=job.unsound)
+
+
+def run_checks(jobs: List[CheckJob],
+               workers: Optional[int] = None) -> List[CheckReport]:
+    """Run the matrix, fanning out across processes when it pays off."""
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(jobs))
+    if workers <= 1 or len(jobs) <= 1:
+        return [run_check(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_check, jobs))

@@ -10,13 +10,33 @@ harness swap them under an otherwise identical core and memory system.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..common.config import SystemConfig
 from ..common.events import EventQueue
 from ..common.stats import StatGroup
 from ..coherence.memsys import CorePort
 from ..cpu.storebuffer import SBEntry, StoreBuffer
+
+#: Invariants every mechanism must uphold on every reachable state
+#: (names resolved against :data:`repro.modelcheck.invariants.INVARIANTS`).
+COMMON_INVARIANTS: Tuple[str, ...] = (
+    "swmr", "directory-backing", "inclusivity", "store-order",
+)
+
+
+def group_id_map(ids) -> dict:
+    """First-seen renumbering of atomic-group ids (0, 1, 2, ...).
+
+    WCB/WOQ group counters are monotonic, so their raw values are
+    path-dependent; two behaviourally identical states reached by
+    different schedules would hash differently without this.
+    """
+    mapping: dict = {}
+    for gid in ids:
+        if gid not in mapping:
+            mapping[gid] = len(mapping)
+    return mapping
 
 
 class StoreMechanism:
@@ -60,6 +80,28 @@ class StoreMechanism:
         """Next cycle at which this mechanism can make progress without an
         external event, or None if it is purely event-driven."""
         return None
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_invariants(self) -> Tuple[str, ...]:
+        """Invariant names :mod:`repro.modelcheck` must verify while this
+        mechanism runs.  Non-TUS mechanisms never write unauthorized
+        data, so an unauthorized line anywhere is itself a bug."""
+        return COMMON_INVARIANTS + ("no-unauthorized",)
+
+    def modelcheck_state(self) -> Tuple:
+        """Hashable snapshot of the mechanism's post-SB structures, used
+        in the model checker's canonical state key.  Must cover every
+        bit of state that influences future behaviour."""
+        return ()
+
+    def pending_publication(self, addr: int) -> bool:
+        """Does this mechanism still hold an unpublished store to
+        ``addr``'s line?  While True, a DELAY answer this core gave for
+        the line is a live wait-for edge (the requester's re-poll cannot
+        succeed before the publication); once False, the pending re-poll
+        resolves and the edge is dead.  Mechanisms that never answer
+        DELAY can leave the default."""
+        return False
 
 
 class PrefetchAtCommit(StoreMechanism):

@@ -9,9 +9,9 @@ for the full miss latency — the head-of-line blocking TUS removes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from .base import PrefetchAtCommit
+from .base import COMMON_INVARIANTS, PrefetchAtCommit
 from .registry import register
 
 
@@ -46,3 +46,14 @@ class BaselineMechanism(PrefetchAtCommit):
         self.port.write_hit(head.line, cycle)
         self.sb.pop_head()
         return 1
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_invariants(self) -> Tuple[str, ...]:
+        # Baseline drains store by store with permission in hand; nothing
+        # beyond the common set plus the no-unauthorized rule applies.
+        return COMMON_INVARIANTS + ("no-unauthorized",)
+
+    def modelcheck_state(self) -> Tuple:
+        waiting = self._waiting
+        return ("baseline",
+                None if waiting is None else (waiting.line, waiting.seq))

@@ -6,14 +6,23 @@ WCB group can only be written to the L1D once the core holds *write
 permission for every line of the group* — so when a flush hits a miss,
 the SB stops draining for the whole miss latency (the paper's key
 criticism, Section II).
+
+Two cores flushing overlapping groups would steal each other's freshly
+granted lines forever, so CSB applies the same lex rule as TUS's
+authorization unit, but at request time: a snoop for a flush-set line
+the core already owns is *delayed* while every still-missing line of
+the set has higher lex order (:meth:`CSBMechanism._hold_request`).  The
+all-delays chain then follows strictly increasing lex order and cannot
+close into a cycle.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional, Tuple
 
+from ..common.addr import lex_order
 from ..mem.wcb import InsertResult, WCBFile
-from .base import PrefetchAtCommit
+from .base import COMMON_INVARIANTS, PrefetchAtCommit, group_id_map
 from .registry import register
 
 
@@ -32,6 +41,7 @@ class CSBMechanism(PrefetchAtCommit):
             "group_writes", "atomic groups written to the L1D")
         self._forward_latency = min(config.core.forward_latency,
                                     config.memory.l1d.latency)
+        port.hold_hook = self._hold_request
 
     def drain(self, cycle: int) -> int:
         progress = 0
@@ -72,18 +82,55 @@ class CSBMechanism(PrefetchAtCommit):
         return progress
 
     def _flush(self, cycle: int) -> bool:
-        """Write buffered groups to the L1D; all lines need permission."""
+        """Write buffered groups to the L1D; all lines need permission.
+
+        Permission requests carry a grant callback that re-attempts the
+        flush at the fill instant: waiting for the next drain step
+        instead opens a window where a remote GetX steals the granted
+        line first, and two cores flushing overlapping groups can steal
+        from each other forever (the model checker's ``mixed`` scenario
+        livelocks without this).
+        """
         lines = [entry.addr for entry in self.wcb.buffers]
         missing = [line for line in lines if not self.port.is_writable(line)]
         if missing:
             for line in missing:
-                self.port.request_write(line, cycle)
+                if not self.port.write_request_outstanding(line):
+                    self.port.request_write(line, cycle, self._flush_granted)
             return False
         for group in self.wcb.drain_groups():
             for entry in group:
                 self.port.write_hit(entry.addr, cycle)
             self._c_group_writes.inc()
         return True
+
+    def _flush_granted(self, cycle: int) -> None:
+        """Grant callback: flush immediately if the group is complete."""
+        if not self.wcb.empty:
+            self._flush(cycle)
+
+    def _hold_request(self, addr: int, kind, requester: int,
+                      cycle: int) -> bool:
+        """The lex rule at snoop time: keep a granted flush-set line?
+
+        Delay (True) when the requested line is part of the pending
+        flush set, this core holds write permission for it, and every
+        line of the set we are still *missing* has higher lex order
+        than the request — the missing grants cannot depend on the
+        requester finishing first, so holding on is deadlock-free.
+        Otherwise relinquish (False): the snoop proceeds normally and
+        the flush re-requests the line later.
+        """
+        if self.wcb.find(addr) is None or not self.port.is_writable(addr):
+            return False
+        missing = [lex_order(entry.addr) for entry in self.wcb.buffers
+                   if not self.port.is_writable(entry.addr)]
+        return not missing or min(missing) > lex_order(addr)
+
+    def pending_publication(self, addr: int) -> bool:
+        # A delayed line stays buffered until its group's write_hit
+        # burst publishes it and the WCB entry drains.
+        return self.wcb.find(addr) is not None
 
     def drained(self) -> bool:
         return self.wcb.empty
@@ -97,3 +144,17 @@ class CSBMechanism(PrefetchAtCommit):
         if entry.mask & mask:
             return self._forward_latency
         return None
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_invariants(self) -> Tuple[str, ...]:
+        # CSB writes a group only with permission for every line in hand,
+        # so unauthorized data must never appear in its caches; its lex
+        # delays must never close into a wait cycle.
+        return COMMON_INVARIANTS + ("no-unauthorized", "wait-graph")
+
+    def modelcheck_state(self) -> Tuple:
+        groups = group_id_map(entry.group for entry in self.wcb.buffers)
+        return ("csb",
+                tuple((entry.addr, entry.mask, groups[entry.group])
+                      for entry in self.wcb.buffers),
+                self.wcb._last_written)

@@ -11,7 +11,7 @@ benefit (Section II and the evaluation).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..common.addr import LINE_SIZE, line_addr, lines_in_page, page_addr
 from ..cpu.storebuffer import SBEntry
@@ -57,3 +57,9 @@ class SPBMechanism(BaselineMechanism):
         if len(self._bursted_pages) > 1024:
             # Forget ancient pages so re-visited pages can burst again.
             self._bursted_pages.clear()
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_state(self) -> Tuple:
+        return super().modelcheck_state() + (
+            "spb", self._last_line, self._run,
+            tuple(sorted(self._bursted_pages)))

@@ -17,7 +17,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..common.addr import line_addr
-from .base import PrefetchAtCommit
+from .base import COMMON_INVARIANTS, PrefetchAtCommit
 from .registry import register
 
 
@@ -119,3 +119,12 @@ class SSBMechanism(PrefetchAtCommit):
         if union & mask:
             return self._forward_latency
         return None
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_invariants(self) -> Tuple[str, ...]:
+        # The TSOB drains in order, one store at a time, with permission
+        # acquired per store — the common MESI rules apply unchanged.
+        return COMMON_INVARIANTS + ("no-unauthorized",)
+
+    def modelcheck_state(self) -> Tuple:
+        return ("ssb", tuple(self._tsob))

@@ -13,12 +13,11 @@ takes the cycle, and one group flush to the L1D can start per cycle.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from ..common.stats import StatGroup
 from ..core.tus_controller import TUSController
 from ..mem.wcb import InsertResult, WCBFile
-from .base import PrefetchAtCommit
+from .base import COMMON_INVARIANTS, PrefetchAtCommit, group_id_map
 from .registry import register
 
 
@@ -117,3 +116,29 @@ class TUSMechanism(PrefetchAtCommit):
 
     def next_wake(self, cycle: int) -> Optional[int]:
         return None
+
+    def pending_publication(self, addr: int) -> bool:
+        # A TUS delay hides a not-visible L1D line, and tus-sync keeps
+        # those in 1:1 correspondence with the WOQ.
+        return self.controller.woq.contains(addr)
+
+    # -- model-checker hooks -----------------------------------------------
+    def modelcheck_invariants(self) -> Tuple[str, ...]:
+        # TUS deliberately holds unauthorized data, so "no-unauthorized"
+        # is replaced by the WOQ/L1D synchronisation rule plus the
+        # wait-for-graph acyclicity argument of the paper's deadlock
+        # freedom discussion.
+        return COMMON_INVARIANTS + ("tus-sync", "wait-graph")
+
+    def modelcheck_state(self) -> Tuple:
+        woq = self.controller.woq
+        groups = group_id_map(
+            [entry.group for entry in self.wcb.buffers]
+            + [entry.group for entry in woq])
+        wcb_state = tuple((entry.addr, entry.mask, groups[entry.group])
+                          for entry in self.wcb.buffers)
+        woq_state = tuple(
+            (entry.line, groups[entry.group], entry.mask, entry.ready,
+             entry.can_cycle, entry.deferred, entry.request_outstanding)
+            for entry in woq)
+        return ("tus", wcb_state, self.wcb._last_written, woq_state)

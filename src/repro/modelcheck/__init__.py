@@ -1,0 +1,39 @@
+"""Exhaustive protocol model checking for the MESI + TUS stack.
+
+This package drives the *real* simulator (``repro.sim.System`` with the
+production coherence, core, and mechanism code — not a re-specification)
+through every reachable interleaving of a small concurrent scenario and
+checks protocol invariants after every atomic step.  The pieces:
+
+* :mod:`~repro.modelcheck.scheduler` — controllable schedulers plugged
+  into :meth:`repro.sim.system.System.run_controlled`;
+* :mod:`~repro.modelcheck.state` — canonical state hashing with
+  symmetric-core reduction;
+* :mod:`~repro.modelcheck.invariants` — the invariant registry (SWMR,
+  directory backing, inclusivity, TUS WOQ/L1D sync, store order,
+  wait-for-graph acyclicity);
+* :mod:`~repro.modelcheck.scenarios` — small litmus-style concurrent
+  programs and the reduced machine configuration they run on;
+* :mod:`~repro.modelcheck.explorer` — frontier BFS over schedule
+  prefixes with budgets and counterexample minimisation;
+* :mod:`~repro.modelcheck.replay` — deterministic re-execution of a
+  counterexample schedule (what the generated pytest cases call);
+* :mod:`~repro.modelcheck.fuzz` — randomised swarm exploration for
+  state spaces too large to exhaust.
+"""
+
+from .explorer import CheckReport, Violation, explore, run_schedule
+from .fuzz import fuzz
+from .invariants import INVARIANTS, InvariantViolation
+from .replay import replay
+from .scenarios import SCENARIOS, Scenario, check_config, get_scenario
+from .scheduler import (DefaultScheduler, FrontierReached, RandomScheduler,
+                        ReplayScheduler)
+
+__all__ = [
+    "CheckReport", "Violation", "explore", "run_schedule", "fuzz",
+    "INVARIANTS", "InvariantViolation", "replay",
+    "SCENARIOS", "Scenario", "check_config", "get_scenario",
+    "DefaultScheduler", "FrontierReached", "RandomScheduler",
+    "ReplayScheduler",
+]

@@ -1,0 +1,273 @@
+"""Frontier BFS over schedule prefixes with counterexample minimisation.
+
+The checker is *stateless* in the model-checking sense: a state is
+identified with the schedule prefix that reaches it, and expanding a
+state means re-executing the whole prefix from a fresh system.  That
+avoids deep-copying a live simulator (event closures capture real
+objects), costs O(depth) per expansion, and guarantees every explored
+state is genuinely reachable by the production code.
+
+Exploration loop:
+
+1. pop a prefix from the frontier queue;
+2. replay it with a pausing :class:`ReplayScheduler` under the checking
+   wrapper (invariants run after every action of the replay too);
+3. on :class:`FrontierReached`, hash the paused state; if unseen,
+   enqueue one child prefix per branch (subject to depth/state budget);
+4. on an invariant violation or deadlock, minimise the schedule
+   (shortest prefix under default continuation, then greedy zeroing)
+   and stop;
+5. a run that completes without a new decision point is a terminal
+   state: the scenario finished under this interleaving.
+
+The search is exhaustive (``complete=True``) when the queue empties
+without hitting any budget.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..common.errors import DeadlockError
+from ..cpu.trace import Trace
+from ..sim.system import System
+from ..tso.observer import VisibilityObserver
+from .invariants import CheckContext, InvariantViolation
+from .scenarios import check_config, get_scenario
+from .scheduler import (CheckingScheduler, FrontierReached,
+                        ReplayScheduler)
+from .state import canonical_key
+
+DEFAULT_MAX_CYCLES = 20_000
+
+
+@dataclass
+class Violation:
+    """A minimised, replayable counterexample."""
+
+    invariant: str
+    message: str
+    schedule: Tuple[int, ...]
+    scenario: str
+    mechanism: str
+    cores: int
+    lines: int
+    unsound: bool
+    trace: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        lines = [
+            f"invariant violated: {self.invariant}",
+            f"  {self.message}",
+            f"scenario {self.scenario}, mechanism {self.mechanism}, "
+            f"{self.cores} cores x {self.lines} lines"
+            + (", unsound authorization" if self.unsound else ""),
+            f"minimised schedule ({len(self.schedule)} decisions): "
+            f"{list(self.schedule)}",
+            "trace:",
+        ]
+        lines.extend(f"  {step}" for step in self.trace)
+        lines.append("replay with:")
+        lines.append(self.as_pytest())
+        return "\n".join(lines)
+
+    def as_pytest(self) -> str:
+        """A ready-to-paste pytest case replaying this counterexample."""
+        return (
+            "def test_replay_counterexample():\n"
+            "    from repro.modelcheck import replay\n"
+            f"    outcome = replay({self.scenario!r}, {self.mechanism!r},\n"
+            f"                     {list(self.schedule)!r},\n"
+            f"                     cores={self.cores}, lines={self.lines},\n"
+            f"                     unsound={self.unsound})\n"
+            "    assert outcome.kind == 'violation'\n"
+            f"    assert outcome.invariant == {self.invariant!r}\n"
+        )
+
+
+@dataclass
+class RunOutcome:
+    """Result of executing one schedule."""
+
+    kind: str                       # "done" | "frontier" | "violation"
+    branches: int = 0               # frontier: enabled actions at the pause
+    key: str = ""                   # frontier: canonical state hash
+    invariant: str = ""             # violation: which invariant
+    message: str = ""
+    taken: Tuple[int, ...] = ()     # choices actually consumed
+    trace: Tuple[str, ...] = ()
+    committed: Tuple[int, ...] = ()  # done: per-core committed uops
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one (scenario, mechanism) model-check run."""
+
+    scenario: str
+    mechanism: str
+    cores: int
+    lines: int
+    mode: str                       # "exhaustive" | "fuzz"
+    executions: int = 0
+    unique_states: int = 0
+    terminal_states: int = 0
+    complete: bool = False
+    truncated: bool = False
+    violation: Optional[Violation] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.violation is None
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        extent = ("exhaustive" if self.complete
+                  else f"bounded ({self.mode})")
+        return (f"{status} {self.scenario}/{self.mechanism} "
+                f"[{self.cores}c x {self.lines}l, {extent}]: "
+                f"{self.executions} executions, "
+                f"{self.unique_states} states, "
+                f"{self.terminal_states} terminal, "
+                f"{self.wall_seconds:.1f}s")
+
+
+def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool):
+    config = check_config(cores, mechanism, unsound=unsound)
+    programs = scenario.build(cores, lines)
+    traces = [Trace(f"mc-{scenario.name}-c{cid}", program)
+              for cid, program in enumerate(programs)]
+    system = System(config, traces, workload=f"mc-{scenario.name}")
+    observer = VisibilityObserver()
+    observer.attach(system)
+    ctx = CheckContext(system, traces, observer)
+    names = system.cores[0].mechanism.modelcheck_invariants()
+    return system, observer, ctx, names
+
+
+def _run(scenario, mechanism: str, inner, *, cores: int, lines: int,
+         unsound: bool, max_cycles: int) -> RunOutcome:
+    system, observer, ctx, names = _build(scenario, mechanism, cores, lines,
+                                          unsound)
+    sched = CheckingScheduler(inner, ctx, names)
+    taken = getattr(inner, "taken", [])
+    try:
+        system.run_controlled(sched, max_cycles=max_cycles)
+    except FrontierReached as frontier:
+        return RunOutcome("frontier", branches=frontier.branches,
+                          key=canonical_key(system, observer),
+                          taken=tuple(taken), trace=tuple(sched.trace))
+    except InvariantViolation as violation:
+        return RunOutcome("violation", invariant=violation.invariant,
+                          message=violation.message, taken=tuple(taken),
+                          trace=violation.trace)
+    except DeadlockError as deadlock:
+        return RunOutcome("violation", invariant="deadlock",
+                          message=str(deadlock), taken=tuple(taken),
+                          trace=tuple(sched.trace))
+    return RunOutcome("done", taken=tuple(taken), trace=tuple(sched.trace),
+                      committed=tuple(core.committed
+                                      for core in system.cores))
+
+
+def run_schedule(scenario_name: str, mechanism: str,
+                 schedule: Tuple[int, ...] = (), *, cores: int = 2,
+                 lines: int = 2, unsound: bool = False,
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 pause: bool = False) -> RunOutcome:
+    """Execute one schedule (replaying ``schedule`` at decision points,
+    then pausing or continuing with default choices)."""
+    scenario = get_scenario(scenario_name)
+    inner = ReplayScheduler(schedule, pause=pause)
+    return _run(scenario, mechanism, inner, cores=cores, lines=lines,
+                unsound=unsound, max_cycles=max_cycles)
+
+
+def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
+            lines: int = 2, max_depth: int = 64, max_states: int = 100_000,
+            max_cycles: int = DEFAULT_MAX_CYCLES,
+            unsound: bool = False) -> CheckReport:
+    """Exhaustive frontier BFS over all interleavings of a scenario."""
+    scenario = get_scenario(scenario_name)
+    start = time.monotonic()
+    report = CheckReport(scenario.name, mechanism, cores, lines,
+                         mode="exhaustive")
+
+    def runner(schedule: Tuple[int, ...], pause: bool) -> RunOutcome:
+        report.executions += 1
+        inner = ReplayScheduler(schedule, pause=pause)
+        return _run(scenario, mechanism, inner, cores=cores, lines=lines,
+                    unsound=unsound, max_cycles=max_cycles)
+
+    seen = set()
+    queue = deque([()])
+    while queue:
+        if report.executions >= max_states:
+            report.truncated = True
+            break
+        prefix = queue.popleft()
+        outcome = runner(prefix, pause=True)
+        if outcome.kind == "violation":
+            report.violation = _minimise(outcome, runner, scenario.name,
+                                         mechanism, cores, lines, unsound)
+            break
+        if outcome.kind == "done":
+            report.terminal_states += 1
+            continue
+        if outcome.key in seen:
+            continue
+        seen.add(outcome.key)
+        if len(prefix) >= max_depth:
+            report.truncated = True
+            continue
+        for branch in range(outcome.branches):
+            queue.append(prefix + (branch,))
+    report.unique_states = len(seen)
+    report.complete = (not report.truncated and report.violation is None)
+    report.wall_seconds = time.monotonic() - start
+    return report
+
+
+def _minimise(outcome: RunOutcome,
+              runner: Callable[[Tuple[int, ...], bool], RunOutcome],
+              scenario: str, mechanism: str, cores: int, lines: int,
+              unsound: bool) -> Violation:
+    """Shrink a violating schedule while preserving the violated
+    invariant: shortest prefix under default continuation, then greedy
+    zeroing of individual choices, then trailing-zero stripping."""
+    invariant = outcome.invariant
+
+    def reproduces(schedule: Tuple[int, ...]) -> Optional[RunOutcome]:
+        result = runner(schedule, False)
+        if result.kind == "violation" and result.invariant == invariant:
+            return result
+        return None
+
+    best = tuple(outcome.taken)
+    for k in range(len(best) + 1):
+        if reproduces(best[:k]) is not None:
+            best = best[:k]
+            break
+    changed = True
+    while changed:
+        changed = False
+        for i, choice in enumerate(best):
+            if choice == 0:
+                continue
+            candidate = best[:i] + (0,) + best[i + 1:]
+            if reproduces(candidate) is not None:
+                best = candidate
+                changed = True
+    while best and best[-1] == 0 and reproduces(best[:-1]) is not None:
+        best = best[:-1]
+    final = reproduces(best)
+    if final is None:   # pragma: no cover - minimisation is conservative
+        final = runner(tuple(outcome.taken), False)
+        best = tuple(outcome.taken)
+    return Violation(invariant=invariant, message=final.message,
+                     schedule=best, scenario=scenario, mechanism=mechanism,
+                     cores=cores, lines=lines, unsound=unsound,
+                     trace=final.trace)

@@ -1,0 +1,54 @@
+"""Randomised swarm exploration (``repro check --fuzz``).
+
+For state spaces too large to exhaust (3 cores, longer programs) the
+checker falls back to seeded random walks: each run draws every
+decision uniformly from the enabled actions.  The per-run seed is
+derived from the base seed and the run index, so any violating walk is
+reproducible, and its recorded choice sequence is minimised through
+the same machinery as an exhaustive counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from .explorer import (DEFAULT_MAX_CYCLES, CheckReport, RunOutcome, _minimise,
+                       _run)
+from .scenarios import get_scenario
+from .scheduler import RandomScheduler, ReplayScheduler
+
+
+def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
+         lines: int = 2, runs: int = 100, seed: int = 0,
+         unsound: bool = False,
+         max_cycles: int = DEFAULT_MAX_CYCLES) -> CheckReport:
+    """Run ``runs`` random schedules; minimise the first violation."""
+    scenario = get_scenario(scenario_name)
+    start = time.monotonic()
+    report = CheckReport(scenario.name, mechanism, cores, lines, mode="fuzz")
+
+    def runner(schedule, pause: bool) -> RunOutcome:
+        report.executions += 1
+        inner = ReplayScheduler(schedule, pause=pause)
+        return _run(scenario, mechanism, inner, cores=cores, lines=lines,
+                    unsound=unsound, max_cycles=max_cycles)
+
+    outcomes = set()
+    for index in range(runs):
+        rng = random.Random(f"{seed}:{index}")
+        inner = RandomScheduler(rng)
+        report.executions += 1
+        outcome = _run(scenario, mechanism, inner, cores=cores, lines=lines,
+                       unsound=unsound, max_cycles=max_cycles)
+        if outcome.kind == "violation":
+            report.violation = _minimise(outcome, runner, scenario.name,
+                                         mechanism, cores, lines, unsound)
+            break
+        outcomes.add(outcome.committed)
+        report.terminal_states += 1
+    report.unique_states = len(outcomes)
+    report.truncated = True   # sampling never proves exhaustiveness
+    report.complete = False
+    report.wall_seconds = time.monotonic() - start
+    return report

@@ -1,0 +1,277 @@
+"""The invariant registry the model checker evaluates after every step.
+
+Each invariant is a pure read-only predicate over the live system (plus
+the visibility observer); it returns ``None`` when satisfied or a
+human-readable message describing the violation.  Invariants must use
+side-effect-free accessors only (:meth:`CacheArray.probe`,
+:meth:`Directory.probe`, iteration) so that checking a state cannot
+perturb LRU or statistics and thereby change the behaviour being
+checked.
+
+Mapping to the paper:
+
+* ``swmr`` / ``directory-backing`` / ``inclusivity`` — the classic MESI
+  single-writer-multiple-reader discipline TUS must preserve *for
+  visible lines* (Section III-A: unauthorized lines are hidden from
+  coherence, so they are exempt by definition);
+* ``no-unauthorized`` — for the non-TUS mechanisms, a not-visible line
+  (or a residual write mask / ready bit) anywhere is itself a bug;
+* ``tus-sync`` — the WOQ and the L1D must agree line-for-line on the
+  set of unauthorized lines, their masks, and their ready bits
+  (Section IV's Figure 6 bookkeeping);
+* ``store-order`` — Store->Store order of x86-TSO over the publication
+  events recorded so far (Section III-B's atomic groups are the only
+  permitted coarsening);
+* ``wait-graph`` — acyclicity of the delay wait-for graph.  Section
+  III-C argues every chain of DELAY answers follows strictly increasing
+  lex order, so a cycle of live delays is precisely the cross-core
+  livelock the lex rule exists to exclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ReproError, TSOViolationError
+from ..cpu.trace import Trace
+from ..mem.cacheline import State
+from ..tso.observer import VisibilityObserver
+
+
+class InvariantViolation(ReproError):
+    """An invariant failed on a reachable state."""
+
+    def __init__(self, invariant: str, message: str,
+                 trace: Tuple[str, ...] = ()) -> None:
+        super().__init__(f"{invariant}: {message}")
+        self.invariant = invariant
+        self.message = message
+        self.trace = trace
+
+
+@dataclass
+class CheckContext:
+    """Everything an invariant may inspect."""
+
+    system: object                    # repro.sim.system.System
+    traces: Sequence[Trace]
+    observer: VisibilityObserver
+
+
+#: name -> predicate(ctx) returning None or a violation message.
+INVARIANTS: Dict[str, Callable[[CheckContext], Optional[str]]] = {}
+
+
+def invariant(name: str):
+    def register(fn):
+        INVARIANTS[name] = fn
+        return fn
+    return register
+
+
+def _visible_state(port, addr: int) -> State:
+    """Strongest coherence state core ``port`` holds for ``addr`` that is
+    visible to the protocol (not-visible L1D lines are hidden)."""
+    strongest = State.I
+    line = port.l1d.probe(addr)
+    if line is not None and not line.not_visible:
+        strongest = line.state
+    l2line = port.l2.probe(addr)
+    if l2line is not None and l2line.state > strongest:
+        strongest = l2line.state
+    return strongest
+
+
+def _tracked_lines(system) -> List[int]:
+    addrs = set()
+    for port in system.memsys.ports:
+        for line in port.l1d:
+            addrs.add(line.addr)
+        for line in port.l2:
+            addrs.add(line.addr)
+    for line in system.memsys.l3:
+        addrs.add(line.addr)
+    for entry in system.memsys.directory.entries():
+        addrs.add(entry.addr)
+    return sorted(addrs)
+
+
+@invariant("swmr")
+def check_swmr(ctx: CheckContext) -> Optional[str]:
+    """Single-Writer-Multiple-Reader over protocol-visible copies."""
+    system = ctx.system
+    for addr in _tracked_lines(system):
+        states = [(cid, _visible_state(port, addr))
+                  for cid, port in enumerate(system.memsys.ports)]
+        writers = [cid for cid, st in states if st.writable]
+        readers = [cid for cid, st in states if st.valid]
+        if len(writers) > 1:
+            return (f"line {addr:#x} writable at cores "
+                    f"{writers} simultaneously")
+        if writers and len(readers) > 1:
+            return (f"line {addr:#x} writable at core {writers[0]} "
+                    f"while cores {readers} hold valid copies")
+    return None
+
+
+@invariant("directory-backing")
+def check_directory_backing(ctx: CheckContext) -> Optional[str]:
+    """A visible writable copy implies the directory tracks the line and
+    (outside an in-flight transaction) names that core as owner."""
+    system = ctx.system
+    directory = system.memsys.directory
+    for cid, port in enumerate(system.memsys.ports):
+        for addr in _tracked_lines(system):
+            if not _visible_state(port, addr).writable:
+                continue
+            entry = directory.probe(addr)
+            if entry is None:
+                return (f"core {cid} holds {addr:#x} writable but the "
+                        f"directory does not track the line")
+            if not entry.busy and entry.owner != cid:
+                return (f"core {cid} holds {addr:#x} writable but the "
+                        f"directory owner is {entry.owner}")
+    return None
+
+
+@invariant("inclusivity")
+def check_inclusivity(ctx: CheckContext) -> Optional[str]:
+    """Every visible valid L1D line is backed by a valid private-L2 copy
+    (the inclusive hierarchy TUS's NACK-and-refresh rule relies on)."""
+    for cid, port in enumerate(ctx.system.memsys.ports):
+        for line in port.l1d:
+            if not line.state.valid or line.not_visible:
+                continue
+            l2line = port.l2.probe(line.addr)
+            if l2line is None or not l2line.state.valid:
+                return (f"core {cid}: L1D holds {line.addr:#x} "
+                        f"({line.state.name}) without a valid L2 copy")
+    return None
+
+
+@invariant("no-unauthorized")
+def check_no_unauthorized(ctx: CheckContext) -> Optional[str]:
+    """Non-TUS mechanisms must never produce unauthorized state."""
+    for cid, port in enumerate(ctx.system.memsys.ports):
+        for level, cache in (("L1D", port.l1d), ("L2", port.l2)):
+            for line in cache:
+                if line.not_visible or line.ready or line.write_mask:
+                    return (f"core {cid}: {level} line {line.addr:#x} "
+                            f"carries unauthorized state (not_visible="
+                            f"{line.not_visible}, ready={line.ready}, "
+                            f"mask={line.write_mask:#x})")
+    return None
+
+
+@invariant("tus-sync")
+def check_tus_sync(ctx: CheckContext) -> Optional[str]:
+    """WOQ entries and not-visible L1D lines must be in exact 1:1
+    correspondence, with matching masks and ready bits."""
+    for cid, core in enumerate(ctx.system.cores):
+        controller = getattr(core.mechanism, "controller", None)
+        if controller is None:
+            continue
+        port = core.port
+        nv_lines = {line.addr: line for line in port.l1d if line.not_visible}
+        woq_lines = {entry.line: entry for entry in controller.woq}
+        if set(nv_lines) != set(woq_lines):
+            only_l1 = sorted(set(nv_lines) - set(woq_lines))
+            only_woq = sorted(set(woq_lines) - set(nv_lines))
+            return (f"core {cid}: not-visible L1D lines and WOQ disagree "
+                    f"(L1D-only {[hex(a) for a in only_l1]}, "
+                    f"WOQ-only {[hex(a) for a in only_woq]})")
+        for addr, entry in woq_lines.items():
+            line = nv_lines[addr]
+            if line.write_mask != entry.mask:
+                return (f"core {cid}: {addr:#x} mask mismatch (L1D "
+                        f"{line.write_mask:#x} vs WOQ {entry.mask:#x})")
+            if line.ready != entry.ready:
+                return (f"core {cid}: {addr:#x} ready mismatch (L1D "
+                        f"{line.ready} vs WOQ {entry.ready})")
+            if entry.ready and line.state != State.M:
+                return (f"core {cid}: {addr:#x} is ready but the L1D "
+                        f"state is {line.state.name}, not M")
+            if not entry.ready and line.state.writable:
+                return (f"core {cid}: {addr:#x} holds write permission "
+                        f"({line.state.name}) but is not marked ready")
+        for level, cache in (("L2", port.l2), ("L3", ctx.system.memsys.l3)):
+            for line in cache:
+                if line.not_visible:
+                    return (f"core {cid}: {level} line {line.addr:#x} is "
+                            f"marked not-visible (only the L1D may hide "
+                            f"lines)")
+    return None
+
+
+@invariant("store-order")
+def check_store_order(ctx: CheckContext) -> Optional[str]:
+    """Store->Store order over the publications recorded so far."""
+    for cid, trace in enumerate(ctx.traces):
+        try:
+            ctx.observer.check_store_store_order(cid, trace)
+        except TSOViolationError as exc:
+            return str(exc)
+    return None
+
+
+@invariant("wait-graph")
+def check_wait_graph(ctx: CheckContext) -> Optional[str]:
+    """Acyclicity of the live delay wait-for graph.
+
+    An edge ``requester -> delayer`` exists for every in-flight
+    transaction whose last snoop was answered DELAY, provided the
+    delayer's mechanism still holds an unpublished store to the line
+    (once published, the pending re-poll will succeed, so the edge is
+    no longer a dependency).  A cycle means a set of cores each waiting
+    for another to publish first — the cross-core livelock Section
+    III-C's lex order exists to exclude.
+    """
+    system = ctx.system
+    edges: Dict[int, set] = {}
+    detail = {}
+    for trans in system.memsys.inflight:
+        if trans.waiting_on is None:
+            continue
+        delayer = system.cores[trans.waiting_on].mechanism
+        if not delayer.pending_publication(trans.addr):
+            continue   # already published; the re-poll will resolve
+        edges.setdefault(trans.requester, set()).add(trans.waiting_on)
+        detail[(trans.requester, trans.waiting_on)] = trans.addr
+    cycle = _find_cycle(edges)
+    if cycle is None:
+        return None
+    hops = ", ".join(
+        f"core {a} waits for core {b} (line "
+        f"{detail[(a, b)]:#x})"
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]))
+    return f"delay cycle: {hops}"
+
+
+def _find_cycle(edges: Dict[int, set]) -> Optional[List[int]]:
+    """Return one cycle (as a node list) in a directed graph, or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in
+              set(edges) | {n for targets in edges.values() for n in targets}}
+    stack: List[int] = []
+
+    def visit(node: int) -> Optional[List[int]]:
+        colour[node] = GREY
+        stack.append(node)
+        for nxt in sorted(edges.get(node, ())):
+            if colour[nxt] == GREY:
+                return stack[stack.index(nxt):]
+            if colour[nxt] == WHITE:
+                found = visit(nxt)
+                if found is not None:
+                    return found
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in sorted(colour):
+        if colour[node] == WHITE:
+            found = visit(node)
+            if found is not None:
+                return found
+    return None

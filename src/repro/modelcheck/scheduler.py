@@ -1,0 +1,137 @@
+"""Schedulers for :meth:`repro.sim.system.System.run_controlled`.
+
+A scheduler answers one question: *given several enabled actions, which
+happens first?*  An action is either firing one due event or stepping
+one runnable core.  The system consults ``choose(system, actions)``
+only when two or more actions are enabled — a *decision point* — so a
+schedule is fully described by the sequence of indices chosen at
+decision points.  ``after_action(system, action)`` runs after every
+action (chosen or forced), which is where the checking wrapper
+evaluates invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .invariants import INVARIANTS, CheckContext, InvariantViolation
+
+
+class FrontierReached(Exception):
+    """A :class:`ReplayScheduler` in pause mode ran out of recorded
+    choices at a decision point.  Carries the branch count so the
+    explorer can enqueue one child prefix per alternative."""
+
+    def __init__(self, branches: int, depth: int) -> None:
+        super().__init__(f"frontier at decision {depth}: {branches} branches")
+        self.branches = branches
+        self.depth = depth
+
+
+class DefaultScheduler:
+    """Always picks action 0 — reproduces the normal ``run()`` order
+    (events in (cycle, insertion) order, then cores in id order)."""
+
+    def choose(self, system, actions: Sequence[Tuple]) -> int:
+        return 0
+
+    def after_action(self, system, action: Tuple) -> None:
+        pass
+
+
+class ReplayScheduler:
+    """Replays a recorded choice sequence, then pauses or defaults.
+
+    With ``pause=True`` the scheduler raises :class:`FrontierReached`
+    at the first decision point beyond the recorded prefix — the
+    explorer's probe mode.  With ``pause=False`` it continues with
+    choice 0 (the default order), which is how minimised prefixes are
+    run to completion.  Out-of-range recorded choices are clamped, so a
+    schedule is always applicable.  Every choice actually taken is
+    appended to :attr:`taken`.
+    """
+
+    def __init__(self, choices: Sequence[int], pause: bool = False) -> None:
+        self.choices = list(choices)
+        self.pause = pause
+        self.taken: List[int] = []
+        self.decisions = 0
+
+    def choose(self, system, actions: Sequence[Tuple]) -> int:
+        index = self.decisions
+        self.decisions += 1
+        if index < len(self.choices):
+            choice = min(self.choices[index], len(actions) - 1)
+        elif self.pause:
+            raise FrontierReached(len(actions), index)
+        else:
+            choice = 0
+        self.taken.append(choice)
+        return choice
+
+    def after_action(self, system, action: Tuple) -> None:
+        pass
+
+
+class RandomScheduler:
+    """Uniformly random choices from a seeded generator (swarm mode).
+
+    Records every choice in :attr:`taken` so a violating random walk
+    can be minimised and replayed exactly like an exhaustive one.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.taken: List[int] = []
+        self.decisions = 0
+
+    def choose(self, system, actions: Sequence[Tuple]) -> int:
+        self.decisions += 1
+        choice = self.rng.randrange(len(actions))
+        self.taken.append(choice)
+        return choice
+
+    def after_action(self, system, action: Tuple) -> None:
+        pass
+
+
+class CheckingScheduler:
+    """Wraps an inner scheduler with invariant checking and tracing.
+
+    After every action the configured invariants run against the live
+    system; the first failure raises :class:`InvariantViolation` with
+    the human-readable action trace accumulated so far attached.
+    """
+
+    def __init__(self, inner, ctx: CheckContext,
+                 invariant_names: Sequence[str]) -> None:
+        self.inner = inner
+        self.ctx = ctx
+        self.invariants = [(name, INVARIANTS[name])
+                           for name in invariant_names]
+        self.trace: List[str] = []
+
+    def choose(self, system, actions: Sequence[Tuple]) -> int:
+        index = self.inner.choose(system, actions)
+        self.trace.append(
+            f"cycle {system.cycle}: choose {index} of "
+            f"[{', '.join(_describe(a) for a in actions)}]")
+        return index
+
+    def after_action(self, system, action: Tuple) -> None:
+        self.trace.append(f"cycle {system.cycle}: {_describe(action)}")
+        self.inner.after_action(system, action)
+        for name, fn in self.invariants:
+            message = fn(self.ctx)
+            if message is not None:
+                raise InvariantViolation(name, message, tuple(self.trace))
+
+
+def _describe(action: Tuple) -> str:
+    kind, target = action
+    if kind == "event":
+        actor = "" if target.actor is None else f"@core{target.actor}"
+        label = target.label or "event"
+        return f"{label}{actor}"
+    return f"step core{target}"

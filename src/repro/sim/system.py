@@ -123,6 +123,104 @@ class System:
                 core.charge_skipped(self.cycle - stale_since[cid] - 1)
         return self._result()
 
+    def run_controlled(self, scheduler, max_cycles: int = 100_000
+                       ) -> SimResult:
+        """Run under an external scheduler that chooses interleavings.
+
+        Within a cycle the *enabled actions* are: fire one due event, or
+        step one runnable core (each core steps at most once per cycle,
+        as in :meth:`run`).  Whenever more than one action is enabled the
+        scheduler's ``choose(system, actions)`` picks the index — that is
+        a *decision point*; with a single action no choice is consumed.
+        After every action ``after_action(system, action)`` runs, which
+        is where the model checker evaluates its invariants.
+
+        Core staleness mirrors :meth:`run`: a core whose step made no
+        progress is not re-stepped until an event has fired since or its
+        own ``next_wake`` arrives, so pure waiting creates no spurious
+        decision points.  When a whole cycle yields no progress the clock
+        fast-forwards deterministically to the next interesting cycle.
+
+        Raises :class:`DeadlockError` when no progress is possible, when
+        the watchdog trips, or when ``max_cycles`` elapses — the model
+        checker treats all three as potential liveness violations.
+        """
+        watchdog = self.config.deadlock_cycles
+        last_progress = 0
+        done = [core.is_done() for core in self.cores]
+        # Event count at the time each core went stale (None = not stale).
+        stale_at: List[Optional[int]] = [None] * len(self.cores)
+        events_fired = 0
+        while not all(done):
+            if self.cycle >= max_cycles:
+                raise DeadlockError(
+                    f"controlled run exceeded {max_cycles} cycles "
+                    f"({self.workload}/{self.config.mechanism})")
+            stepped = list(done)
+            progress = False
+            while True:
+                actions = [("event", handle)
+                           for handle in self.events.due_entries(self.cycle)]
+                for cid, core in enumerate(self.cores):
+                    if stepped[cid]:
+                        continue
+                    if (stale_at[cid] is not None
+                            and events_fired == stale_at[cid]
+                            and (core.wake_cycle is None
+                                 or core.wake_cycle > self.cycle)):
+                        continue
+                    actions.append(("core", cid))
+                if not actions:
+                    break
+                # Published for the model checker's state encoder: which
+                # cores already took their step this cycle and which are
+                # currently stale-excluded.  Two pauses with identical
+                # cache/core state but different intra-cycle positions
+                # enable different action sets, so they are distinct
+                # states.
+                self.sched_position = (
+                    tuple(stepped),
+                    tuple(stale_at[cid] is not None
+                          and events_fired == stale_at[cid]
+                          for cid in range(len(self.cores))))
+                index = 0 if len(actions) == 1 else \
+                    scheduler.choose(self, actions)
+                action = actions[index]
+                kind, target = action
+                if kind == "event":
+                    self.events.fire_entry(target)
+                    events_fired += 1
+                    progress = True
+                else:
+                    core = self.cores[target]
+                    stepped[target] = True
+                    if core.step(self.cycle):
+                        progress = True
+                        stale_at[target] = None
+                    else:
+                        stale_at[target] = events_fired
+                        core.wake_cycle = core.next_wake(self.cycle)
+                    if core.is_done():
+                        done[target] = True
+                scheduler.after_action(self, action)
+            if all(done):
+                break
+            if progress:
+                last_progress = self.cycle
+                self.cycle += 1
+                continue
+            target_cycle = self._next_interesting_cycle()
+            if target_cycle is None:
+                raise DeadlockError(
+                    f"no progress possible at cycle {self.cycle} "
+                    f"({self.workload}/{self.config.mechanism})")
+            self.cycle = target_cycle
+            if self.cycle - last_progress > watchdog:
+                raise DeadlockError(
+                    f"watchdog: {watchdog} cycles without progress "
+                    f"({self.workload}/{self.config.mechanism})")
+        return self._result()
+
     def _begin_measurement(self) -> None:
         """End the warmup region: zero every statistic and restart the
         cycle base so results cover only the measured region."""

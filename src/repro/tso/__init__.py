@@ -1,10 +1,13 @@
 """x86-TSO validation: reference model, TUS functional machine, litmus."""
 
 from .litmus import all_litmus_tests
-from .machine import TUSMachine, enumerate_tus_outcomes, random_walk_outcomes
+from .machine import (COALESCING_MECHANISMS, TUSMachine,
+                      enumerate_mechanism_outcomes, enumerate_tus_outcomes,
+                      random_walk_outcomes)
 from .program import Fence, Load, Outcome, Program, Store, make_outcome
 from .reference import enumerate_outcomes
 
 __all__ = ["all_litmus_tests", "TUSMachine", "enumerate_tus_outcomes",
+           "enumerate_mechanism_outcomes", "COALESCING_MECHANISMS",
            "random_walk_outcomes", "Fence", "Load", "Outcome", "Program",
            "Store", "make_outcome", "enumerate_outcomes"]

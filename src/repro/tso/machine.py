@@ -46,10 +46,18 @@ class _CoreState:
 
 
 class TUSMachine:
-    """Executes one litmus program under TUS visibility semantics."""
+    """Executes one litmus program under TUS visibility semantics.
 
-    def __init__(self, program: Program) -> None:
+    With ``coalescing=False`` the drain step never joins or merges
+    groups: every store becomes its own singleton atomic group and
+    publishes in FIFO order.  That models the non-coalescing store
+    paths (baseline, SSB, SPB), whose visibility order is exactly the
+    store-buffer order — i.e. plain x86-TSO.
+    """
+
+    def __init__(self, program: Program, coalescing: bool = True) -> None:
         self.program = program
+        self.coalescing = coalescing
         self.cores = [_CoreState() for _ in program.threads]
         self.memory: Dict[int, int] = {}
         self.regs: Dict[str, int] = {}
@@ -113,6 +121,10 @@ class TUSMachine:
     def _drain(self, core: _CoreState) -> None:
         """Move the SB head into the pending groups (WCB insert rules)."""
         addr, value = core.sb.pop(0)
+        if not self.coalescing:
+            core.groups.append([(addr, value)])
+            core.last_written_group = len(core.groups) - 1
+            return
         target = None
         for index, group in enumerate(core.groups):
             if any(g_addr == addr for g_addr, _ in group):
@@ -169,6 +181,7 @@ class TUSMachine:
     def clone(self) -> "TUSMachine":
         other = TUSMachine.__new__(TUSMachine)
         other.program = self.program
+        other.coalescing = self.coalescing
         other.memory = dict(self.memory)
         other.regs = dict(self.regs)
         other.cores = []
@@ -182,12 +195,33 @@ class TUSMachine:
         return other
 
 
+#: Store paths whose functional visibility model coalesces stores into
+#: atomic groups; the rest publish one store at a time in FIFO order.
+COALESCING_MECHANISMS = ("csb", "tus")
+
+
+def enumerate_mechanism_outcomes(program: Program, mechanism: str,
+                                 max_states: int = 200_000) -> Set[Outcome]:
+    """All outcomes of ``program`` under one mechanism's store path."""
+    from ..common.config import MECHANISMS
+    if mechanism not in MECHANISMS:
+        raise ValueError(f"unknown mechanism {mechanism!r} "
+                         f"(expected one of {MECHANISMS})")
+    coalescing = mechanism in COALESCING_MECHANISMS
+    return _enumerate(TUSMachine(program, coalescing=coalescing),
+                      max_states)
+
+
 def enumerate_tus_outcomes(program: Program,
                            max_states: int = 200_000) -> Set[Outcome]:
     """All outcomes the TUS machine can produce (exhaustive DFS)."""
+    return _enumerate(TUSMachine(program), max_states)
+
+
+def _enumerate(root: TUSMachine, max_states: int) -> Set[Outcome]:
     outcomes: Set[Outcome] = set()
     seen = set()
-    stack = [TUSMachine(program)]
+    stack = [root]
     while stack:
         machine = stack.pop()
         key = machine.state_key()

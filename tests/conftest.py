@@ -1,0 +1,17 @@
+"""Hypothesis profiles: pick with $HYPOTHESIS_PROFILE (default "dev").
+
+The "ci" profile keeps tier-1 fast on shared runners; tests that set an
+explicit ``max_examples`` bound it through
+:func:`tests.support.max_examples` (decorator settings override
+profiles).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci", max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,15 @@
+"""Shared helpers for the test suite."""
+
+import os
+
+
+def max_examples(default: int) -> int:
+    """Hypothesis example count, capped by $REPRO_HYPOTHESIS_MAX_EXAMPLES.
+
+    Explicit ``@settings(max_examples=...)`` decorators override
+    hypothesis profiles, so CI caps property tests through this helper
+    instead: locally it returns ``default`` unchanged, and in CI the
+    environment variable bounds every suite uniformly.
+    """
+    cap = os.environ.get("REPRO_HYPOTHESIS_MAX_EXAMPLES")
+    return min(default, int(cap)) if cap else default

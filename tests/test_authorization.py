@@ -155,6 +155,71 @@ class TestReissueTarget:
         assert auth.reissue_target() is None
 
 
+def rotated_cores(lines, unsound=False):
+    """One AuthorizationUnit per core, core ``i`` holding the atomic
+    group {lines[i] (ready), lines[i+1] (missing)} — the canonical
+    cross-core wait cycle: every core's missing line is the next core's
+    held line."""
+    units = []
+    count = len(lines)
+    for cid in range(count):
+        woq = WriteOrderingQueue(16)
+        group = woq.new_group_id()
+        held = woq.append(lines[cid], 0xFF, group)
+        held.ready = True
+        woq.append(lines[(cid + 1) % count], 0xFF, group)
+        units.append(AuthorizationUnit(
+            woq, unsound_dependency_set=unsound))
+    return units
+
+
+class TestThreeCoreCycle:
+    """Three (and more) cores contending on rotated overlapping atomic
+    groups: the lex tie-break must make exactly one core relinquish —
+    the one whose missing group member has *lower* lex than its held
+    line (only its wait edge would close the cycle against lex order).
+    The PR-1 dependency-set fix was previously only exercised with two
+    cores."""
+
+    def decisions(self, units, lines):
+        return [unit.check(lines[cid])
+                for cid, unit in enumerate(units)]
+
+    def test_exactly_one_core_relinquishes(self):
+        lines = [P, C, D]
+        decisions = self.decisions(rotated_cores(lines), lines)
+        relinquished = [d for d in decisions if not d.delay]
+        assert len(relinquished) == 1
+
+    def test_the_wraparound_core_breaks_the_cycle(self):
+        # Cores hold {P,C}, {C,D}, {D,P}: only core 2's missing line
+        # (P) has lower lex than its held line (D), so core 2 gives up
+        # D and cores 0 and 1 legally delay.
+        lines = [P, C, D]
+        decisions = self.decisions(rotated_cores(lines), lines)
+        assert decisions[0].delay
+        assert decisions[1].delay
+        assert not decisions[2].delay
+        assert [e.line for e in decisions[2].relinquish] == [D]
+
+    def test_four_core_rotation(self):
+        lines = [P, C, D, R]
+        decisions = self.decisions(rotated_cores(lines), lines)
+        relinquishers = [cid for cid, d in enumerate(decisions)
+                         if not d.delay]
+        assert relinquishers == [3]
+
+    def test_unsound_rule_deadlocks_all_three(self):
+        # The pre-fix dependency set ignores the younger missing group
+        # member, so every core believes it may delay: the wait cycle
+        # 0 -> 1 -> 2 -> 0 never breaks.  (The model checker reproduces
+        # this end to end; see tests/test_modelcheck.py.)
+        lines = [P, C, D]
+        decisions = self.decisions(
+            rotated_cores(lines, unsound=True), lines)
+        assert all(d.delay for d in decisions)
+
+
 class TestErrors:
     def test_untracked_line_rejected(self):
         auth, _ = unit_with([(C, True)])

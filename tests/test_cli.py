@@ -39,6 +39,30 @@ class TestCommands:
         assert main(["litmus"]) == 0
         assert "VIOLATION" not in capsys.readouterr().out
 
+    def test_litmus_mechanism_filter(self, capsys):
+        assert main(["litmus", "--mechanism", "tus"]) == 0
+        out = capsys.readouterr().out
+        assert "tus" in out and "baseline" not in out
+
+    def test_check_exhaustive_pass(self, capsys):
+        assert main(["check", "--scenario", "sb", "--mechanism", "tus",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "exhaustive" in out
+        assert "1/1 checks passed" in out
+
+    def test_check_unsound_reports_counterexample(self, capsys):
+        assert main(["check", "--scenario", "overlap", "--mechanism",
+                     "tus", "--unsound-auth", "--workers", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "wait-graph" in out
+        assert "replay(" in out      # the pytest reproducer snippet
+
+    def test_check_fuzz_mode(self, capsys):
+        assert main(["check", "--scenario", "sb", "--mechanism",
+                     "baseline", "--fuzz", "5", "--workers", "1"]) == 0
+        assert "fuzz" in capsys.readouterr().out
+
     def test_bench_listing(self, capsys):
         assert main(["bench"]) == 0
         out = capsys.readouterr().out

@@ -17,6 +17,8 @@ from repro.cpu.trace import Trace
 from repro.mem.cacheline import State
 from repro.sim.system import System
 
+from .support import max_examples
+
 MECHANISMS = ("baseline", "ssb", "csb", "spb", "tus")
 
 #: Small pool of lines, some sharing lex order across "far" lines is
@@ -49,7 +51,7 @@ def realise(ops):
     return uops
 
 
-@settings(max_examples=25, deadline=None,
+@settings(max_examples=max_examples(25), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(op_strategy(), min_size=1, max_size=120))
 def test_all_mechanisms_complete_and_agree(ops):
@@ -71,7 +73,7 @@ def test_all_mechanisms_complete_and_agree(ops):
     assert len(committed) == 1, "mechanisms must commit identical work"
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=max_examples(10), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(op_strategy(), min_size=10, max_size=80),
        st.sampled_from(MECHANISMS))
@@ -84,7 +86,7 @@ def test_determinism_property(ops, mechanism):
     assert a.stats == b.stats
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=max_examples(10), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(op_strategy(), min_size=10, max_size=60),
        st.sampled_from(MECHANISMS))

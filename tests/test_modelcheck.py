@@ -1,0 +1,165 @@
+"""The protocol model checker: exhaustive exploration, counterexamples.
+
+The positive direction: every mechanism passes the invariant library
+over all interleavings of the 2-core scenarios.  The negative
+direction (the acceptance case for the subsystem): reverting the
+atomic-group authorization fix behind ``unsound=True`` must produce a
+wait-graph counterexample whose minimised schedule replays
+deterministically.
+"""
+
+import pytest
+
+from repro.common.config import MECHANISMS
+from repro.harness.checks import CheckJob, run_check, run_checks
+from repro.modelcheck import (SCENARIOS, explore, fuzz, get_scenario,
+                              replay, run_schedule)
+from repro.modelcheck.state import _symmetry_permutations
+
+
+class TestDefaultSchedules:
+    """Every (scenario, mechanism) cell completes under the default
+    (first-enabled-action) schedule with all work committed."""
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_runs_to_completion(self, scenario, mechanism):
+        outcome = run_schedule(scenario, mechanism, (), cores=2, lines=2)
+        assert outcome.kind == "done"
+        programs = get_scenario(scenario).build(2, 2)
+        assert outcome.committed == tuple(len(p) for p in programs)
+
+    def test_tiny_cycle_budget_reports_deadlock(self):
+        outcome = run_schedule("overlap", "tus", (), cores=2, lines=2,
+                               max_cycles=3)
+        assert outcome.kind == "violation"
+        assert outcome.invariant == "deadlock"
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_overlap_all_mechanisms_pass(self, mechanism):
+        report = explore("overlap", mechanism, cores=2, lines=2)
+        assert report.passed
+        assert report.complete
+        assert report.unique_states > 0
+        assert report.terminal_states > 0
+
+    def test_pause_exposes_branches(self):
+        outcome = run_schedule("overlap", "tus", (), cores=2, lines=2,
+                               pause=True)
+        assert outcome.kind == "frontier"
+        assert outcome.branches >= 2
+        assert outcome.key
+
+    def test_out_of_range_choices_are_clamped(self):
+        outcome = run_schedule("overlap", "tus", (99, 99), cores=2,
+                               lines=2)
+        assert outcome.kind == "done"
+
+
+class TestCounterexample:
+    """Unsound authorization -> minimised, deterministic wait-graph
+    counterexample (the ISSUE acceptance case)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return explore("overlap", "tus", cores=2, lines=2, unsound=True)
+
+    def test_violation_found(self, report):
+        assert not report.passed
+        assert report.violation.invariant == "wait-graph"
+        assert "waits for" in report.violation.message
+
+    def test_schedule_is_minimised(self, report):
+        # The default (all-zeros) continuation does not trip the
+        # invariant: the recorded choices are load-bearing.
+        schedule = report.violation.schedule
+        assert any(choice != 0 for choice in schedule)
+        outcome = replay("overlap", "tus", (), unsound=True)
+        assert outcome.kind == "done"
+
+    def test_replays_deterministically(self, report):
+        schedule = report.violation.schedule
+        first = replay("overlap", "tus", schedule, unsound=True)
+        second = replay("overlap", "tus", schedule, unsound=True)
+        assert first.kind == second.kind == "violation"
+        assert first.invariant == second.invariant == "wait-graph"
+        assert first.message == second.message
+        assert first.trace == second.trace
+
+    def test_trace_is_human_readable(self, report):
+        trace = report.violation.trace
+        assert any("choose" in line for line in trace)
+        assert any("step core" in line for line in trace)
+
+    def test_pytest_snippet_mentions_replay(self, report):
+        snippet = report.violation.as_pytest()
+        assert "replay(" in snippet
+        assert "'wait-graph'" in snippet
+
+    def test_sound_configuration_has_no_counterexample(self):
+        report = explore("overlap", "tus", cores=2, lines=2)
+        assert report.passed and report.complete
+
+
+class TestFuzz:
+    def test_sound_swarm_passes(self):
+        report = fuzz("overlap", "tus", cores=2, lines=2, runs=20, seed=3)
+        assert report.passed
+        assert report.mode == "fuzz"
+        assert not report.complete   # sampling never proves exhaustiveness
+
+    def test_unsound_swarm_finds_the_livelock(self):
+        report = fuzz("overlap", "tus", cores=2, lines=2, runs=40, seed=7,
+                      unsound=True)
+        assert not report.passed
+        assert report.violation.invariant == "wait-graph"
+
+    def test_same_seed_same_counterexample(self):
+        a = fuzz("overlap", "tus", cores=2, lines=2, runs=40, seed=7,
+                 unsound=True)
+        b = fuzz("overlap", "tus", cores=2, lines=2, runs=40, seed=7,
+                 unsound=True)
+        assert a.violation.schedule == b.violation.schedule
+        assert a.executions == b.executions
+
+
+class TestSymmetry:
+    def test_identical_traces_are_interchangeable(self):
+        # mp with 3 cores: the two consumers run the same program.
+        scenario = get_scenario("mp")
+        from repro.modelcheck.explorer import _build
+        system, _, _, _ = _build(scenario, "baseline", 3, 2, False)
+        assert len(_symmetry_permutations(system)) == 2
+
+    def test_symmetric_branches_collapse_to_one_state(self):
+        # First decision offers [step core0, step core1, step core2];
+        # stepping consumer 1 vs consumer 2 must hash identically, and
+        # differently from stepping the producer.
+        keys = {}
+        for choice in (0, 1, 2):
+            outcome = run_schedule("mp", "baseline", (choice,), cores=3,
+                                   lines=2, pause=True)
+            assert outcome.kind == "frontier"
+            keys[choice] = outcome.key
+        assert keys[1] == keys[2]
+        assert keys[0] != keys[1]
+
+
+class TestHarness:
+    def test_serial_matrix_preserves_order(self):
+        jobs = [CheckJob("sb", "baseline"), CheckJob("sb", "tus")]
+        reports = run_checks(jobs, workers=1)
+        assert [r.mechanism for r in reports] == ["baseline", "tus"]
+        assert all(r.passed for r in reports)
+
+    def test_fuzz_job_routes_to_swarm_mode(self):
+        report = run_check(CheckJob("sb", "tus", fuzz_runs=5, seed=1))
+        assert report.mode == "fuzz"
+        assert report.executions == 5
+
+    def test_report_summary_mentions_extent(self):
+        report = run_check(CheckJob("sb", "baseline"))
+        assert "exhaustive" in report.summary()
+        assert "PASS" in report.summary()

@@ -10,10 +10,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.tso.litmus import all_litmus_tests, coalescing_cycle, X, Y
-from repro.tso.machine import (TUSMachine, enumerate_tus_outcomes,
-                               random_walk_outcomes)
+from repro.tso.machine import (TUSMachine, enumerate_mechanism_outcomes,
+                               enumerate_tus_outcomes, random_walk_outcomes)
 from repro.tso.program import Fence, Load, Program, Store
 from repro.tso.reference import enumerate_outcomes
+
+from .support import max_examples
 
 
 class TestLitmusSubset:
@@ -69,6 +71,23 @@ class TestCoalescingAtomicity:
         assert machine.memory == {X: 2, Y: 1}
 
 
+class TestNonCoalescing:
+    """With coalescing off, the machine publishes singleton groups in
+    FIFO order — it *is* the plain x86-TSO reference, outcome for
+    outcome.  This pins the abstraction: everything TUS/CSB add beyond
+    TSO is in the coalescing, nothing else."""
+
+    @pytest.mark.parametrize("name", sorted(all_litmus_tests()))
+    def test_exactly_the_tso_reference(self, name):
+        program = all_litmus_tests()[name]
+        machine = enumerate_mechanism_outcomes(program, "baseline")
+        assert machine == enumerate_outcomes(program)
+
+    def test_mechanism_names_are_validated(self):
+        with pytest.raises(ValueError):
+            enumerate_mechanism_outcomes(all_litmus_tests()["SB"], "nope")
+
+
 class TestLocalReads:
     def test_load_sees_own_sb(self):
         machine = TUSMachine(Program([[Store(X, 7), Load(X, "r1")]]))
@@ -119,7 +138,7 @@ def _program_strategy():
     )
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=max_examples(40), deadline=None)
 @given(_program_strategy())
 def test_random_programs_subset(threads):
     """Property: for random 2-thread programs, every outcome of the TUS

@@ -6,11 +6,6 @@ from repro.tso.program import Fence, Load, Program, Store
 from repro.tso.reference import enumerate_outcomes
 
 
-def regs_of(outcomes):
-    return {dict(regs) for regs in
-            [tuple(sorted(o[0])) for o in outcomes] and None or []}
-
-
 def reg_tuples(outcomes):
     return {o[0] for o in outcomes}
 
