@@ -13,6 +13,8 @@ Commands
 ``litmus``   run the x86-TSO litmus checks (optionally one mechanism)
 ``check``    model-check protocol invariants over all interleavings of
              a small scenario (exhaustive BFS, or ``--fuzz`` swarm)
+``trace``    record every instrumentation event of one run and export a
+             Chrome-trace-event/Perfetto ``.trace.json`` timeline
 ``bench``    list the available benchmarks with their descriptions
 
 Examples
@@ -27,6 +29,7 @@ Examples
     python -m repro check --cores 2 --lines 2 --mechanism tus
     python -m repro check --scenario overlap --mechanism tus --unsound-auth
     python -m repro check --cores 3 --fuzz 500 --seed 7
+    python -m repro trace --workload parsec-small --mechanism tus
 """
 
 from __future__ import annotations
@@ -187,6 +190,65 @@ def _cmd_check(args) -> int:
     return 1 if failures else 0
 
 
+#: ``repro trace`` workload presets: alias -> (bench, cores, uops/core).
+#: Small on purpose — a trace of every event is far heavier than a run.
+TRACE_PRESETS = {
+    "parsec-small": ("canneal", 4, 4_000),
+    "parsec-tiny": ("streamcluster", 2, 2_000),
+    "spec-small": ("505.mcf", 1, 8_000),
+}
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from .harness.parallel import PointTiming, SweepTelemetry
+    from .harness.report import render_telemetry
+    from .observe import Tracer, validate_chrome_trace
+    from .sim.system import System
+    from .workloads import make_parallel_traces
+
+    bench, cores, length = TRACE_PRESETS.get(
+        args.workload, (args.workload, args.cores, args.length))
+    config = table_i().with_mechanism(args.mechanism) \
+        .with_sb_size(args.sb).with_cores(cores)
+    traces = make_parallel_traces(bench, cores, length, args.seed)
+    system = System(config, traces, workload=args.workload)
+    tracer = Tracer(system, interval=args.interval,
+                    max_events=args.max_events).attach()
+    telemetry = SweepTelemetry(workers=1, points_total=1)
+    started = time.perf_counter()
+    result = system.run()
+    elapsed = time.perf_counter() - started
+    telemetry.wall_seconds = elapsed
+    telemetry.timings.append(PointTiming(
+        f"{args.workload}/{args.mechanism}/sb{args.sb}", elapsed,
+        sum(core.committed for core in result.cores)))
+    tracer.finalize()
+    doc = tracer.chrome_trace(args.workload, args.mechanism)
+    problems = validate_chrome_trace(doc)
+    out = Path(args.out if args.out else
+               f"{args.workload}-{args.mechanism}.trace.json")
+    with out.open("w") as fh:
+        json.dump(doc, fh)
+    print(tracer.summary())
+    print()
+    print(render_telemetry(telemetry))
+    print()
+    print(f"wrote {len(doc['traceEvents'])} trace events to {out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    if problems:
+        print(f"TRACE INVALID ({len(problems)} problem(s)):",
+              file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    reconciled = tracer.reconcile()
+    return 0 if reconciled["ok"] else 1
+
+
 def _cmd_bench(_args) -> int:
     for name, profile in sorted(all_profiles().items()):
         bound = "SB-bound" if profile.sb_bound else "        "
@@ -289,6 +351,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="revert the atomic-group authorization fix "
                             "(expect a wait-graph counterexample)")
     chk_p.set_defaults(fn=_cmd_check)
+
+    trace_p = sub.add_parser(
+        "trace", help="record a Perfetto-compatible store-lifecycle trace")
+    trace_p.add_argument("--workload", default="parsec-small",
+                         help="preset (%s) or any benchmark name"
+                              % ", ".join(sorted(TRACE_PRESETS)))
+    trace_p.add_argument("--mechanism", default="tus", choices=MECHANISMS)
+    trace_p.add_argument("--sb", type=int, default=114,
+                         help="store-buffer entries")
+    trace_p.add_argument("--cores", type=int, default=1,
+                         help="cores (ignored for presets)")
+    trace_p.add_argument("--length", type=int, default=8_000,
+                         help="uops per core (ignored for presets)")
+    trace_p.add_argument("--interval", type=int, default=500,
+                         help="occupancy sampling interval (cycles)")
+    trace_p.add_argument("--max-events", type=int, default=2_000_000,
+                         help="event-capture cap (keeps files bounded)")
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument("--out", default=None,
+                         help="output path (default: "
+                              "<workload>-<mechanism>.trace.json)")
+    trace_p.set_defaults(fn=_cmd_trace)
 
     bench_p = sub.add_parser("bench", help="list benchmarks")
     bench_p.set_defaults(fn=_cmd_bench)

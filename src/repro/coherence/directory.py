@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 
 from ..common.addr import LEX_MASK, line_addr, line_index
 from ..common.stats import StatGroup
+from ..observe.bus import NULL_PROBE
 
 
 @dataclass
@@ -54,6 +55,7 @@ class Directory:
             "evictions", "tracked lines dropped for capacity")
         self._conflict_stalls = stats.counter(
             "conflict_stalls", "allocations refused: set full of busy lines")
+        self.probe = NULL_PROBE
 
     def set_index(self, addr: int) -> int:
         return line_index(addr) & LEX_MASK & (self.num_sets - 1)
@@ -66,10 +68,11 @@ class Directory:
             self._sets[idx] = entries
         return entries
 
-    def probe(self, addr: int) -> Optional[DirEntry]:
+    def peek(self, addr: int) -> Optional[DirEntry]:
         """Side-effect-free lookup: no stats, no LRU touch.  Used by the
         model checker's invariants, which must not perturb replacement
-        state."""
+        state.  (Named ``peek``, not ``probe``: ``self.probe`` is the
+        instrumentation probe, as everywhere else in the simulator.)"""
         addr = line_addr(addr)
         for entry in self._sets.get(self.set_index(addr), ()):
             if entry.addr == addr:
@@ -92,7 +95,8 @@ class Directory:
                 return entry
         return None
 
-    def allocate(self, addr: int) -> Optional[DirEntry]:
+    def allocate(self, addr: int,
+                 cycle: Optional[int] = None) -> Optional[DirEntry]:
         """Allocate an entry for ``addr``; returns None if the set is full
         of lines that cannot be dropped (busy or actively cached — a real
         design would back-invalidate; we refuse and the requester retries,
@@ -103,13 +107,22 @@ class Directory:
             victim = self._choose_victim(entries)
             if victim is None:
                 self._conflict_stalls.inc()
+                if self.probe:
+                    self.probe.emit(cycle if cycle is not None else 0,
+                                    "dirent:conflict", line=addr)
                 return None
             entries.remove(victim)
             self._evictions.inc()
+            if self.probe:
+                self.probe.emit(cycle if cycle is not None else 0,
+                                "dirent:evict", line=victim.addr)
         self._clock += 1
         entry = DirEntry(addr, last_touch=self._clock)
         entries.append(entry)
         self._allocs.inc()
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "dirent:alloc", line=addr)
         return entry
 
     def _choose_victim(self, entries: List[DirEntry]) -> Optional[DirEntry]:
@@ -118,11 +131,12 @@ class Directory:
             return None
         return min(idle, key=lambda e: e.last_touch)
 
-    def get_or_allocate(self, addr: int) -> Optional[DirEntry]:
+    def get_or_allocate(self, addr: int,
+                        cycle: Optional[int] = None) -> Optional[DirEntry]:
         entry = self.lookup(addr)
         if entry is not None:
             return entry
-        return self.allocate(addr)
+        return self.allocate(addr, cycle)
 
     def drop(self, addr: int) -> None:
         """Remove the entry for ``addr`` (line no longer cached anywhere)."""

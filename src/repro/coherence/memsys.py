@@ -37,6 +37,7 @@ from ..mem.cacheline import CacheLine, State
 from ..mem.dram import DRAM
 from ..mem.mshr import MSHRFile
 from ..mem.prefetcher import StreamPrefetcher
+from ..observe.bus import NULL_PROBE
 from .directory import Directory
 from .msgs import ReqType, SnoopKind, SnoopReply, SnoopResult, Transaction
 
@@ -79,6 +80,7 @@ class MemorySystem:
                                            "lines relinquished by TUS")
         self.c_forwards = dstats.counter("c2c_forwards",
                                          "cache-to-cache data transfers")
+        self.probe = NULL_PROBE
 
     # ------------------------------------------------------------------
     # Shared-level transaction engine
@@ -104,15 +106,21 @@ class MemorySystem:
 
     def _at_directory(self, trans: Transaction, cycle: int,
                       on_done: Callable[[int], None]) -> None:
-        entry = self.directory.get_or_allocate(trans.addr)
+        entry = self.directory.get_or_allocate(trans.addr, cycle)
         if entry is None or entry.busy:
             self.c_retries.inc()
+            if self.probe:
+                self.probe.emit(cycle, "busy", line=trans.addr,
+                                requester=trans.requester)
             retry = cycle + BUSY_RETRY
             self.events.schedule(
                 retry, lambda: self._at_directory(trans, retry, on_done),
                 label=f"busy:{trans.addr:#x}", actor=trans.requester)
             return
         entry.busy = True
+        if self.probe:
+            self.probe.emit(cycle, f"dir:{trans.req.value.lower()}",
+                            line=trans.addr, requester=trans.requester)
         self._resolve_snoops(trans, entry, cycle, on_done)
 
     def _resolve_snoops(self, trans: Transaction, entry, cycle: int,
@@ -137,6 +145,10 @@ class MemorySystem:
                 self.c_delays.inc()
                 trans.polls += 1
                 trans.waiting_on = core_id
+                if self.probe:
+                    self.probe.emit(cycle, "poll", line=trans.addr,
+                                    requester=trans.requester,
+                                    target=core_id)
                 retry = cycle + POLL_INTERVAL
                 self.events.schedule(
                     retry,
@@ -144,6 +156,10 @@ class MemorySystem:
                     label=f"poll:{trans.addr:#x}", actor=trans.requester)
                 return
             trans.resolved.add(core_id)
+            if self.probe:
+                self.probe.emit(cycle, "snoop", line=trans.addr,
+                                kind=kind.value.lower(), target=core_id,
+                                result=reply.result.value)
             if kind == SnoopKind.INVALIDATE:
                 self.c_invalidations.inc()
             else:
@@ -186,12 +202,17 @@ class MemorySystem:
             self.c_forwards.inc()
             data_cycle = cycle + mem.l2.latency
             self.l3.record_write()
+            source = "c2c"
         elif self.l3.lookup(trans.addr, cycle=cycle) is not None:
             self.l3.record_read()
             data_cycle = cycle
+            source = "l3"
         else:
             data_cycle = self.dram.access(cycle)
             self._install_l3(trans.addr, cycle)
+            source = "dram"
+        if self.probe:
+            self.probe.emit(cycle, "data", line=trans.addr, source=source)
         if trans.req == ReqType.GETS:
             entry.sharers.add(trans.requester)
         else:
@@ -212,6 +233,10 @@ class MemorySystem:
     def _finish(self, trans: Transaction, entry, state: State, cycle: int,
                 on_done: Callable[[int], None]) -> None:
         """Install the fill at the requester, then release the line."""
+        if self.probe:
+            self.probe.emit(cycle, "fill", line=trans.addr,
+                            requester=trans.requester,
+                            latency=cycle - trans.issued_cycle)
         self.ports[trans.requester]._fill(trans.addr, state, cycle, on_done)
         entry.busy = False
         if trans in self.inflight:
@@ -272,6 +297,7 @@ class CorePort:
         #: every fill completion.
         self._pending: deque = deque()
         self._pending_writes: Dict[int, int] = {}
+        self.probe = NULL_PROBE
 
     # -- queries ----------------------------------------------------------
     def line(self, addr: int) -> Optional[CacheLine]:
@@ -453,6 +479,8 @@ class CorePort:
         line.prefetched = False
         self.l1d.policy.touch(line, cycle)
         self.l1d.record_write()
+        if self.probe:
+            self.probe.emit(cycle, "store:visible", lines=[line.addr])
         if self.visibility_hook is not None:
             self.visibility_hook([line.addr], cycle)
 

@@ -141,6 +141,13 @@ class StatGroup:
         for name, hist in self._histograms.items():
             out[path + name + ".mean"] = hist.mean
             out[path + name + ".count"] = hist.count
+            # The distribution itself, not just its first moment: one key
+            # per non-empty bucket, so sparse histograms stay compact.
+            for idx, bucket in enumerate(hist.buckets):
+                if bucket:
+                    out[path + name + f".bucket{idx}"] = bucket
+            if hist.overflow:
+                out[path + name + ".overflow"] = hist.overflow
         for group in self._children.values():
             out.update(group.flatten(path))
         return out

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..common.addr import lex_order, line_addr
+from ..observe.bus import NULL_PROBE
 from .woq import WOQEntry, WriteOrderingQueue
 
 
@@ -64,8 +65,9 @@ class AuthorizationUnit:
                  unsound_dependency_set: bool = False) -> None:
         self.woq = woq
         self.unsound_dependency_set = unsound_dependency_set
+        self.probe = NULL_PROBE
 
-    def check(self, addr: int) -> Decision:
+    def check(self, addr: int, cycle: Optional[int] = None) -> Decision:
         """Decide how to answer an external request for ``addr``.
 
         ``addr``'s line must currently be tracked by the WOQ (the caller
@@ -86,15 +88,23 @@ class AuthorizationUnit:
             # order that the entry's visibility depends on: those groups
             # complete without external help, so the request can safely
             # wait for us.
-            return Decision(delay=True)
-        if min_missing_lex is None:
+            decision = Decision(delay=True)
+        elif min_missing_lex is None:
             # The entry itself lacks permission but everything it
             # depends on is ready: nothing to relinquish beyond
             # acknowledging.
-            return Decision(delay=False, relinquish=[])
-        give_up = [e for e in deps
-                   if e.ready and lex_order(e.line) > min_missing_lex]
-        return Decision(delay=False, relinquish=give_up)
+            decision = Decision(delay=False, relinquish=[])
+        else:
+            give_up = [e for e in deps
+                       if e.ready and lex_order(e.line) > min_missing_lex]
+            decision = Decision(delay=False, relinquish=give_up)
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "auth:check", line=line,
+                            delay=decision.delay,
+                            relinquish=len(decision.relinquish),
+                            deps=len(deps))
+        return decision
 
     def _dependency_set(self, entry: WOQEntry) -> List[WOQEntry]:
         """Every entry whose readiness gates ``entry``'s visibility:

@@ -22,6 +22,7 @@ from ..common.stats import StatGroup
 from ..coherence.memsys import CorePort
 from ..coherence.msgs import SnoopKind, SnoopReply, SnoopResult
 from ..mem.cacheline import CacheLine, State
+from ..observe.bus import NULL_PROBE
 from .authorization import AuthorizationUnit, Decision
 from .woq import WOQEntry, WriteOrderingQueue
 
@@ -58,6 +59,7 @@ class TUSController:
         port.fill_hook = self._on_fill
         port.snoop_hook = self._on_snoop
         self._now = 0
+        self.probe = NULL_PROBE
 
     # ------------------------------------------------------------------
     # Write path (Figure 7, left side)
@@ -146,7 +148,7 @@ class TUSController:
         self._now = cycle
         merge_entry = self._oldest_merge_target(group)
         if merge_entry is not None:
-            self.woq.merge_to_tail(merge_entry)
+            self.woq.merge_to_tail(merge_entry, cycle)
             group_id = merge_entry.group
         else:
             group_id = self.woq.new_group_id()
@@ -176,11 +178,13 @@ class TUSController:
             line.write_mask |= mask
             self.port.l1d.record_write()
             self._c_unauth_writes.inc()
+            if self.probe:
+                self.probe.emit(cycle, "tus:write-unauth", line=addr)
             return
         if line is None:
             line = self.port.l1d.allocate(
                 addr, State.I, cycle, on_evict=self.port._evict_from_l1)
-        entry = self.woq.append(addr, mask, group_id)
+        entry = self.woq.append(addr, mask, group_id, cycle)
         line.write_mask |= mask
         line.not_visible = True
         self.port.l1d.record_write()
@@ -194,10 +198,14 @@ class TUSController:
             line.ready = True
             entry.ready = True
             self._c_auth_writes.inc()
+            if self.probe:
+                self.probe.emit(cycle, "tus:write-auth", line=addr)
             return
         # Unauthorized: request write permission; the fill hook combines.
         line.ready = False
         self._c_unauth_writes.inc()
+        if self.probe:
+            self.probe.emit(cycle, "tus:write-unauth", line=addr)
         self._request_permission(entry, cycle)
 
     # ------------------------------------------------------------------
@@ -230,6 +238,9 @@ class TUSController:
                         f"making {entry.line:#x} visible without permission")
                 line.state = State.M
                 published.append(entry.line)
+            if published and self.probe:
+                self.probe.emit(cycle, "woq:visible",
+                                lines=list(published))
             if published and self.port.visibility_hook is not None:
                 self.port.visibility_hook(published, cycle)
         self._reissue_deferred(cycle)
@@ -241,6 +252,8 @@ class TUSController:
         if target is None:
             return
         self._c_reissues.inc()
+        if self.probe:
+            self.probe.emit(cycle, "tus:reissue", line=target.line)
         target.deferred = False
         self._request_permission(target, cycle)
 
@@ -273,13 +286,16 @@ class TUSController:
         if entry is None:
             raise SimulationError(
                 f"snoop consulted TUS for untracked line {addr:#x}")
-        decision = self.auth.check(addr)
+        decision = self.auth.check(addr, cycle)
         # Freeze the group composition while the conflict resolves.
         for member in self.woq:
             if member.group == entry.group:
                 member.can_cycle = False
         if decision.delay:
             self._c_delayed.inc()
+            if self.probe:
+                self.probe.emit(cycle, "tus:delay", line=addr,
+                                requester=requester)
             return SnoopReply(SnoopResult.DELAY)
         relinquish = list(decision.relinquish)
         if entry.ready and entry not in relinquish:
@@ -287,7 +303,7 @@ class TUSController:
             # when the request cannot be delayed.
             relinquish.append(entry)
         for victim in relinquish:
-            self._relinquish(victim)
+            self._relinquish(victim, cycle)
         self._reissue_deferred(cycle)
         line = self.port.l1d.probe(addr)
         if entry in relinquish or not line.state.valid:
@@ -302,7 +318,8 @@ class TUSController:
         self.port.l2.invalidate(addr)
         return SnoopReply(SnoopResult.ACK)
 
-    def _relinquish(self, entry: WOQEntry) -> None:
+    def _relinquish(self, entry: WOQEntry,
+                    cycle: Optional[int] = None) -> None:
         line = self.port.l1d.probe(entry.line)
         if line is None:
             raise SimulationError(
@@ -314,6 +331,9 @@ class TUSController:
         line.state = State.I
         self.port.l2.invalidate(entry.line)
         self._c_relinquished.inc()
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else self._now,
+                            "tus:relinquish", line=entry.line)
 
     # ------------------------------------------------------------------
     @property

@@ -29,6 +29,7 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 from ..common.addr import line_addr
 from ..common.stats import StatGroup
+from ..observe.bus import NULL_PROBE
 
 
 class WOQEntry:
@@ -79,6 +80,7 @@ class WriteOrderingQueue:
             "full_stalls", "writes delayed because the WOQ was full")
         self._occupancy = stats.histogram(
             "occupancy", bucket_width=4, num_buckets=32)
+        self.probe = NULL_PROBE
 
     # -- capacity / lookup -----------------------------------------------
     def __len__(self) -> int:
@@ -116,8 +118,8 @@ class WriteOrderingQueue:
         self._next_group += 1
         return self._next_group - 1
 
-    def append(self, line: int, mask: int,
-               group: Optional[int] = None) -> WOQEntry:
+    def append(self, line: int, mask: int, group: Optional[int] = None,
+               cycle: Optional[int] = None) -> WOQEntry:
         """Allocate an entry at the tail; caller checks :meth:`room_for`.
 
         Each line starts as its own atomic group unless ``group`` places
@@ -134,9 +136,14 @@ class WriteOrderingQueue:
         self._by_line[line] = entry
         self._allocs.inc()
         self._occupancy.sample(len(self._entries))
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "woq:alloc", line=line, group=entry.group,
+                            occupancy=len(self._entries))
         return entry
 
-    def merge_to_tail(self, entry: WOQEntry) -> List[WOQEntry]:
+    def merge_to_tail(self, entry: WOQEntry,
+                      cycle: Optional[int] = None) -> List[WOQEntry]:
         """Cycle merge: make ``entry`` and everything younger one group.
 
         Copies ``entry``'s group id onto every entry between it and the
@@ -147,6 +154,10 @@ class WriteOrderingQueue:
         for other in affected:
             other.group = entry.group
         self._merges.inc()
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "woq:merge", group=entry.group,
+                            entries=len(affected))
         return affected
 
     def group_size_after_merge(self, entry: WOQEntry) -> int:

@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional
 from ..common.config import SystemConfig
 from ..common.stats import StatGroup
 from ..coherence.memsys import CorePort
+from ..observe.bus import NULL_PROBE
 from .isa import OpKind, UOp, exec_latency
 from .lsq import LoadQueue
 from .stall import StallAccount, StallReason
@@ -83,6 +84,7 @@ class Core:
             "loads serviced from WCB/TSOB structures")
         self.last_stall = StallReason.NONE
         self.finish_cycle: Optional[int] = None
+        self.probe = NULL_PROBE
         #: Cached next self-wake cycle (maintained by the system loop).
         self.wake_cycle: Optional[int] = None
 
@@ -105,12 +107,13 @@ class Core:
         if self.finish_cycle is None and self.is_done():
             self.finish_cycle = cycle
         if not progress and not self.is_done():
-            self.stalls.charge(self.last_stall, 1)
+            self.stalls.charge(self.last_stall, 1, cycle)
         return progress
 
-    def charge_skipped(self, cycles: int) -> None:
+    def charge_skipped(self, cycles: int,
+                       cycle: Optional[int] = None) -> None:
         """Charge fast-forwarded idle cycles to the current stall reason."""
-        self.stalls.charge(self.last_stall, cycles)
+        self.stalls.charge(self.last_stall, cycles, cycle)
 
     def next_wake(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this core can make progress on
@@ -146,6 +149,10 @@ class Core:
             self._inflight.pop(head.index, None)
             if head.uop.kind.is_store:
                 head.sb_entry.committed = True
+                if self.probe:
+                    self.probe.emit(cycle, "store:commit",
+                                    seq=head.sb_entry.seq,
+                                    line=head.sb_entry.line)
                 self.mechanism.on_store_commit(head.sb_entry, cycle)
             elif head.uop.kind.is_load:
                 self.lq.release()
@@ -194,7 +201,7 @@ class Core:
         if uop.kind.is_load:
             self.lq.insert()
         elif uop.kind.is_store:
-            entry.sb_entry = self.sb.insert(uop)
+            entry.sb_entry = self.sb.insert(uop, cycle)
         producer = self._producer_of(entry)
         if producer is not None and producer.complete_cycle is None:
             producer.dependents.append(entry)

@@ -14,6 +14,7 @@ import enum
 from typing import Dict, Optional
 
 from ..common.stats import StatGroup
+from ..observe.bus import NULL_PROBE
 
 
 class StallReason(enum.Enum):
@@ -38,13 +39,18 @@ class StallAccount:
         }
         self._total = stats.counter("stall_cycles", "total stalled cycles")
         self.current: StallReason = StallReason.NONE
+        self.probe = NULL_PROBE
 
-    def charge(self, reason: StallReason, cycles: int = 1) -> None:
+    def charge(self, reason: StallReason, cycles: int = 1,
+               cycle: Optional[int] = None) -> None:
         """Charge ``cycles`` of stall to ``reason``."""
         if reason == StallReason.NONE or cycles <= 0:
             return
         self._counters[reason].inc(cycles)
         self._total.inc(cycles)
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0, "stall",
+                            reason=reason.value, cycles=cycles)
 
     def cycles(self, reason: StallReason) -> int:
         return self._counters[reason].value

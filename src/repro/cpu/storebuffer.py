@@ -20,6 +20,7 @@ from typing import Deque, Dict, List, Optional
 from ..common.addr import line_addr
 from ..common.config import CoreConfig
 from ..common.stats import StatGroup
+from ..observe.bus import NULL_PROBE
 from .isa import UOp
 
 
@@ -61,6 +62,7 @@ class StoreBuffer:
         self._occupancy = stats.histogram(
             "occupancy", bucket_width=8, num_buckets=32,
             desc="entries at dispatch time")
+        self.probe = NULL_PROBE
 
     # -- capacity ---------------------------------------------------------
     def __len__(self) -> int:
@@ -75,7 +77,7 @@ class StoreBuffer:
         return not self._entries
 
     # -- lifecycle ----------------------------------------------------------
-    def insert(self, uop: UOp) -> SBEntry:
+    def insert(self, uop: UOp, cycle: Optional[int] = None) -> SBEntry:
         """Append a store at dispatch; caller must check :attr:`full`."""
         if self.full:
             raise OverflowError("store buffer overflow")
@@ -85,6 +87,10 @@ class StoreBuffer:
         self._by_line.setdefault(entry.line, []).append(entry)
         self._inserts.inc()
         self._occupancy.sample(len(self._entries))
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "store:dispatch", seq=entry.seq,
+                            line=entry.line, occupancy=len(self._entries))
         return entry
 
     def head(self) -> Optional[SBEntry]:
@@ -98,7 +104,7 @@ class StoreBuffer:
             return head
         return None
 
-    def pop_head(self) -> SBEntry:
+    def pop_head(self, cycle: Optional[int] = None) -> SBEntry:
         """Drain the head store (it has been handed to the memory path)."""
         entry = self._entries.popleft()
         bucket = self._by_line[entry.line]
@@ -106,6 +112,10 @@ class StoreBuffer:
         if not bucket:
             del self._by_line[entry.line]
         self._drains.inc()
+        if self.probe:
+            self.probe.emit(cycle if cycle is not None else 0,
+                            "store:sbexit", seq=entry.seq,
+                            line=entry.line, occupancy=len(self._entries))
         return entry
 
     # -- forwarding -----------------------------------------------------------

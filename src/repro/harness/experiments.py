@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..common.config import MECHANISMS, SB_SIZE_SWEEP, table_i
-from ..common.stats import geomean
 from ..energy.cam import sb_spec, woq_spec
 from ..workloads import benchmarks, sb_bound_benchmarks
-from .report import ExperimentResult
+from .report import ExperimentResult, safe_geomean
 from .runner import Runner
 
 #: Comparison mechanisms in the paper's plotting order.
@@ -60,7 +59,7 @@ def fig8(runner: Runner, benches: Optional[List[str]] = None,
             for mech in MECHS:
                 speedups = [runner.speedup(b, mech, sb, base_sb=114)
                             for b in suite_benches]
-                values[f"{mech}@{sb}"] = geomean(speedups)
+                values[f"{mech}@{sb}"] = safe_geomean(speedups)
         result.add_row(suite, values)
     return result
 
@@ -122,7 +121,7 @@ def _speedup_experiment(runner: Runner, base_sb: int, exp_id: str,
             m: runner.speedup(bench, m, base_sb, base_sb=base_sb)
             for m in MECHS})
     breakdown.add_summary("geomean", {
-        m: geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
+        m: safe_geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
                     for b in bound]) for m in MECHS})
     return {"scurve": scurve, "breakdown": breakdown}
 
@@ -158,7 +157,7 @@ def _edp_experiment(runner: Runner, base_sb: int, exp_id: str,
             m: runner.norm_edp(bench, m, base_sb, base_sb=base_sb)
             for m in MECHS})
     result.add_summary("geomean", {
-        m: geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
+        m: safe_geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
                     for b in bound]) for m in MECHS})
     return result
 
@@ -197,10 +196,10 @@ def _parsec_experiment(runner: Runner, base_sb: int, exp_id: str,
             m: runner.norm_edp(bench, m, base_sb, base_sb=base_sb)
             for m in MECHS})
     speed.add_summary("geomean", {
-        m: geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
+        m: safe_geomean([runner.speedup(b, m, base_sb, base_sb=base_sb)
                     for b in parsec]) for m in MECHS})
     edp.add_summary("geomean", {
-        m: geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
+        m: safe_geomean([runner.norm_edp(b, m, base_sb, base_sb=base_sb)
                     for b in parsec]) for m in MECHS})
     return {"speedup": speed, "edp": edp}
 
@@ -267,7 +266,7 @@ def l1d_writes(runner: Runner, benches: Optional[List[str]] = None,
                           .sum_stats("l1d.writes"))
             for m in MECHS})
     result.add_summary("geomean", {
-        m: geomean([result.rows[b][m] for b in result.rows])
+        m: safe_geomean([result.rows[b][m] for b in result.rows])
         for m in MECHS})
     return result
 
@@ -300,5 +299,5 @@ def dse(runner: Runner, benches: Optional[List[str]] = None
             point = runner.run(bench, "tus", 114, config=config,
                                tag=label if overrides else "")
             speedups.append(base.cycles / point.cycles)
-        result.add_row(label, {"speedup": geomean(speedups)})
+        result.add_row(label, {"speedup": safe_geomean(speedups)})
     return result

@@ -7,8 +7,60 @@ mechanism) and S-curves become sorted series.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from ..common.stats import geomean
+
+
+def safe_geomean(values: Sequence[float], label: str = "") -> float:
+    """Geometric mean that *skips* non-positive inputs with a warning.
+
+    A single zero-cycle run (empty trace, crashed point) would otherwise
+    crash an entire sweep's aggregate row; the report layer prefers a
+    geomean over the valid points plus a loud warning.  Returns 0.0 when
+    nothing valid remains.
+    """
+    valid = [v for v in values if v > 0]
+    skipped = len(values) - len(valid)
+    if skipped:
+        where = f" in {label}" if label else ""
+        warnings.warn(
+            f"geomean{where}: skipped {skipped} non-positive "
+            f"value(s) out of {len(values)}", RuntimeWarning,
+            stacklevel=2)
+    if not valid:
+        return 0.0
+    return geomean(valid)
+
+
+def render_histogram(stats: Dict[str, float], key: str,
+                     bucket_width: int = 1, width: int = 40) -> str:
+    """Render one flattened histogram (``key.bucket<N>`` keys from
+    :meth:`~repro.common.stats.StatGroup.flatten`) as a text bar chart."""
+    buckets: Dict[int, float] = {}
+    prefix = key + ".bucket"
+    for k, v in stats.items():
+        if k.startswith(prefix):
+            buckets[int(k[len(prefix):])] = v
+    overflow = stats.get(key + ".overflow", 0)
+    count = stats.get(key + ".count", 0)
+    mean = stats.get(key + ".mean", 0.0)
+    lines = [f"== {key} == n={count:.0f} mean={mean:.2f}"]
+    if not buckets and not overflow:
+        lines.append("  (empty)")
+        return "\n".join(lines)
+    peak = max(list(buckets.values()) + [overflow])
+    for idx in sorted(buckets):
+        lo = idx * bucket_width
+        bar = "#" * max(1, round(buckets[idx] / peak * width))
+        lines.append(f"  [{lo:>6}..{lo + bucket_width - 1:>6}] "
+                     f"{buckets[idx]:>8.0f} {bar}")
+    if overflow:
+        bar = "#" * max(1, round(overflow / peak * width))
+        lines.append(f"  [{'overflow':>14}] {overflow:>8.0f} {bar}")
+    return "\n".join(lines)
 
 
 @dataclass

@@ -17,6 +17,7 @@ from ..common.events import EventQueue
 from ..common.stats import StatGroup
 from ..coherence.memsys import CorePort
 from ..cpu.storebuffer import SBEntry, StoreBuffer
+from ..observe.bus import NULL_PROBE
 
 #: Invariants every mechanism must uphold on every reachable state
 #: (names resolved against :data:`repro.modelcheck.invariants.INVARIANTS`).
@@ -51,6 +52,7 @@ class StoreMechanism:
         self.sb = sb
         self.events = events
         self.stats = stats
+        self.probe = NULL_PROBE
 
     # -- hooks called by the core ------------------------------------------
     def on_store_commit(self, entry: SBEntry, cycle: int) -> None:
@@ -123,6 +125,8 @@ class PrefetchAtCommit(StoreMechanism):
             return
         if not self.port.is_writable(entry.line):
             self._prefetches.inc()
+            if self.probe:
+                self.probe.emit(cycle, "prefetch:commit", line=entry.line)
             # A committed store's write is non-speculative: the request
             # is demand-class (it may fill the whole MSHR file but is
             # never silently dropped in favour of the reserve).  If the

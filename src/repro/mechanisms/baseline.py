@@ -41,10 +41,12 @@ class BaselineMechanism(PrefetchAtCommit):
                 self.port.request_write(head.line, cycle)
                 self._waiting = head
             self._blocked.inc()
+            if self.probe:
+                self.probe.emit(cycle, "drain:blocked", line=head.line)
             return 0
         self._waiting = None
+        self.sb.pop_head(cycle)
         self.port.write_hit(head.line, cycle)
-        self.sb.pop_head()
         return 1
 
     # -- model-checker hooks -----------------------------------------------

@@ -53,11 +53,11 @@ class CSBMechanism(PrefetchAtCommit):
                 break
             result = self.wcb.insert(head.line, head.mask)
             if result == InsertResult.COALESCED:
-                self.sb.pop_head()
+                self.sb.pop_head(cycle)
                 progress += 1
                 budget -= 1
             elif result == InsertResult.ALLOCATED:
-                self.sb.pop_head()
+                self.sb.pop_head(cycle)
                 progress += 1
                 budget -= 2
             elif result == InsertResult.LEX_CONFLICT:
@@ -98,7 +98,11 @@ class CSBMechanism(PrefetchAtCommit):
                 if not self.port.write_request_outstanding(line):
                     self.port.request_write(line, cycle, self._flush_granted)
             return False
-        for group in self.wcb.drain_groups():
+        groups = self.wcb.drain_groups()
+        if self.probe:
+            self.probe.emit(cycle, "wcb:flush", groups=len(groups),
+                            lines=sum(len(g) for g in groups))
+        for group in groups:
             for entry in group:
                 self.port.write_hit(entry.addr, cycle)
             self._c_group_writes.inc()

@@ -50,6 +50,8 @@ class SPBMechanism(BaselineMechanism):
             return
         self._bursted_pages[page] = True
         self._c_bursts.inc()
+        if self.probe:
+            self.probe.emit(cycle, "spb:burst", page=page)
         for target in lines_in_page(page):
             if not self.port.is_writable(target):
                 self._c_burst_prefetches.inc()

@@ -44,7 +44,7 @@ class SSBMechanism(PrefetchAtCommit):
     DRAIN_AHEAD_LINES = 16
 
     def drain(self, cycle: int) -> int:
-        progress = self._fill_tsob()
+        progress = self._fill_tsob(cycle)
         progress += self._drain_tsob(cycle)
         self._prefetch_ahead(cycle)
         return progress
@@ -60,7 +60,7 @@ class SSBMechanism(PrefetchAtCommit):
             if not self.port.is_writable_private(line):
                 self.port.request_write(line, cycle, prefetch=True)
 
-    def _fill_tsob(self) -> int:
+    def _fill_tsob(self, cycle: int) -> int:
         moved = 0
         while moved < self.config.core.commit_width:
             if len(self._tsob) >= self.capacity:
@@ -68,7 +68,7 @@ class SSBMechanism(PrefetchAtCommit):
             head = self.sb.head_committed()
             if head is None:
                 break
-            self.sb.pop_head()
+            self.sb.pop_head(cycle)
             self._tsob.append((head.line, head.mask))
             self._tsob_lines[head.line] = (
                 self._tsob_lines.get(head.line, 0) | head.mask)
@@ -84,9 +84,13 @@ class SSBMechanism(PrefetchAtCommit):
         if not self.port.is_writable_private(line):
             self.port.request_write(line, cycle)
             self._c_blocked.inc()
+            if self.probe:
+                self.probe.emit(cycle, "drain:blocked", line=line)
             return 0
         self._tsob.popleft()
         self._remove_line_mask(line, mask)
+        if self.probe:
+            self.probe.emit(cycle, "tsob:drain", line=line)
         # SSB performs each write in the shared-side cache (the paper's
         # "store by store" L2 updates); the L1D copy is refreshed only
         # when it is still resident.

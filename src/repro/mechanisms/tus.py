@@ -45,11 +45,11 @@ class TUSMechanism(PrefetchAtCommit):
                 break
             result = self.wcb.insert(head.line, head.mask)
             if result == InsertResult.COALESCED:
-                self.sb.pop_head()
+                self.sb.pop_head(cycle)
                 progress += 1
                 budget -= 1
             elif result == InsertResult.ALLOCATED:
-                self.sb.pop_head()
+                self.sb.pop_head(cycle)
                 progress += 1
                 budget -= 2   # a fresh buffer allocation costs more
             elif result == InsertResult.LEX_CONFLICT:
@@ -88,6 +88,9 @@ class TUSMechanism(PrefetchAtCommit):
         if not self.controller.can_accept_all(groups):
             return False
         self.wcb.drain_groups()
+        if self.probe:
+            self.probe.emit(cycle, "wcb:flush", groups=len(groups),
+                            lines=sum(len(g) for g in groups))
         for group in groups:
             self.controller.write_group(group, cycle)
         return True

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..common.addr import line_addr
 from ..common.stats import StatGroup
+from ..observe.bus import NULL_PROBE
 
 
 class MSHREntry:
@@ -53,6 +54,7 @@ class MSHRFile:
         self._latency = stats.histogram("latency", bucket_width=16,
                                         num_buckets=64,
                                         desc="miss latency distribution")
+        self.probe = NULL_PROBE
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,10 +84,15 @@ class MSHRFile:
         limit = self.capacity - (self.demand_reserve if prefetch else 0)
         if len(self._entries) >= limit:
             self._full_events.inc()
+            if self.probe:
+                self.probe.emit(cycle, "mshr:full", line=addr)
             return None
         entry = MSHREntry(addr, is_write, cycle)
         self._entries[addr] = entry
         self._allocs.inc()
+        if self.probe:
+            self.probe.emit(cycle, "mshr:alloc", line=addr, write=is_write,
+                            occupancy=len(self._entries))
         return entry
 
     def complete(self, addr: int, cycle: int) -> List[Callable[[], None]]:
@@ -99,4 +106,8 @@ class MSHRFile:
         if entry is None:
             return []
         self._latency.sample(cycle - entry.issued_cycle)
+        if self.probe:
+            self.probe.emit(cycle, "mshr:complete", line=addr,
+                            latency=cycle - entry.issued_cycle,
+                            occupancy=len(self._entries))
         return list(entry.waiters)

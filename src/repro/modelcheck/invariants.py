@@ -125,7 +125,7 @@ def check_directory_backing(ctx: CheckContext) -> Optional[str]:
         for addr in _tracked_lines(system):
             if not _visible_state(port, addr).writable:
                 continue
-            entry = directory.probe(addr)
+            entry = directory.peek(addr)
             if entry is None:
                 return (f"core {cid} holds {addr:#x} writable but the "
                         f"directory does not track the line")

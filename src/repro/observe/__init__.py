@@ -1,0 +1,20 @@
+"""repro.observe: simulator-wide tracing and timeline export.
+
+Zero-overhead-when-disabled instrumentation: every component holds a
+falsy :data:`~repro.observe.bus.NULL_PROBE` until a :class:`Tracer` is
+attached, so untraced runs pay one attribute load plus a truth test per
+would-be event and allocate nothing.  See ``docs/observability.md``.
+"""
+
+from .bus import EVENTS, NULL_PROBE, NullProbe, Probe, TraceBus, TraceEvent
+from .lifecycle import LifecycleTracker, StoreRecord, VISIBILITY_EVENTS
+from .perfetto import ChromeTraceExporter, validate_chrome_trace
+from .sampler import IntervalSampler, Sample, post_sb_occupancy
+from .tracer import Tracer
+
+__all__ = [
+    "EVENTS", "NULL_PROBE", "NullProbe", "Probe", "TraceBus",
+    "TraceEvent", "LifecycleTracker", "StoreRecord", "VISIBILITY_EVENTS",
+    "ChromeTraceExporter", "validate_chrome_trace", "IntervalSampler",
+    "Sample", "post_sb_occupancy", "Tracer",
+]

@@ -1,0 +1,165 @@
+"""The instrumentation bus: zero-overhead-when-disabled event probes.
+
+Every instrumented component (core, SB, WOQ, TUS controller, memory
+system, MSHRs, directory, ...) holds a ``probe`` attribute that defaults
+to the module-level :data:`NULL_PROBE`.  Call sites guard emission with
+the probe's truthiness::
+
+    if self.probe:
+        self.probe.emit(cycle, "store:dispatch", seq=entry.seq, ...)
+
+``NULL_PROBE`` is falsy, so the disabled fast path is one attribute load
+plus a truth test — no event objects, no bus dispatch, no per-cycle
+branching anywhere in the simulator's run loop.  Attaching a
+:class:`~repro.observe.tracer.Tracer` swaps the probes for live ones
+bound to a :class:`TraceBus`; detaching restores ``NULL_PROBE``.
+
+This module is a dependency leaf: it imports nothing from the rest of
+the package, so any simulator layer may import it without cycles.
+
+Event vocabulary
+----------------
+
+Event names are short ``topic:action`` strings.  Coherence-transaction
+names deliberately reuse the :class:`~repro.common.events.EventQueue`
+label vocabulary (``dir:getx``, ``fill``, ``poll``, ``busy``) so a trace
+reads the same way as the model checker's human-readable schedules.
+:data:`EVENTS` documents every name the built-in instrumentation emits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+#: Every event name the built-in instrumentation emits, with the fields
+#: it carries.  The exporters treat unknown names generically, so
+#: downstream tools may add their own without touching this table.
+EVENTS: Dict[str, str] = {
+    # store lifecycle (per-store; `seq` is the SB sequence number)
+    "store:dispatch": "store entered the SB (seq, line, occupancy)",
+    "store:commit": "store retired from the ROB (seq, line)",
+    "store:sbexit": "store drained from the SB head (seq, line, occupancy)",
+    "store:visible": "lines became globally visible (lines)",
+    # dispatch stalls
+    "stall": "dispatch stalled (reason, cycles)",
+    # mechanism structures
+    "wcb:flush": "WCB groups flushed toward the L1D (groups, lines)",
+    "drain:blocked": "SB head blocked waiting for write permission (line)",
+    "tsob:drain": "SSB TSOB head drained one store (line)",
+    "spb:burst": "SPB issued a page burst (page)",
+    "prefetch:commit": "write-permission prefetch at commit (line)",
+    # WOQ / TUS controller
+    "woq:alloc": "WOQ entry allocated (line, group, occupancy)",
+    "woq:merge": "cycle merge unified groups (group, entries)",
+    "woq:visible": "head atomic group made visible (lines, group)",
+    "tus:write-unauth": "store written to L1D without permission (line)",
+    "tus:write-auth": "store written to a line with permission (line)",
+    "tus:delay": "external request answered DELAY (line, requester)",
+    "tus:relinquish": "line's write permission given up (line)",
+    "tus:reissue": "deferred GetX re-requested (line)",
+    "auth:check": "lex-order decision taken (line, delay, relinquish, deps)",
+    # coherence transactions (names shared with EventQueue labels)
+    "dir:gets": "GetS reached the directory (line, requester)",
+    "dir:getx": "GetX reached the directory (line, requester)",
+    "dir:upgrade": "Upgrade reached the directory (line, requester)",
+    "busy": "directory entry busy; transaction retried (line, requester)",
+    "poll": "DELAY re-poll scheduled (line, requester, target)",
+    "snoop": "remote cache snooped (line, kind, target, result)",
+    "data": "data supplied (line, source: c2c|l3|dram)",
+    "fill": "fill installed at the requester (line, requester, latency)",
+    # directory bookkeeping
+    "dirent:alloc": "directory entry allocated (line)",
+    "dirent:evict": "directory entry evicted for capacity (line)",
+    "dirent:conflict": "directory set full of busy lines (line)",
+    # MSHRs
+    "mshr:alloc": "MSHR allocated (line, write, occupancy)",
+    "mshr:full": "MSHR allocation refused (line)",
+    "mshr:complete": "MSHR retired (line, latency, occupancy)",
+    # run phases
+    "measure:begin": "warmup ended; statistics reset",
+}
+
+
+class TraceEvent:
+    """One emitted event: (cycle, name, source, core, payload)."""
+
+    __slots__ = ("cycle", "name", "source", "core", "args")
+
+    def __init__(self, cycle: int, name: str, source: str,
+                 core: Optional[int], args: Dict) -> None:
+        self.cycle = cycle
+        self.name = name
+        self.source = source
+        self.core = core
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.source if self.core is None else \
+            f"{self.source}@c{self.core}"
+        return f"TraceEvent({self.cycle} {self.name} {where} {self.args})"
+
+
+class NullProbe:
+    """The disabled probe: falsy, and ``emit`` is a no-op.
+
+    A single module-level instance (:data:`NULL_PROBE`) is shared by
+    every component so the disabled state allocates nothing.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, cycle: int, name: str, **args) -> None:
+        """No-op; exists so unguarded calls still work."""
+
+
+#: The shared disabled probe every instrumented component starts with.
+NULL_PROBE = NullProbe()
+
+
+class Probe:
+    """A live probe bound to one source component on one bus."""
+
+    __slots__ = ("_bus", "source", "core")
+    enabled = True
+
+    def __init__(self, bus: "TraceBus", source: str,
+                 core: Optional[int] = None) -> None:
+        self._bus = bus
+        self.source = source
+        self.core = core
+
+    def __bool__(self) -> bool:
+        return True
+
+    def emit(self, cycle: int, name: str, **args) -> None:
+        self._bus.publish(TraceEvent(cycle, name, self.source,
+                                     self.core, args))
+
+
+class TraceBus:
+    """Fan-out hub: probes publish, subscribers consume synchronously.
+
+    Subscribers are plain callables taking one :class:`TraceEvent`; they
+    run in subscription order on the emitting call stack, so they must
+    never mutate simulator state.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+        self.published = 0
+
+    def probe(self, source: str, core: Optional[int] = None) -> Probe:
+        """Create a live probe bound to this bus."""
+        return Probe(self, source, core)
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        self._subscribers.append(fn)
+
+    def publish(self, event: TraceEvent) -> None:
+        self.published += 1
+        for fn in self._subscribers:
+            fn(event)

@@ -1,0 +1,175 @@
+"""The store-lifecycle tracker.
+
+Stitches per-store bus events into the journey the paper's Figure 4
+describes: dispatch (SB allocation) -> commit -> SB exit -> global
+visibility, with the unauthorized-residency window (TUS) tracked per
+cache line.  The output is a set of latency histograms plus the raw
+per-store records, which the Perfetto exporter turns into timeline
+slices and flow arrows.
+
+The segment histograms are *exactly* consistent by construction: for
+every completed store,
+
+    (commit - dispatch) + (sbexit - commit) + (visible - sbexit)
+        == visible - dispatch
+
+so ``segment_total() == total_latency()`` on any trace — the internal
+reconciliation :meth:`~repro.observe.tracer.Tracer.reconcile` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.stats import StatGroup
+from .bus import TraceBus, TraceEvent
+
+#: Event names that mean "these lines just became globally visible at
+#: this core".  ``store:visible`` covers the write-hit paths (baseline,
+#: SPB, CSB group writes, SSB L1-resident drains), ``woq:visible`` the
+#: TUS visibility pops, and ``tsob:drain`` the SSB L2-only drains.
+#: Completion removes the pending record, so overlapping names for the
+#: same line are harmless no-ops.
+VISIBILITY_EVENTS = ("store:visible", "woq:visible", "tsob:drain")
+
+
+class StoreRecord:
+    """One store's timestamps (cycles), filled in as events arrive."""
+
+    __slots__ = ("core", "seq", "line", "dispatch", "commit", "sbexit",
+                 "visible")
+
+    def __init__(self, core: int, seq: int, line: int,
+                 dispatch: int) -> None:
+        self.core = core
+        self.seq = seq
+        self.line = line
+        self.dispatch = dispatch
+        self.commit: Optional[int] = None
+        self.sbexit: Optional[int] = None
+        self.visible: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return (self.commit is not None and self.sbexit is not None
+                and self.visible is not None)
+
+
+class LifecycleTracker:
+    """Subscribes to a :class:`TraceBus` and aggregates store journeys."""
+
+    def __init__(self, bucket_width: int = 16, num_buckets: int = 64,
+                 keep_records: bool = True) -> None:
+        self.stats = StatGroup("lifecycle")
+        kw = dict(bucket_width=bucket_width, num_buckets=num_buckets)
+        self.h_commit = self.stats.histogram(
+            "dispatch_to_commit", desc="cycles from dispatch to retire",
+            **kw)
+        self.h_sb = self.stats.histogram(
+            "commit_to_sbexit", desc="cycles committed in the SB", **kw)
+        self.h_post = self.stats.histogram(
+            "sbexit_to_visible",
+            desc="cycles between SB exit and global visibility", **kw)
+        self.h_total = self.stats.histogram(
+            "dispatch_to_visible", desc="full store lifecycle", **kw)
+        self.h_unauth = self.stats.histogram(
+            "unauthorized_residency",
+            desc="cycles a line held unauthorized data (TUS)", **kw)
+        self.keep_records = keep_records
+        self.completed: List[StoreRecord] = []
+        #: (core, seq) -> in-flight record.
+        self._open: Dict[Tuple[int, int], StoreRecord] = {}
+        #: (core, line) -> records drained from the SB, awaiting visibility.
+        self._awaiting: Dict[Tuple[int, int], List[StoreRecord]] = {}
+        #: (core, line) -> cycle the line first went unauthorized.
+        self._unauth_since: Dict[Tuple[int, int], int] = {}
+        self.dropped = 0   # events for stores we never saw dispatch
+
+    def attach(self, bus: TraceBus) -> None:
+        bus.subscribe(self.on_event)
+
+    # ------------------------------------------------------------------
+    def on_event(self, ev: TraceEvent) -> None:
+        name = ev.name
+        if name == "store:dispatch":
+            key = (ev.core, ev.args["seq"])
+            self._open[key] = StoreRecord(ev.core, ev.args["seq"],
+                                          ev.args["line"], ev.cycle)
+        elif name == "store:commit":
+            record = self._open.get((ev.core, ev.args["seq"]))
+            if record is None:
+                self.dropped += 1
+                return
+            record.commit = ev.cycle
+        elif name == "store:sbexit":
+            record = self._open.pop((ev.core, ev.args["seq"]), None)
+            if record is None:
+                self.dropped += 1
+                return
+            record.sbexit = ev.cycle
+            self._awaiting.setdefault(
+                (ev.core, record.line), []).append(record)
+        elif name == "tus:write-unauth":
+            self._unauth_since.setdefault((ev.core, ev.args["line"]),
+                                          ev.cycle)
+        elif name in VISIBILITY_EVENTS:
+            lines = ev.args.get("lines")
+            if lines is None:
+                lines = (ev.args["line"],)
+            for line in lines:
+                self._complete_line(ev.core, line, ev.cycle)
+
+    def _complete_line(self, core: int, line: int, cycle: int) -> None:
+        since = self._unauth_since.pop((core, line), None)
+        if since is not None:
+            self.h_unauth.sample(cycle - since)
+        records = self._awaiting.pop((core, line), None)
+        if not records:
+            return
+        for record in records:
+            record.visible = cycle
+            self._sample(record)
+
+    def _sample(self, record: StoreRecord) -> None:
+        commit = record.commit if record.commit is not None \
+            else record.sbexit
+        self.h_commit.sample(commit - record.dispatch)
+        self.h_sb.sample(record.sbexit - commit)
+        self.h_post.sample(record.visible - record.sbexit)
+        self.h_total.sample(record.visible - record.dispatch)
+        if self.keep_records:
+            self.completed.append(record)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget aggregated history (measurement-region begin); stores
+        currently in flight keep their timestamps and complete normally."""
+        self.stats.reset()
+        self.completed = []
+        self.dropped = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Stores seen dispatching but not yet visible."""
+        return len(self._open) + sum(
+            len(records) for records in self._awaiting.values())
+
+    def segment_total(self) -> int:
+        """Summed cycles over the three lifecycle segments."""
+        return (self.h_commit.total + self.h_sb.total + self.h_post.total)
+
+    def total_latency(self) -> int:
+        """Summed dispatch-to-visible cycles (must equal
+        :meth:`segment_total`)."""
+        return self.h_total.total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Mean cycles per segment, for the text summary."""
+        return {
+            "stores": self.h_total.count,
+            "dispatch_to_commit": self.h_commit.mean,
+            "commit_to_sbexit": self.h_sb.mean,
+            "sbexit_to_visible": self.h_post.mean,
+            "dispatch_to_visible": self.h_total.mean,
+            "unauthorized_residency": self.h_unauth.mean,
+        }

@@ -1,0 +1,258 @@
+"""Chrome-trace-event / Perfetto JSON export.
+
+Turns one traced run into a ``{"traceEvents": [...]}`` document that
+loads directly in ``ui.perfetto.dev`` (or ``chrome://tracing``):
+
+* one *process* per core plus one for the shared memory system;
+* per-store lifecycle slices (``in-SB``, ``post-SB``) as async events,
+  so overlapping stores need no artificial nesting;
+* *flow arrows* stitching one store across SB exit -> unauthorized L1D
+  write (WOQ) -> global visibility -> the directory transaction that
+  granted the permission;
+* coherence transactions as complete (``X``) slices on the memory
+  system process, one thread per requesting core;
+* counter (``C``) tracks from the interval sampler: SB / post-SB / MSHR
+  occupancy and per-interval stall attribution;
+* instant (``i``) marks for TUS delays, relinquishes and MSHR-full
+  refusals.
+
+Cycle numbers are emitted directly as the microsecond ``ts`` field —
+1 cycle renders as 1us, which keeps the timeline integer-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bus import TraceEvent
+from .lifecycle import StoreRecord
+
+#: Process id hosting the coherence/directory tracks.
+PID_MEMSYS = 1000
+#: Thread ids inside a core's process.
+TID_PIPE = 1      # dispatch/commit side (store slices start here)
+TID_SB = 2        # store-buffer residency slices
+TID_POSTSB = 3    # WCB/WOQ/TSOB residency slices
+
+#: ph values this exporter emits (the validator accepts exactly these).
+_PHASES = ("M", "b", "e", "X", "C", "i", "s", "t", "f")
+
+_TXN_STARTS = ("dir:getx", "dir:gets", "dir:upgrade")
+_INSTANTS = ("tus:delay", "tus:relinquish", "tus:reissue", "mshr:full",
+             "dirent:evict", "dirent:conflict", "busy")
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None,
+          tname: Optional[str] = None) -> List[Dict]:
+    out = [{"ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": name}}]
+    if tid is not None:
+        out.append({"ph": "M", "pid": pid, "tid": tid, "ts": 0,
+                    "name": "thread_name", "args": {"name": tname}})
+    return out
+
+
+class ChromeTraceExporter:
+    """Builds the trace document from a finished run's artifacts."""
+
+    def __init__(self, num_cores: int, workload: str = "",
+                 mechanism: str = "") -> None:
+        self.num_cores = num_cores
+        self.workload = workload
+        self.mechanism = mechanism
+
+    # ------------------------------------------------------------------
+    def export(self, events: Sequence[TraceEvent],
+               records: Sequence[StoreRecord],
+               samples: Sequence = ()) -> Dict:
+        out: List[Dict] = []
+        self._emit_metadata(out)
+        unauth, txns = self._index(events)
+        for record in records:
+            self._emit_store(out, record, unauth, txns)
+        self._emit_transactions(out, events)
+        self._emit_counters(out, samples)
+        self._emit_instants(out, events)
+        return {
+            "traceEvents": out,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "workload": self.workload,
+                "mechanism": self.mechanism,
+                "generator": "repro.observe",
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def _emit_metadata(self, out: List[Dict]) -> None:
+        for core in range(self.num_cores):
+            out.extend(_meta(core + 1, f"core{core}"))
+            out.extend(_meta(core + 1, f"core{core}", TID_PIPE, "pipeline"))
+            out.extend(_meta(core + 1, f"core{core}", TID_SB,
+                             "store buffer"))
+            out.extend(_meta(core + 1, f"core{core}", TID_POSTSB,
+                             "post-SB (WCB/WOQ/TSOB)"))
+        out.extend(_meta(PID_MEMSYS, "memsys+directory"))
+        for core in range(self.num_cores):
+            out.extend(_meta(PID_MEMSYS, "memsys+directory", core + 1,
+                             f"requests core{core}"))
+
+    @staticmethod
+    def _index(events: Sequence[TraceEvent]
+               ) -> Tuple[Dict, Dict]:
+        """Index unauthorized writes and transaction starts by
+        (core, line) for the per-store flow stitching."""
+        unauth: Dict[Tuple[int, int], List[int]] = {}
+        txns: Dict[Tuple[int, int], List[int]] = {}
+        for ev in events:
+            if ev.name == "tus:write-unauth":
+                unauth.setdefault((ev.core, ev.args["line"]),
+                                  []).append(ev.cycle)
+            elif ev.name in _TXN_STARTS:
+                txns.setdefault((ev.args["requester"], ev.args["line"]),
+                                []).append(ev.cycle)
+        return unauth, txns
+
+    @staticmethod
+    def _first_in(cycles: Optional[List[int]], lo: int,
+                  hi: int) -> Optional[int]:
+        if not cycles:
+            return None
+        for cycle in cycles:
+            if lo <= cycle <= hi:
+                return cycle
+        return None
+
+    def _emit_store(self, out: List[Dict], record: StoreRecord,
+                    unauth: Dict, txns: Dict) -> None:
+        pid = record.core + 1
+        uid = f"s{record.core}.{record.seq}"
+        line = f"{record.line:#x}"
+        args = {"seq": record.seq, "line": line}
+        # Async lifecycle slices (overlap-safe).
+        out.append({"ph": "b", "cat": "store", "id": uid, "pid": pid,
+                    "tid": TID_SB, "ts": record.dispatch, "name": "in-SB",
+                    "args": args})
+        out.append({"ph": "e", "cat": "store", "id": uid, "pid": pid,
+                    "tid": TID_SB, "ts": record.sbexit, "name": "in-SB"})
+        if record.visible > record.sbexit:
+            out.append({"ph": "b", "cat": "store", "id": uid, "pid": pid,
+                        "tid": TID_POSTSB, "ts": record.sbexit,
+                        "name": "post-SB", "args": args})
+            out.append({"ph": "e", "cat": "store", "id": uid, "pid": pid,
+                        "tid": TID_POSTSB, "ts": record.visible,
+                        "name": "post-SB"})
+        # Flow arrows: SB exit -> unauthorized write -> visibility ->
+        # the directory transaction that resolved the line.
+        steps = [(pid, TID_SB, record.sbexit)]
+        hit = self._first_in(unauth.get((record.core, record.line)),
+                             record.sbexit, record.visible)
+        if hit is not None:
+            steps.append((pid, TID_POSTSB, hit))
+        txn = self._first_in(txns.get((record.core, record.line)),
+                             record.dispatch, record.visible)
+        if txn is not None:
+            steps.append((PID_MEMSYS, pid, txn))
+        steps.append((pid, TID_POSTSB if record.visible > record.sbexit
+                      else TID_SB, record.visible))
+        steps.sort(key=lambda s: s[2])
+        for index, (spid, stid, ts) in enumerate(steps):
+            ph = "s" if index == 0 else (
+                "f" if index == len(steps) - 1 else "t")
+            step = {"ph": ph, "cat": "store-flow", "id": uid,
+                    "pid": spid, "tid": stid, "ts": ts, "name": "store"}
+            if ph == "f":
+                step["bp"] = "e"
+            out.append(step)
+
+    def _emit_transactions(self, out: List[Dict],
+                           events: Sequence[TraceEvent]) -> None:
+        """Match ``dir:*`` starts to their ``fill`` and emit X slices."""
+        open_txns: Dict[Tuple[int, int], List[TraceEvent]] = {}
+        for ev in events:
+            if ev.name in _TXN_STARTS:
+                key = (ev.args["requester"], ev.args["line"])
+                open_txns.setdefault(key, []).append(ev)
+            elif ev.name == "fill":
+                key = (ev.args["requester"], ev.args["line"])
+                pending = open_txns.get(key)
+                if not pending:
+                    continue
+                start = pending.pop(0)
+                out.append({
+                    "ph": "X", "pid": PID_MEMSYS,
+                    "tid": start.args["requester"] + 1,
+                    "ts": start.cycle,
+                    "dur": max(1, ev.cycle - start.cycle),
+                    "cat": "coherence",
+                    "name": f"{start.name} {start.args['line']:#x}",
+                    "args": {"line": f"{start.args['line']:#x}",
+                             "requester": start.args["requester"]},
+                })
+
+    def _emit_counters(self, out: List[Dict], samples: Sequence) -> None:
+        for sample in samples:
+            for core in range(self.num_cores):
+                pid = core + 1
+                out.append({"ph": "C", "pid": pid, "tid": 0,
+                            "ts": sample.cycle, "name": "sb_occupancy",
+                            "args": {"entries": sample.sb_occ[core]}})
+                out.append({"ph": "C", "pid": pid, "tid": 0,
+                            "ts": sample.cycle,
+                            "name": "post_sb_occupancy",
+                            "args": {"entries": sample.post_sb_occ[core]}})
+                out.append({"ph": "C", "pid": pid, "tid": 0,
+                            "ts": sample.cycle, "name": "mshr_occupancy",
+                            "args": {"entries": sample.mshr_occ[core]}})
+            if sample.stalls:
+                out.append({"ph": "C", "pid": PID_MEMSYS, "tid": 0,
+                            "ts": sample.cycle, "name": "stall_cycles",
+                            "args": {reason: cycles for reason, cycles
+                                     in sorted(sample.stalls.items())}})
+
+    def _emit_instants(self, out: List[Dict],
+                       events: Sequence[TraceEvent]) -> None:
+        for ev in events:
+            if ev.name not in _INSTANTS:
+                continue
+            pid = PID_MEMSYS if ev.core is None else ev.core + 1
+            args = {k: (f"{v:#x}" if k in ("line", "page") else v)
+                    for k, v in ev.args.items()}
+            out.append({"ph": "i", "s": "t", "pid": pid,
+                        "tid": TID_POSTSB if ev.core is not None else 0,
+                        "ts": ev.cycle, "cat": "protocol",
+                        "name": ev.name, "args": args})
+
+
+def validate_chrome_trace(doc: Dict) -> List[str]:
+    """Structural validation of an exported document.
+
+    Returns a list of problems (empty when the document is a valid
+    Chrome trace-event JSON as far as the keys Perfetto requires go:
+    ``ph``/``ts``/``pid``/``tid`` on every event, known phase codes,
+    ``dur`` on X slices, balanced async begin/end pairs).
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    open_async: Dict[Tuple, int] = {}
+    for index, ev in enumerate(events):
+        for key in ("ph", "pid", "tid", "name", "ts"):
+            if key not in ev:
+                problems.append(f"event {index}: missing {key!r}")
+                break
+        else:
+            ph = ev["ph"]
+            if ph not in _PHASES:
+                problems.append(f"event {index}: unknown ph {ph!r}")
+            elif ph == "X" and "dur" not in ev:
+                problems.append(f"event {index}: X slice without dur")
+            elif ph in ("b", "e"):
+                key = (ev.get("cat"), ev.get("id"), ev["name"])
+                open_async[key] = open_async.get(key, 0) + \
+                    (1 if ph == "b" else -1)
+    for key, depth in open_async.items():
+        if depth != 0:
+            problems.append(f"unbalanced async slice {key}")
+    return problems

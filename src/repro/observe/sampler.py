@@ -1,0 +1,135 @@
+"""Interval time-series sampling of simulator occupancies and stalls.
+
+Produces a time-series of SB / post-SB (WCB+WOQ / TSOB) / MSHR
+occupancy per core, plus per-interval dispatch-stall attribution, by
+piggybacking on the trace bus: whenever an emitted event crosses an
+interval boundary a sample row is recorded.  The simulator's
+event-driven fast-forward means wall-quiet stretches produce no rows —
+the stall cycles charged across them land in the row that closes the
+gap, so the *sums* stay exact even though row spacing is irregular.
+
+Stall attribution consumes the ``stall`` events the
+:class:`~repro.cpu.stall.StallAccount` probes emit; summed over all
+rows (plus the final flush) it equals the end-of-run stall-taxonomy
+counters exactly — the reconciliation
+:meth:`~repro.observe.tracer.Tracer.reconcile` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .bus import TraceBus, TraceEvent
+
+
+class Sample:
+    """One time-series row."""
+
+    __slots__ = ("cycle", "sb_occ", "post_sb_occ", "mshr_occ", "stalls")
+
+    def __init__(self, cycle: int, sb_occ: Tuple[int, ...],
+                 post_sb_occ: Tuple[int, ...], mshr_occ: Tuple[int, ...],
+                 stalls: Dict[str, int]) -> None:
+        self.cycle = cycle
+        self.sb_occ = sb_occ
+        self.post_sb_occ = post_sb_occ
+        self.mshr_occ = mshr_occ
+        self.stalls = stalls
+
+    def to_dict(self) -> Dict:
+        return {"cycle": self.cycle, "sb": list(self.sb_occ),
+                "post_sb": list(self.post_sb_occ),
+                "mshr": list(self.mshr_occ),
+                "stalls": dict(sorted(self.stalls.items()))}
+
+
+def post_sb_occupancy(mechanism) -> int:
+    """Entries held by a mechanism's post-SB structures (duck-typed:
+    WCB file and/or WOQ for TUS/CSB, the TSOB for SSB, 0 for baseline
+    and SPB, which have none)."""
+    occupancy = 0
+    wcb = getattr(mechanism, "wcb", None)
+    if wcb is not None:
+        occupancy += len(wcb)
+    controller = getattr(mechanism, "controller", None)
+    if controller is not None:
+        occupancy += len(controller.woq)
+    tsob = getattr(mechanism, "_tsob", None)
+    if tsob is not None:
+        occupancy += len(tsob)
+    return occupancy
+
+
+class IntervalSampler:
+    """Record occupancy/stall rows roughly every ``interval`` cycles."""
+
+    def __init__(self, system, interval: int = 1000) -> None:
+        if interval < 1:
+            raise ValueError("sampling interval must be positive")
+        self.system = system
+        self.interval = interval
+        self.samples: List[Sample] = []
+        self._pending_stalls: Dict[str, int] = {}
+        self._next_boundary = interval
+        self._finalized = False
+
+    def attach(self, bus: TraceBus) -> None:
+        bus.subscribe(self.on_event)
+
+    # ------------------------------------------------------------------
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.name == "stall":
+            reason = ev.args["reason"]
+            self._pending_stalls[reason] = (
+                self._pending_stalls.get(reason, 0) + ev.args["cycles"])
+        elif ev.name == "measure:begin":
+            self.reset(ev.cycle)
+            return
+        if ev.cycle >= self._next_boundary:
+            self._record(ev.cycle)
+            self._next_boundary = (
+                ev.cycle - ev.cycle % self.interval + self.interval)
+
+    def _record(self, cycle: int) -> None:
+        cores = self.system.cores
+        ports = self.system.memsys.ports
+        self.samples.append(Sample(
+            cycle,
+            tuple(len(core.sb) for core in cores),
+            tuple(post_sb_occupancy(core.mechanism) for core in cores),
+            tuple(len(port.mshrs) for port in ports),
+            dict(self._pending_stalls)))
+        self._pending_stalls = {}
+
+    def reset(self, cycle: int) -> None:
+        """Discard warmup-region rows (statistics were just reset)."""
+        self.samples = []
+        self._pending_stalls = {}
+        self._next_boundary = cycle - cycle % self.interval + self.interval
+
+    def finalize(self, end_cycle: Optional[int] = None) -> None:
+        """Flush the last partial interval (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        cycle = end_cycle if end_cycle is not None else self.system.cycle
+        self._record(cycle)
+
+    # ------------------------------------------------------------------
+    def stall_totals(self) -> Dict[str, int]:
+        """Stall cycles per reason summed over every recorded row."""
+        totals: Dict[str, int] = {}
+        for sample in self.samples:
+            for reason, cycles in sample.stalls.items():
+                totals[reason] = totals.get(reason, 0) + cycles
+        for reason, cycles in self._pending_stalls.items():
+            totals[reason] = totals.get(reason, 0) + cycles
+        return totals
+
+    def peak(self, series: str) -> int:
+        """Peak summed-over-cores occupancy of ``series``
+        (``sb``/``post_sb``/``mshr``)."""
+        attr = {"sb": "sb_occ", "post_sb": "post_sb_occ",
+                "mshr": "mshr_occ"}[series]
+        return max((sum(getattr(s, attr)) for s in self.samples),
+                   default=0)

@@ -1,0 +1,165 @@
+"""The tracer: probe attachment, event log, summaries, reconciliation.
+
+:class:`Tracer` is the one-stop orchestrator: point it at a built
+:class:`~repro.sim.system.System` *before* running, and it
+
+* swaps every component's ``NULL_PROBE`` for a live probe on one
+  :class:`~repro.observe.bus.TraceBus` (``detach()`` restores them);
+* keeps the raw event log (optionally capped);
+* feeds a :class:`~repro.observe.lifecycle.LifecycleTracker` and an
+  :class:`~repro.observe.sampler.IntervalSampler`;
+* renders the Chrome-trace document and a human text summary;
+* cross-checks the derived views against the simulator's own counters
+  (:meth:`reconcile`).
+
+The system is accessed duck-typed (``cores``, ``memsys``, ``cycle``)
+so this module needs no simulator imports and the low-level modules can
+import :mod:`repro.observe.bus` without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .bus import NULL_PROBE, TraceBus, TraceEvent
+from .lifecycle import LifecycleTracker
+from .perfetto import ChromeTraceExporter
+from .sampler import IntervalSampler
+
+
+class Tracer:
+    """Attach/detach live probes over a system and collect its events."""
+
+    def __init__(self, system, interval: int = 1000,
+                 max_events: Optional[int] = None,
+                 keep_records: bool = True) -> None:
+        self.system = system
+        self.bus = TraceBus()
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.truncated = 0
+        self.lifecycle = LifecycleTracker(keep_records=keep_records)
+        self.lifecycle.attach(self.bus)
+        self.sampler = IntervalSampler(system, interval=interval)
+        self.sampler.attach(self.bus)
+        self.bus.subscribe(self._log)
+        self._probed: List[object] = []
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def _log(self, ev: TraceEvent) -> None:
+        if ev.name == "measure:begin":
+            self.events = []
+            self.truncated = 0
+            self.lifecycle.reset()
+            return
+        if self.max_events is not None and \
+                len(self.events) >= self.max_events:
+            self.truncated += 1
+            return
+        self.events.append(ev)
+
+    def _probe(self, component, source: str,
+               core: Optional[int] = None) -> None:
+        if component is None:
+            return
+        component.probe = self.bus.probe(source, core)
+        self._probed.append(component)
+
+    def attach(self) -> "Tracer":
+        """Install live probes on every instrumented component."""
+        if self._attached:
+            return self
+        self._attached = True
+        system = self.system
+        self._probe(system, "system")
+        for cid, core in enumerate(system.cores):
+            self._probe(core, "core", cid)
+            self._probe(core.sb, "sb", cid)
+            self._probe(core.stalls, "stalls", cid)
+            mech = core.mechanism
+            self._probe(mech, "mech", cid)
+            controller = getattr(mech, "controller", None)
+            if controller is not None:
+                self._probe(controller, "tus", cid)
+                self._probe(controller.woq, "woq", cid)
+        memsys = system.memsys
+        self._probe(memsys, "memsys")
+        self._probe(getattr(memsys, "directory", None), "directory")
+        for cid, port in enumerate(memsys.ports):
+            self._probe(port, "port", cid)
+            self._probe(getattr(port, "mshrs", None), "mshr", cid)
+        return self
+
+    def detach(self) -> None:
+        """Restore every probed component to the shared null probe."""
+        for component in self._probed:
+            component.probe = NULL_PROBE
+        self._probed = []
+        self._attached = False
+
+    def finalize(self) -> None:
+        """Flush the sampler's last partial interval (idempotent)."""
+        self.sampler.finalize(self.system.cycle)
+
+    # ------------------------------------------------------------------
+    def chrome_trace(self, workload: str = "",
+                     mechanism: str = "") -> Dict:
+        """Export everything collected as a Chrome trace-event document."""
+        self.finalize()
+        exporter = ChromeTraceExporter(len(self.system.cores),
+                                       workload=workload,
+                                       mechanism=mechanism)
+        return exporter.export(self.events, self.lifecycle.completed,
+                               self.sampler.samples)
+
+    def reconcile(self) -> Dict[str, bool]:
+        """Cross-check derived views against the simulator's counters.
+
+        * ``lifecycle``: the three segment histograms sum exactly to the
+          dispatch-to-visible histogram (consistency of the stitching);
+        * ``stalls``: the sampler's per-interval stall attribution sums
+          exactly to every core's :class:`StallAccount` taxonomy — both
+          are driven by the same ``charge`` calls and both reset at
+          ``measure:begin``, so any divergence means lost events.
+        """
+        self.finalize()
+        lifecycle_ok = (self.lifecycle.segment_total()
+                        == self.lifecycle.total_latency())
+        taxonomy: Dict[str, int] = {}
+        for core in self.system.cores:
+            for reason, cycles in core.stalls.breakdown().items():
+                if cycles:
+                    taxonomy[reason] = taxonomy.get(reason, 0) + cycles
+        stalls_ok = self.sampler.stall_totals() == taxonomy
+        return {"lifecycle": lifecycle_ok, "stalls": stalls_ok,
+                "ok": lifecycle_ok and stalls_ok}
+
+    def summary(self) -> str:
+        """Human-readable recap of what the trace captured."""
+        self.finalize()
+        lines = [
+            "trace summary",
+            f"  events captured      {len(self.events)}"
+            + (f" (+{self.truncated} truncated)" if self.truncated else ""),
+            f"  stores completed     {self.lifecycle.h_total.count}",
+            f"  stores in flight     {self.lifecycle.in_flight}",
+            f"  sample rows          {len(self.sampler.samples)}",
+        ]
+        bd = self.lifecycle.breakdown()
+        lines.append("  lifecycle means (cycles)")
+        for key in ("dispatch_to_commit", "commit_to_sbexit",
+                    "sbexit_to_visible", "dispatch_to_visible",
+                    "unauthorized_residency"):
+            lines.append(f"    {key:<24s} {bd[key]:8.2f}")
+        totals = self.sampler.stall_totals()
+        if totals:
+            lines.append("  stall attribution (cycles)")
+            for reason, cycles in sorted(totals.items()):
+                lines.append(f"    {reason:<24s} {cycles:8d}")
+        checks = self.reconcile()
+        lines.append(
+            "  reconciliation       lifecycle="
+            f"{'ok' if checks['lifecycle'] else 'MISMATCH'}"
+            f" stalls={'ok' if checks['stalls'] else 'MISMATCH'}")
+        return "\n".join(lines)

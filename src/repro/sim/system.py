@@ -21,6 +21,7 @@ from ..coherence.memsys import MemorySystem
 from ..cpu.core import Core
 from ..cpu.trace import Trace
 from ..mechanisms.registry import make_mechanism
+from ..observe.bus import NULL_PROBE
 from .results import CoreResult, SimResult
 
 
@@ -51,6 +52,7 @@ class System:
             self.cores.append(core)
         self.cycle = 0
         self._measure_start = 0
+        self.probe = NULL_PROBE
 
     def run(self, max_cycles: Optional[int] = None,
             warmup_committed: int = 0) -> SimResult:
@@ -89,19 +91,18 @@ class System:
                              or core.wake_cycle > self.cycle)):
                     continue
                 if stale_since[cid] is not None:
-                    core.charge_skipped(self.cycle - stale_since[cid] - 1)
+                    core.charge_skipped(self.cycle - stale_since[cid] - 1,
+                                        self.cycle)
                     stale_since[cid] = None
                 stepped = core.step(self.cycle)
+                if stepped:
+                    progress = True
                 if core.is_done():
                     done[cid] = True
                     remaining -= 1
-                elif stepped:
-                    progress = True
-                else:
+                elif not stepped:
                     stale_since[cid] = self.cycle
                     core.wake_cycle = core.next_wake(self.cycle)
-                if stepped:
-                    progress = True
             if not remaining:
                 break
             if progress:
@@ -120,7 +121,8 @@ class System:
                     f"({self.workload}/{self.config.mechanism})")
         for cid, core in enumerate(self.cores):
             if stale_since[cid] is not None and not done[cid]:
-                core.charge_skipped(self.cycle - stale_since[cid] - 1)
+                core.charge_skipped(self.cycle - stale_since[cid] - 1,
+                                    self.cycle)
         return self._result()
 
     def run_controlled(self, scheduler, max_cycles: int = 100_000
@@ -228,6 +230,8 @@ class System:
         self._measure_start = self.cycle
         for core in self.cores:
             core.finish_cycle = None
+        if self.probe:
+            self.probe.emit(self.cycle, "measure:begin")
 
     def _next_interesting_cycle(self) -> Optional[int]:
         candidates = []

@@ -1,0 +1,265 @@
+"""Tests for ``repro.observe``: probe semantics, lifecycle/stall
+reconciliation, Chrome-trace export, and the disabled-path perf guard."""
+
+import json
+
+import pytest
+
+from repro.common.config import table_i
+from repro.common.stats import StatGroup
+from repro.cpu.isa import alu, load, store
+from repro.cpu.trace import Trace
+from repro.harness.report import render_histogram, safe_geomean
+from repro.observe import (EVENTS, NULL_PROBE, NullProbe, TraceBus,
+                           Tracer, validate_chrome_trace)
+from repro.sim.system import System
+
+MECHANISMS = ("baseline", "ssb", "csb", "spb", "tus")
+
+
+def store_trace(n=40, base=0x77_0000, stride=64):
+    """Stores to ``n`` distinct lines with compute in between."""
+    uops = []
+    for i in range(n):
+        uops.append(store(base + i * stride, 8))
+        uops.extend(alu() for _ in range(3))
+    return Trace("stores", uops)
+
+
+def sharing_traces(n=30):
+    """Two cores, overlapping line sets: exercises snoops/delays."""
+    a = [store(0x88_0000 + (i % 8) * 64, 8) for i in range(n)]
+    b = []
+    for i in range(n):
+        b.append(store(0x88_0000 + ((i + 4) % 8) * 64, 8))
+        b.append(load(0x88_0000 + (i % 8) * 64))
+    return [Trace("share0", a), Trace("share1", b)]
+
+
+def traced_run(mechanism="tus", traces=None, **tracer_kwargs):
+    traces = traces if traces is not None else [store_trace()]
+    config = table_i().with_mechanism(mechanism) \
+        .with_cores(len(traces))
+    system = System(config, traces)
+    tracer = Tracer(system, **tracer_kwargs).attach()
+    result = system.run()
+    tracer.finalize()
+    return system, tracer, result
+
+
+class TestProbeSemantics:
+    def test_null_probe_is_falsy_and_inert(self):
+        assert not NULL_PROBE
+        assert NULL_PROBE.emit(0, "store:dispatch", seq=1) is None
+
+    def test_live_probe_is_truthy_and_publishes(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe(seen.append)
+        probe = bus.probe("sb", core=3)
+        assert probe
+        probe.emit(7, "store:dispatch", seq=1, line=0x40)
+        assert len(seen) == 1
+        ev = seen[0]
+        assert (ev.cycle, ev.name, ev.source, ev.core) == \
+            (7, "store:dispatch", "sb", 3)
+        assert ev.args["line"] == 0x40
+
+    def test_attach_swaps_and_detach_restores(self):
+        system = System(table_i().with_mechanism("tus"), [store_trace()])
+        core = system.cores[0]
+        assert core.sb.probe is NULL_PROBE
+        tracer = Tracer(system).attach()
+        assert core.sb.probe is not NULL_PROBE
+        assert core.stalls.probe is not NULL_PROBE
+        assert system.memsys.directory.probe is not NULL_PROBE
+        tracer.detach()
+        for component in (system, core, core.sb, core.stalls,
+                          core.mechanism, system.memsys,
+                          system.memsys.directory,
+                          system.memsys.ports[0],
+                          system.memsys.ports[0].mshrs):
+            assert component.probe is NULL_PROBE
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_disabled_path_never_calls_emit(self, mechanism,
+                                            monkeypatch):
+        """The perf guard: with probes disabled, *no* call site may
+        reach ``emit`` — every one must be behind ``if self.probe``.
+        Untracked emission would be the 2%-regression bug class."""
+        def boom(self, *args, **kwargs):
+            raise AssertionError("emit called on disabled probe")
+        monkeypatch.setattr(NullProbe, "emit", boom)
+        config = table_i().with_mechanism(mechanism).with_cores(2)
+        System(config, sharing_traces()).run()
+
+    def test_events_after_detach_stay_frozen(self):
+        system = System(table_i().with_mechanism("tus"), [store_trace()])
+        tracer = Tracer(system).attach()
+        system.run(max_cycles=300)
+        tracer.detach()
+        frozen = len(tracer.events)
+        system.run(max_cycles=600)
+        assert len(tracer.events) == frozen
+
+    def test_max_events_caps_capture(self):
+        _, tracer, _ = traced_run(max_events=50)
+        assert len(tracer.events) == 50
+        assert tracer.truncated > 0
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_lifecycle_and_stalls_reconcile(self, mechanism):
+        _, tracer, _ = traced_run(mechanism, sharing_traces())
+        checks = tracer.reconcile()
+        assert checks["lifecycle"], "segment sums diverge from totals"
+        assert checks["stalls"], \
+            "sampler stall attribution diverges from StallAccount"
+        assert checks["ok"]
+
+    def test_all_stores_complete(self):
+        _, tracer, result = traced_run("tus")
+        stores = sum(1 for uop in store_trace().uops
+                     if uop.kind.name == "STORE")
+        assert tracer.lifecycle.h_total.count == stores
+        assert tracer.lifecycle.in_flight == 0
+        assert tracer.lifecycle.dropped == 0
+
+    def test_warmup_resets_capture_and_lifecycle(self):
+        traces = [store_trace(n=60)]
+        config = table_i().with_mechanism("tus")
+        system = System(config, traces)
+        tracer = Tracer(system).attach()
+        result = system.run(warmup_committed=80)
+        tracer.finalize()
+        # Post-warmup capture still reconciles against the (also reset)
+        # simulator counters.
+        assert tracer.reconcile()["ok"]
+        assert system._measure_start > 0, "warmup never triggered"
+        assert tracer.lifecycle.h_total.count <= 60
+        assert all(ev.cycle >= system._measure_start
+                   for ev in tracer.events)
+
+    def test_sampler_rows_cover_the_run(self):
+        system, tracer, _ = traced_run("tus", interval=100)
+        samples = tracer.sampler.samples
+        assert samples, "no occupancy rows recorded"
+        assert samples[-1].cycle <= system.cycle
+        assert all(s.cycle <= t.cycle
+                   for s, t in zip(samples, samples[1:]))
+        row = samples[0].to_dict()
+        assert {"cycle", "sb", "post_sb", "mshr", "stalls"} <= set(row)
+
+
+class TestChromeTrace:
+    def test_round_trip_and_schema(self):
+        _, tracer, _ = traced_run("tus", sharing_traces())
+        doc = json.loads(json.dumps(tracer.chrome_trace("t", "tus")))
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert {"ph", "pid", "tid", "name"} <= set(ev)
+            if ev["ph"] != "M":
+                assert "ts" in ev
+        assert doc["otherData"]["mechanism"] == "tus"
+
+    def test_flow_arrows_and_lifecycle_slices(self):
+        _, tracer, _ = traced_run("tus", sharing_traces())
+        doc = tracer.chrome_trace("t", "tus")
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        # async store-lifecycle slices + flow arrows SB -> visibility
+        assert {"b", "e", "s", "f"} <= phases
+        finishes = [ev for ev in doc["traceEvents"] if ev["ph"] == "f"]
+        assert all(ev.get("bp") == "e" for ev in finishes)
+        starts = sum(1 for ev in doc["traceEvents"] if ev["ph"] == "s")
+        assert starts == len(finishes) > 0
+
+    def test_coherence_transactions_have_durations(self):
+        _, tracer, _ = traced_run("tus", sharing_traces())
+        doc = tracer.chrome_trace("t", "tus")
+        slices = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert slices, "no coherence-transaction slices"
+        assert all(ev["dur"] >= 1 for ev in slices)
+
+    def test_validator_flags_broken_events(self):
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "?", "pid": 1, "tid": 1,
+                              "ts": 0, "name": "x"}]})
+
+    def test_event_vocabulary_is_documented(self):
+        _, tracer, _ = traced_run("tus", sharing_traces())
+        for ev in tracer.events:
+            assert ev.name in EVENTS, f"undocumented event {ev.name!r}"
+
+
+class TestWarmupMeasurement:
+    """Satellite: ``_begin_measurement`` must reset stats *and* per-core
+    finish cycles, and the run loop must treat a step that both makes
+    progress and finishes the core as progress."""
+
+    def test_begin_measurement_resets_stats_and_finish(self):
+        system = System(table_i().with_cores(2),
+                        [store_trace(n=5), store_trace(n=80)])
+        result = system.run(warmup_committed=60)
+        # Core 0 finished during warmup; its finish cycle must have been
+        # reset, leaving the end-of-measurement cycle as its finish.
+        assert result.cores[0].finish_cycle == result.cycles
+        assert 0 < result.cores[1].finish_cycle <= result.cycles
+
+    def test_direct_reset(self):
+        system = System(table_i(), [store_trace()])
+        system.run(max_cycles=200)
+        assert any(system.stats.flatten().values())
+        for core in system.cores:
+            core.finish_cycle = 123
+        system._begin_measurement()
+        assert all(core.finish_cycle is None for core in system.cores)
+        assert system._measure_start == system.cycle
+
+    def test_finishing_step_counts_as_progress(self):
+        result = System(table_i(), [Trace("one", [store(0x40, 8)])]).run()
+        assert result.cores[0].committed == 1
+
+
+class TestReportHelpers:
+    def test_safe_geomean_skips_zeros_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="skipped 1"):
+            assert safe_geomean([4.0, 0.0, 1.0]) == pytest.approx(2.0)
+
+    def test_safe_geomean_all_invalid_returns_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert safe_geomean([0.0, -1.0]) == 0.0
+
+    def test_safe_geomean_clean_input_no_warning(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert safe_geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_flatten_exports_buckets(self):
+        group = StatGroup("g")
+        hist = group.histogram("lat", bucket_width=10, num_buckets=4)
+        for v in (3, 3, 17, 1000):
+            hist.sample(v)
+        flat = group.flatten()
+        assert flat["g.lat.bucket0"] == 2
+        assert flat["g.lat.bucket1"] == 1
+        assert flat["g.lat.overflow"] == 1
+        assert "g.lat.bucket2" not in flat          # empty stays sparse
+        assert flat["g.lat.count"] == 4
+
+    def test_render_histogram(self):
+        group = StatGroup("g")
+        hist = group.histogram("lat", bucket_width=10, num_buckets=4)
+        for v in (3, 3, 17, 1000):
+            hist.sample(v)
+        text = render_histogram(group.flatten(), "g.lat",
+                                bucket_width=10)
+        assert "g.lat" in text and "#" in text
+        assert "overflow" in text
+
+    def test_render_histogram_empty(self):
+        assert "(empty)" in render_histogram({}, "nope")
