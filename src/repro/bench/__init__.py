@@ -1,0 +1,30 @@
+"""Performance-regression benchmark suite for the simulation kernel.
+
+Wall-clock speed is *reproduction infrastructure*, not a claim of the
+paper: a pure-Python cycle model only covers the paper's sweeps if each
+simulated point stays cheap.  This package pins a small set of
+benchmarks — micro (isolated kernel hot paths) and macro (full
+simulation points with bit-stable results) — and measures them with a
+statistically honest protocol: explicit warmup, repeated trials, and
+min/median/MAD summaries (timing noise is one-sided, so the minimum
+estimates the true cost and the MAD flags unstable hosts).
+
+Every benchmark is deterministic: seeds are pinned, and the macro
+benchmarks additionally record a SHA-256 fingerprint of the canonical
+:class:`~repro.sim.results.SimResult` JSON, so a kernel "optimisation"
+that changes simulated behaviour is caught by the same run that times
+it.  ``repro bench`` drives the suite and ``BENCH_*.json`` files at the
+repo root hold committed baselines for regression checks in CI.
+"""
+
+from .registry import Benchmark, BenchResult, all_benchmarks
+from .stats import mad, median, summarize
+from .suite import (DEFAULT_THRESHOLD, compare_reports, environment,
+                    render_table, run_suite, write_report)
+
+__all__ = [
+    "Benchmark", "BenchResult", "all_benchmarks",
+    "mad", "median", "summarize",
+    "DEFAULT_THRESHOLD", "compare_reports", "environment",
+    "render_table", "run_suite", "write_report",
+]

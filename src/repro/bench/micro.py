@@ -1,0 +1,162 @@
+"""Micro-benchmarks: the simulation kernel's isolated hot paths.
+
+Each benchmark exercises one data structure the profiler shows on the
+hot path of a full simulation — the event queue, the L1D lookup loop,
+the store-buffer insert/forward/drain cycle, and the address helpers —
+with a pinned pseudo-random workload, so a regression localises to the
+structure that slowed down rather than to "the simulator".
+
+All seeds are fixed module constants; every call of a benchmark's work
+function performs the identical operation sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+from ..common.addr import lex_order, line_addr, mask_bytes, word_mask
+from ..common.config import table_i
+from ..common.events import EventQueue
+from ..common.stats import StatGroup
+from ..cpu.isa import OpKind, UOp
+from ..cpu.storebuffer import StoreBuffer
+from ..mem.cache import CacheArray
+from ..mem.cacheline import State
+from .registry import Benchmark
+
+#: One pinned seed per benchmark so their streams stay independent.
+SEED_EVENTS = 0x7E5_01
+SEED_CACHE = 0x7E5_02
+SEED_SB = 0x7E5_03
+SEED_ADDR = 0x7E5_04
+
+_LINE = 64
+
+
+def _ops(quick: bool, full: int, small: int) -> int:
+    return small if quick else full
+
+
+def _bench_event_queue(quick: bool) -> Callable[[], int]:
+    ops = _ops(quick, 20_000, 2_000)
+    rng = random.Random(SEED_EVENTS)
+    # Latency-shaped offsets: most events land a fixed small latency
+    # ahead (cache hops), a tail lands far ahead (DRAM) — the bucket
+    # distribution the wheel is optimised for.
+    offsets = [rng.choice((2, 4, 12, 12, 12, 38, 38, 300))
+               for _ in range(ops)]
+    cancel_every = 7
+
+    def work() -> int:
+        events = EventQueue()
+        fired = [0]
+
+        def callback() -> None:
+            fired[0] += 1
+
+        cycle = 0
+        pending = []
+        for index, offset in enumerate(offsets):
+            pending.append(events.schedule(cycle + offset, callback))
+            if index % cancel_every == 0:
+                pending[len(pending) // 2].cancel()
+            if index % 4 == 3:
+                cycle += 1
+                events.run_until(cycle)
+        events.run_until(cycle + 400)
+        if len(events) != 0:
+            raise AssertionError("event queue not drained")
+        return fired[0]
+
+    return work
+
+
+def _bench_cache_lookup(quick: bool) -> Callable[[], int]:
+    ops = _ops(quick, 60_000, 5_000)
+    config = table_i().memory.l1d
+    rng = random.Random(SEED_CACHE)
+    resident = [i * _LINE for i in range(256)]
+    addrs = [rng.choice(resident) if rng.random() < 0.9
+             else (1 << 20) + rng.randrange(4096) * _LINE
+             for _ in range(ops)]
+
+    def work() -> int:
+        cache = CacheArray(config, stats=StatGroup("bench-l1d"))
+        for addr in resident:
+            cache.allocate(addr, State.E)
+        hits = 0
+        lookup = cache.lookup
+        for addr in addrs:
+            if lookup(addr) is not None:
+                hits += 1
+        return hits
+
+    return work
+
+
+def _bench_sb_drain(quick: bool) -> Callable[[], int]:
+    ops = _ops(quick, 12_000, 1_500)
+    rng = random.Random(SEED_SB)
+    stores = [UOp(OpKind.STORE, rng.randrange(1024) * _LINE
+                  + 8 * rng.randrange(8), 8) for _ in range(ops)]
+    probes = [(uop.addr, 8) for uop in stores[::3]]
+
+    def work() -> int:
+        config = table_i().core
+        sb = StoreBuffer(config, stats=StatGroup("bench-sb"))
+        forwarded = 0
+        probe_index = 0
+        for index, uop in enumerate(stores):
+            entry = sb.insert(uop, index)
+            entry.committed = True
+            if index % 3 == 0 and probe_index < len(probes):
+                addr, size = probes[probe_index]
+                probe_index += 1
+                if sb.search(addr, size) is not None:
+                    forwarded += 1
+            if sb.full or index % 5 == 4:
+                while sb.head_committed() is not None:
+                    sb.pop_head(index)
+        while sb.head_committed() is not None:
+            sb.pop_head(ops)
+        return forwarded
+
+    return work
+
+
+def _bench_addr_helpers(quick: bool) -> Callable[[], int]:
+    ops = _ops(quick, 80_000, 8_000)
+    rng = random.Random(SEED_ADDR)
+    addrs = [rng.randrange(1 << 30) & ~7 for _ in range(ops)]
+
+    def work() -> int:
+        acc = 0
+        for addr in addrs:
+            acc += line_addr(addr)
+            acc += lex_order(addr)
+            acc += mask_bytes(word_mask(addr, 8))
+        return acc & 0xFFFF_FFFF
+
+    return work
+
+
+BENCHMARKS: List[Benchmark] = [
+    Benchmark("micro.event_queue", "micro",
+              "EventQueue schedule/cancel/run_until under a "
+              "latency-shaped cycle distribution",
+              _bench_event_queue,
+              meta_fn=lambda fired: {"fired": fired}),
+    Benchmark("micro.cache_lookup", "micro",
+              "L1D CacheArray lookups, 90% hits over a resident set",
+              _bench_cache_lookup,
+              meta_fn=lambda hits: {"hits": hits}),
+    Benchmark("micro.sb_drain", "micro",
+              "StoreBuffer insert / forwarding search / head drain",
+              _bench_sb_drain,
+              meta_fn=lambda forwarded: {"forwarded": forwarded}),
+    Benchmark("micro.addr_helpers", "micro",
+              "line/lex/word-mask address arithmetic",
+              _bench_addr_helpers,
+              meta_fn=lambda acc: {"checksum": acc}),
+]

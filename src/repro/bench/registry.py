@@ -1,0 +1,96 @@
+"""Benchmark definition, timing protocol, and the suite registry.
+
+A :class:`Benchmark` owns a ``factory`` that builds one deterministic
+unit of work: ``factory(quick)`` returns a zero-argument callable that
+performs the work and returns a value.  The value feeds an optional
+``meta_fn`` whose output (fingerprints, state counts, op counts) is
+recorded next to the timings — that is how the macro benchmarks prove
+that a faster kernel still simulates the *same machine*.
+
+The timing protocol is fixed for every benchmark: ``warmup`` untimed
+calls (JIT-free CPython still benefits — branch predictors, page cache,
+lazily materialised caches), then ``trials`` timed calls, summarised by
+:func:`repro.bench.stats.summarize`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .stats import summarize
+
+#: Default protocol: enough trials for a meaningful median/MAD while
+#: keeping the full suite in CI territory.
+DEFAULT_WARMUP = 1
+DEFAULT_TRIALS = 5
+
+
+class BenchResult:
+    """Timings and metadata of one benchmark execution."""
+
+    def __init__(self, name: str, suite: str, quick: bool, warmup: int,
+                 samples: List[float], meta: Dict[str, Any]) -> None:
+        self.name = name
+        self.suite = suite
+        self.quick = quick
+        self.warmup = warmup
+        self.samples = samples
+        self.meta = meta
+        self.summary = summarize(samples)
+
+    @property
+    def median(self) -> float:
+        return self.summary["median"]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "quick": self.quick,
+            "warmup": self.warmup,
+            "trials": len(self.samples),
+            "samples": self.samples,
+            **self.summary,
+            "meta": self.meta,
+        }
+
+
+class Benchmark:
+    """One named, deterministic, repeatable timing experiment."""
+
+    def __init__(self, name: str, suite: str, description: str,
+                 factory: Callable[[bool], Callable[[], Any]],
+                 meta_fn: Optional[Callable[[Any], Dict[str, Any]]] = None
+                 ) -> None:
+        self.name = name
+        self.suite = suite
+        self.description = description
+        self.factory = factory
+        self.meta_fn = meta_fn
+
+    def run(self, quick: bool = False, warmup: int = DEFAULT_WARMUP,
+            trials: int = DEFAULT_TRIALS) -> BenchResult:
+        work = self.factory(quick)
+        value = None
+        for _ in range(warmup):
+            value = work()
+        samples: List[float] = []
+        perf_counter = time.perf_counter
+        for _ in range(trials):
+            start = perf_counter()
+            value = work()
+            samples.append(perf_counter() - start)
+        meta = self.meta_fn(value) if self.meta_fn is not None else {}
+        return BenchResult(self.name, self.suite, quick, warmup,
+                           samples, meta)
+
+
+def all_benchmarks(suite: str = "all") -> List[Benchmark]:
+    """The registered benchmarks, optionally restricted to one suite."""
+    from . import macro, micro
+    benches: List[Benchmark] = list(micro.BENCHMARKS)
+    benches.extend(macro.BENCHMARKS)
+    if suite == "all":
+        return benches
+    return [b for b in benches if b.suite == suite]

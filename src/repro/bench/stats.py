@@ -1,0 +1,40 @@
+"""Robust summary statistics for timing samples.
+
+Timing noise on a shared host is one-sided: a sample can only be slowed
+down by interference, never sped up below the true cost.  The suite
+therefore reports the *minimum* (best estimate of the true cost), the
+*median* (typical cost, robust to a few outliers — this is what the
+regression check compares), and the *median absolute deviation* (MAD, a
+robust spread measure that flags noisy hosts where a comparison would
+be meaningless).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """The middle sample (mean of the middle two for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sample set")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median."""
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Return the suite's standard summary of one benchmark's samples."""
+    return {
+        "min": min(samples),
+        "median": median(samples),
+        "mad": mad(samples),
+    }

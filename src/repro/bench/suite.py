@@ -1,0 +1,156 @@
+"""Suite orchestration: run, report, persist, and compare.
+
+A *report* is the machine-readable document ``repro bench --json``
+writes (``BENCH_4.json`` at the repo root is the committed baseline):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "environment": {"python": "...", "platform": "...", "commit": "..."},
+      "protocol": {"warmup": 1, "trials": 5, "quick": false},
+      "benchmarks": [
+        {"name": "micro.event_queue", "suite": "micro", "samples": [...],
+         "min": 0.01, "median": 0.011, "mad": 0.0002, "meta": {...}},
+        ...
+      ]
+    }
+
+Comparison is median-vs-median per benchmark name with a relative
+threshold.  Medians are robust to one bad sample, and the generous
+default threshold (25%) absorbs host-to-host variance — the check is a
+tripwire for algorithmic regressions (accidental O(n log n) -> O(n²)),
+not a micro-optimisation police.  Benchmarks whose ``quick`` flags
+differ are skipped: quick and full workloads are not comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from typing import Any, Dict, List, Optional
+
+from .registry import (DEFAULT_TRIALS, DEFAULT_WARMUP, BenchResult,
+                       all_benchmarks)
+
+#: Relative median slowdown tolerated before the check fails.
+DEFAULT_THRESHOLD = 0.25
+
+REPORT_VERSION = 1
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def environment() -> Dict[str, Any]:
+    """Host metadata stored with every report, for apples-to-apples
+    judgement when comparing two files."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "commit": _git_commit(),
+    }
+
+
+def run_suite(suite: str = "all", quick: bool = False,
+              warmup: int = DEFAULT_WARMUP,
+              trials: int = DEFAULT_TRIALS,
+              progress=None) -> Dict[str, Any]:
+    """Run the selected benchmarks and return the report dict."""
+    if suite not in ("micro", "macro", "all"):
+        raise ValueError(f"unknown suite {suite!r}")
+    results: List[BenchResult] = []
+    for bench in all_benchmarks(suite):
+        if progress is not None:
+            progress(bench)
+        results.append(bench.run(quick=quick, warmup=warmup, trials=trials))
+    return {
+        "version": REPORT_VERSION,
+        "environment": environment(),
+        "protocol": {"warmup": warmup, "trials": trials, "quick": quick},
+        "benchmarks": [result.as_dict() for result in results],
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("version") != REPORT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported report version {report.get('version')!r}")
+    return report
+
+
+def render_table(report: Dict[str, Any]) -> str:
+    """Human-readable summary of one report."""
+    env = report["environment"]
+    proto = report["protocol"]
+    lines = [
+        f"python {env['python']} on {env['machine']} "
+        f"(commit {env['commit'] or 'unknown'})"
+        + ("  [quick]" if proto["quick"] else ""),
+        f"{'benchmark':26} {'min':>10} {'median':>10} {'mad':>9}  notes",
+    ]
+    for bench in report["benchmarks"]:
+        meta = bench.get("meta", {})
+        if "fingerprint" in meta:
+            note = f"fp {meta['fingerprint'][:12]}"
+        elif meta:
+            key, value = next(iter(meta.items()))
+            note = f"{key}={value}"
+        else:
+            note = ""
+        lines.append(
+            f"{bench['name']:26} {bench['min'] * 1e3:9.2f}ms "
+            f"{bench['median'] * 1e3:9.2f}ms {bench['mad'] * 1e3:8.3f}ms"
+            f"  {note}")
+    return "\n".join(lines)
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD
+                    ) -> List[Dict[str, Any]]:
+    """Return one record per benchmark slower than baseline allows.
+
+    Records carry ``name``, both medians, and the ratio; an empty list
+    means the check passes.  Only benchmarks present in both reports
+    with the same ``quick`` setting are compared.
+    """
+    base_by_name = {b["name"]: b for b in baseline["benchmarks"]}
+    regressions: List[Dict[str, Any]] = []
+    for bench in current["benchmarks"]:
+        base = base_by_name.get(bench["name"])
+        if base is None or base.get("quick") != bench.get("quick"):
+            continue
+        if base["median"] <= 0:
+            continue
+        ratio = bench["median"] / base["median"]
+        if ratio > 1.0 + threshold:
+            regressions.append({
+                "name": bench["name"],
+                "baseline_median": base["median"],
+                "current_median": bench["median"],
+                "ratio": ratio,
+            })
+    return regressions

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..common.addr import LEX_MASK, line_addr, line_index
+from ..common.addr import LEX_MASK, LINE_MASK, line_index
 from ..common.stats import StatGroup
 from ..observe.bus import NULL_PROBE
 
@@ -73,7 +73,7 @@ class Directory:
         model checker's invariants, which must not perturb replacement
         state.  (Named ``peek``, not ``probe``: ``self.probe`` is the
         instrumentation probe, as everywhere else in the simulator.)"""
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         for entry in self._sets.get(self.set_index(addr), ()):
             if entry.addr == addr:
                 return entry
@@ -86,7 +86,7 @@ class Directory:
 
     def lookup(self, addr: int) -> Optional[DirEntry]:
         """Return the entry tracking ``addr``, or None."""
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         self._lookups.inc()
         for entry in self._set(addr):
             if entry.addr == addr:
@@ -101,7 +101,7 @@ class Directory:
         of lines that cannot be dropped (busy or actively cached — a real
         design would back-invalidate; we refuse and the requester retries,
         which is the conservative choice for TUS forward-progress runs)."""
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         entries = self._set(addr)
         if len(entries) >= self.assoc:
             victim = self._choose_victim(entries)
@@ -140,7 +140,7 @@ class Directory:
 
     def drop(self, addr: int) -> None:
         """Remove the entry for ``addr`` (line no longer cached anywhere)."""
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         entries = self._set(addr)
         for entry in entries:
             if entry.addr == addr:

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
-from ..common.addr import line_addr
+from ..common.addr import LINE_MASK
 from ..common.config import SystemConfig
 from ..common.errors import ProtocolError
 from ..common.events import EventQueue
@@ -94,7 +94,7 @@ class MemorySystem:
         L2* (the caller accounts L1→L2 latency).  ``on_done`` fires with
         the cycle at which the fill reaches the requester's L1D.
         """
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         trans = Transaction(req, addr, requester, cycle, prefetch=prefetch)
         self.c_transactions.inc()
         self.inflight.append(trans)
@@ -305,7 +305,7 @@ class CorePort:
 
     def is_writable(self, addr: int) -> bool:
         line = self.l1d.probe(addr)
-        return line is not None and line.state.writable
+        return line is not None and line.state >= State.E
 
     def is_writable_private(self, addr: int) -> bool:
         """Write permission anywhere in this private hierarchy (L1D or
@@ -313,7 +313,7 @@ class CorePort:
         if self.is_writable(addr):
             return True
         l2line = self.l2.probe(addr)
-        return l2line is not None and l2line.state.writable
+        return l2line is not None and l2line.state >= State.E
 
     # -- loads --------------------------------------------------------------
     def load(self, addr: int, cycle: int,
@@ -353,7 +353,7 @@ class CorePort:
 
     @staticmethod
     def _mask_covers(line: CacheLine, addr: int, size: int) -> bool:
-        offset = addr - line_addr(addr)
+        offset = addr & ~LINE_MASK
         if offset + size > 64:
             return False
         mask = ((1 << size) - 1) << offset
@@ -439,7 +439,7 @@ class CorePort:
             if prefetch:
                 return False   # hints are droppable
             # Demand write requests park until an MSHR frees up.
-            addr = line_addr(addr)
+            addr &= LINE_MASK
             self._pending.append(
                 (addr, True, on_done if on_done is not None
                  else (lambda c: None)))
@@ -471,7 +471,7 @@ class CorePort:
     def write_hit(self, addr: int, cycle: int) -> None:
         """Perform a store into a line the core has permission for."""
         line = self.l1d.probe(addr)
-        if line is None or not line.state.writable:
+        if line is None or line.state < State.E:
             raise ProtocolError(
                 f"core {self.core_id}: write_hit without permission "
                 f"at {addr:#x}")
@@ -488,7 +488,7 @@ class CorePort:
         """Is a write-permission acquisition in flight (or parked) for
         ``addr``?  Drain paths use this to avoid both duplicate requests
         and lost wake-ups when a granted line is stolen before use."""
-        if line_addr(addr) in self._pending_writes:
+        if addr & LINE_MASK in self._pending_writes:
             return True
         entry = self.mshrs.get(addr)
         return entry is not None and entry.is_write
@@ -508,7 +508,7 @@ class CorePort:
                 prefetch: bool = False) -> None:
         cfg = self.system.config.memory
         l2line = self.l2.lookup(addr, cycle=cycle)
-        if l2line is not None and (not is_write or l2line.state.writable):
+        if l2line is not None and (not is_write or l2line.state >= State.E):
             # Private L2 satisfies the request.
             self.l2.record_read()
             state = l2line.state if is_write else (
@@ -543,7 +543,7 @@ class CorePort:
     def _upgrade_l1_line(self, line: CacheLine, state: State,
                          cycle: int) -> None:
         if line.not_visible:
-            if not state.writable:
+            if state < State.E:
                 # A read fill reached an unauthorized line (e.g. a load
                 # to a relinquished line): data arrives but no write
                 # permission — the line stays unauthorized.
@@ -556,9 +556,9 @@ class CorePort:
             if self.fill_hook is not None:
                 self.fill_hook(line.addr, line, cycle)
             return
-        if state.writable and not line.state.writable:
+        if state >= State.E and line.state < State.E:
             line.state = State.E
-        elif not line.state.valid:
+        elif not line.state:
             line.state = state
         self.l1d.policy.touch(line, cycle)
 
@@ -577,7 +577,7 @@ class CorePort:
     def _install_l2(self, addr: int, state: State, cycle: int) -> None:
         l2line = self.l2.probe(addr)
         if l2line is not None:
-            if state.writable and not l2line.state.writable:
+            if state >= State.E and l2line.state < State.E:
                 l2line.state = State.E
             self.l2.policy.touch(l2line, cycle)
             return

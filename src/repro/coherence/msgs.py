@@ -47,7 +47,7 @@ class SnoopResult(enum.Enum):
     RELINQUISH_OLD_DATA = "relinquish"
 
 
-@dataclass
+@dataclass(slots=True)
 class SnoopReply:
     """A remote cache's full answer to one snoop."""
 
@@ -56,7 +56,7 @@ class SnoopReply:
     had_dirty: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """Bookkeeping for one in-flight shared-level transaction."""
 

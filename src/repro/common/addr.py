@@ -14,8 +14,15 @@ from __future__ import annotations
 
 LINE_SIZE = 64
 LINE_SHIFT = 6
+#: Clears the offset bits of a byte address (``addr & LINE_MASK`` is the
+#: line address).  Hot loops use the mask directly instead of calling
+#: :func:`line_addr`.
+LINE_MASK = ~(LINE_SIZE - 1)
+#: Keeps only the offset bits (``addr & OFFSET_MASK`` is the byte offset).
+OFFSET_MASK = LINE_SIZE - 1
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+PAGE_MASK = ~(PAGE_SIZE - 1)
 
 #: Number of low line-address bits that define the lex (sub-address) order.
 LEX_BITS = 16
@@ -24,7 +31,7 @@ LEX_MASK = (1 << LEX_BITS) - 1
 
 def line_addr(addr: int) -> int:
     """Return the cache-line address (byte address with offset cleared)."""
-    return addr & ~(LINE_SIZE - 1)
+    return addr & LINE_MASK
 
 
 def line_index(addr: int) -> int:
@@ -33,12 +40,12 @@ def line_index(addr: int) -> int:
 
 def line_offset(addr: int) -> int:
     """Return the byte offset of ``addr`` within its cache line."""
-    return addr & (LINE_SIZE - 1)
+    return addr & OFFSET_MASK
 
 
 def page_addr(addr: int) -> int:
     """Return the 4KB page address containing ``addr``."""
-    return addr & ~(PAGE_SIZE - 1)
+    return addr & PAGE_MASK
 
 
 def lines_in_page(addr: int) -> list:
@@ -81,7 +88,7 @@ def word_mask(addr: int, size: int) -> int:
     access must not straddle a line boundary (stores in the simulator are
     split at line granularity before reaching the memory system).
     """
-    off = line_offset(addr)
+    off = addr & OFFSET_MASK
     if off + size > LINE_SIZE:
         raise ValueError(
             f"access at {addr:#x} size {size} straddles a cache line")
@@ -90,4 +97,4 @@ def word_mask(addr: int, size: int) -> int:
 
 def mask_bytes(mask: int) -> int:
     """Return the number of bytes set in a line byte mask."""
-    return bin(mask).count("1")
+    return mask.bit_count()

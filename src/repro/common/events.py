@@ -5,6 +5,15 @@ DRAM returns) as events; the core loop pops all events due at the current
 cycle before stepping.  Events scheduled for the same cycle fire in
 insertion order, which makes simulations bit-for-bit reproducible.
 
+Internally the queue is a *bucketed event wheel*: one insertion-ordered
+list (bucket) per occupied cycle, plus a min-heap over the occupied
+cycles themselves.  Almost every event in the simulator lands a fixed
+cache/DRAM latency ahead of the current cycle, so many events share a
+bucket and the heap stays tiny (one push per *distinct* cycle instead
+of one per event, as the previous tombstone-scanning heapq paid).
+Cancellation tombstones are compacted bucket-by-bucket instead of being
+sifted through a global heap.
+
 For the model checker (:mod:`repro.modelcheck`) every entry also carries
 its scheduled cycle, its insertion sequence number, a short ``label``
 describing what it does and the ``actor`` core it acts for.  The checker
@@ -16,20 +25,24 @@ normal FIFO loop would never produce become reachable.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional
 
 
 class EventQueue:
-    """A min-heap of (cycle, sequence, callback) entries.
+    """Per-cycle event buckets ordered by a min-heap of occupied cycles.
 
     Callbacks take no arguments; closures carry their context.  Cancelled
-    events are tombstoned rather than removed (standard heapq idiom).
+    events are tombstoned in place and dropped when their bucket is next
+    visited, so cancellation is O(1) and never perturbs firing order.
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, "_Entry"]] = []
+        #: cycle -> entries scheduled for that cycle, in insertion order.
+        self._buckets: Dict[int, List["_Entry"]] = {}
+        #: Min-heap over the occupied cycles (the bucket keys).
+        self._cycles: List[int] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -47,49 +60,82 @@ class EventQueue:
         """
         if cycle < 0:
             raise ValueError("cannot schedule an event in negative time")
-        seq = next(self._counter)
-        entry = _Entry(callback, cycle, seq, label, actor)
-        heapq.heappush(self._heap, (cycle, seq, entry))
+        entry = _Entry(callback, cycle, next(self._counter), label, actor)
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [entry]
+            heappush(self._cycles, cycle)
+        else:
+            bucket.append(entry)
         self._live += 1
         return entry
 
     def next_cycle(self) -> Optional[int]:
         """Return the cycle of the earliest pending event, or None."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        buckets = self._buckets
+        cycles = self._cycles
+        while cycles:
+            cycle = cycles[0]
+            bucket = buckets[cycle]
+            for entry in bucket:
+                if not entry.cancelled:
+                    return cycle
+            # The whole bucket is tombstones: drop it.
+            self._live -= len(bucket)
+            heappop(cycles)
+            del buckets[cycle]
+        return None
 
     def run_until(self, cycle: int) -> int:
         """Fire every event scheduled at or before ``cycle``.
 
         Returns the number of callbacks that actually ran.  Events that a
-        callback schedules at or before ``cycle`` also run (in order).
+        callback schedules at or before ``cycle`` also run, in the global
+        (cycle, insertion) order the old heap implementation used.
         """
         fired = 0
-        while True:
-            self._drop_cancelled()
-            if not self._heap or self._heap[0][0] > cycle:
-                return fired
-            _, _, entry = heapq.heappop(self._heap)
-            self._live -= 1
-            entry.fire()
-            fired += 1
+        buckets = self._buckets
+        cycles = self._cycles
+        while cycles and cycles[0] <= cycle:
+            current = cycles[0]
+            bucket = buckets[current]
+            index = 0
+            # Appends during iteration (same-cycle cascades) extend the
+            # bucket; the index loop picks them up in insertion order.
+            while index < len(bucket):
+                entry = bucket[index]
+                index += 1
+                self._live -= 1
+                if entry.cancelled:
+                    continue
+                entry.cancelled = True   # consumed; cancel() now a no-op
+                entry._callback()
+                fired += 1
+                if cycles[0] != current:
+                    # A callback scheduled an *earlier* cycle.  Trim the
+                    # consumed prefix and restart from the heap top so
+                    # the (cycle, seq) firing order is preserved.
+                    del bucket[:index]
+                    break
+            else:
+                heappop(cycles)
+                del buckets[current]
+        return fired
 
     # -- model-checker access ----------------------------------------------
     def due_entries(self, cycle: int) -> List["_Entry"]:
         """Live entries scheduled at or before ``cycle``, in the order
-        :meth:`run_until` would fire them.  The heap is not modified."""
-        due = [(c, s, e) for (c, s, e) in self._heap
-               if c <= cycle and not e.cancelled]
-        due.sort(key=lambda item: (item[0], item[1]))
-        return [e for _, _, e in due]
+        :meth:`run_until` would fire them.  The queue is not modified."""
+        due: List["_Entry"] = []
+        for c in sorted(c for c in self._buckets if c <= cycle):
+            due.extend(e for e in self._buckets[c] if not e.cancelled)
+        return due
 
     def fire_entry(self, entry: "_Entry") -> None:
-        """Fire one specific live entry out of heap order.
+        """Fire one specific live entry out of queue order.
 
         The entry is tombstoned afterwards so the normal pop path skips
-        it; lazy deletion keeps the heap invariant intact.
+        it; lazy deletion keeps the bucket bookkeeping intact.
         """
         if entry.cancelled:
             raise ValueError("cannot fire a cancelled event")
@@ -97,14 +143,24 @@ class EventQueue:
         entry.cancelled = True
 
     def pending(self) -> List["_Entry"]:
-        """All live entries (unsorted beyond heap order); for state
-        hashing."""
-        return [e for (_, _, e) in self._heap if not e.cancelled]
+        """All live entries (no particular order); for state hashing."""
+        return [e for bucket in self._buckets.values()
+                for e in bucket if not e.cancelled]
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-            self._live -= 1
+        """Compact every bucket, dropping tombstones eagerly (tests and
+        diagnostics; the hot paths drop tombstones lazily)."""
+        buckets = self._buckets
+        for cycle in list(buckets):
+            bucket = [e for e in buckets[cycle] if not e.cancelled]
+            self._live -= len(buckets[cycle]) - len(bucket)
+            if bucket:
+                buckets[cycle] = bucket
+            else:
+                del buckets[cycle]
+        # In-place: System.run holds an alias to this list.
+        self._cycles[:] = buckets
+        heapify(self._cycles)
 
 
 class _Entry:

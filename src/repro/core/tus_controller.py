@@ -188,7 +188,7 @@ class TUSController:
         line.write_mask |= mask
         line.not_visible = True
         self.port.l1d.record_write()
-        if line.state.writable:
+        if line.state >= State.E:
             # Case 2 of Section III-A: authorized write.  A modified line
             # must first push its current (visible) data to the L2 so a
             # valid authorized copy survives.
@@ -233,7 +233,7 @@ class TUSController:
                 line.not_visible = False
                 line.ready = False
                 line.write_mask = 0
-                if not line.state.writable:
+                if line.state < State.E:
                     raise SimulationError(
                         f"making {entry.line:#x} visible without permission")
                 line.state = State.M
@@ -306,7 +306,7 @@ class TUSController:
             self._relinquish(victim, cycle)
         self._reissue_deferred(cycle)
         line = self.port.l1d.probe(addr)
-        if entry in relinquish or not line.state.valid:
+        if entry in relinquish or not line.state:
             # The requester is served the unmodified copy held by our
             # (inclusive) private L2; our unauthorized data stays local.
             self.port.l2.invalidate(addr)

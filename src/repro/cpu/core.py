@@ -41,6 +41,13 @@ from .stall import StallAccount, StallReason
 from .storebuffer import StoreBuffer
 from .trace import Trace
 
+# Hoisted OpKind members: identity checks in the dispatch/commit loops
+# replace the enum property calls (`kind.is_store` etc.), which dominate
+# the per-uop cost under CPython.
+_LOAD = OpKind.LOAD
+_STORE = OpKind.STORE
+_FENCE = OpKind.FENCE
+
 
 class ROBEntry:
     """One in-flight micro-op."""
@@ -71,6 +78,15 @@ class Core:
         self.trace = trace
         self.mechanism = mechanism
         self.stats = stats
+        # Hot-loop constants, hoisted out of the per-cycle methods.
+        self._trace_uops = trace.uops
+        self._trace_len = len(trace.uops)
+        self._dispatch_width = config.core.dispatch_width
+        self._commit_width = config.core.commit_width
+        self._rob_entries = config.core.rob_entries
+        #: Execution latency indexed by OpKind (IntEnum) value.
+        self._latency_by_kind = tuple(
+            exec_latency(kind, config.core) for kind in OpKind)
         self.sb = StoreBuffer(config.core, stats=stats.child("sb"))
         self.lq = LoadQueue(config.core, stats=stats.child("lq"))
         self.stalls = StallAccount(stats)
@@ -94,8 +110,8 @@ class Core:
         return self._committed
 
     def is_done(self) -> bool:
-        return (self._next_uop >= len(self.trace) and not self.rob
-                and self.sb.empty and self.mechanism.drained())
+        return (self._next_uop >= self._trace_len and not self.rob
+                and not self.sb._entries and self.mechanism.drained())
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> bool:
@@ -115,6 +131,31 @@ class Core:
         """Charge fast-forwarded idle cycles to the current stall reason."""
         self.stalls.charge(self.last_stall, cycles, cycle)
 
+    def stuck_at(self, cycle: int) -> bool:
+        """True when :meth:`step` at ``cycle`` is *guaranteed* to make no
+        progress and change no state beyond stall accounting.
+
+        The run loop asks this before re-stepping a stale core after an
+        event fired: most events concern one core's miss, yet every other
+        blocked core would otherwise pay a full no-op step.  Each check
+        mirrors a stage of :meth:`step`; False is returned whenever any
+        stage *might* act (a false negative only costs the no-op step).
+        """
+        rob = self.rob
+        if not rob:
+            # An empty ROB can dispatch, or the core may just have
+            # become done (step() must record finish_cycle): never skip.
+            return False
+        head = rob[0].complete_cycle
+        if head is not None and head <= cycle:
+            return False            # commit can retire the ROB head
+        if len(rob) < self._rob_entries and self._next_uop < self._trace_len:
+            return False            # dispatch has both room and work
+        entries = self.sb._entries
+        if entries and entries[0].committed:
+            return False            # drain has a committed head store
+        return self.mechanism.drain_idle()
+
     def next_wake(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this core can make progress on
         its own (memory events are tracked by the system's event queue)."""
@@ -131,9 +172,13 @@ class Core:
     # -- commit ---------------------------------------------------------
     def _commit(self, cycle: int) -> int:
         committed = 0
-        while committed < self.config.commit_width and self.rob:
-            head = self.rob[0]
-            if head.uop.kind.is_fence:
+        rob = self.rob
+        width = self._commit_width
+        while committed < width and rob:
+            head = rob[0]
+            kind = head.uop.kind
+            complete = head.complete_cycle
+            if kind is _FENCE:
                 # The fence waits for every OLDER store to become
                 # globally visible.  Older stores are exactly the
                 # committed prefix of the SB (younger stores dispatched
@@ -141,66 +186,72 @@ class Core:
                 if self.sb.head_committed() is not None \
                         or not self.mechanism.drained():
                     break
-                if head.complete_cycle is None or head.complete_cycle > cycle:
+                if complete is None or complete > cycle:
                     break
-            elif head.complete_cycle is None or head.complete_cycle > cycle:
+            elif complete is None or complete > cycle:
                 break
-            self.rob.popleft()
+            rob.popleft()
             self._inflight.pop(head.index, None)
-            if head.uop.kind.is_store:
+            if kind is _STORE:
                 head.sb_entry.committed = True
                 if self.probe:
                     self.probe.emit(cycle, "store:commit",
                                     seq=head.sb_entry.seq,
                                     line=head.sb_entry.line)
                 self.mechanism.on_store_commit(head.sb_entry, cycle)
-            elif head.uop.kind.is_load:
+            elif kind is _LOAD:
                 self.lq.release()
             committed += 1
-            self._committed += 1
-        self.c_committed.inc(committed)
+        if committed:
+            self._committed += committed
+            self.c_committed.value += committed
         return committed
 
     # -- dispatch --------------------------------------------------------
     def _dispatch(self, cycle: int) -> int:
         dispatched = 0
         reason = StallReason.NONE
-        while dispatched < self.config.dispatch_width:
-            if self._next_uop >= len(self.trace):
+        uops = self._trace_uops
+        trace_len = self._trace_len
+        rob = self.rob
+        rob_entries = self._rob_entries
+        next_uop = self._next_uop
+        while dispatched < self._dispatch_width:
+            if next_uop >= trace_len:
                 if dispatched == 0:
                     reason = StallReason.FRONTEND
                 break
-            uop = self.trace[self._next_uop]
-            if len(self.rob) >= self.config.rob_entries:
-                reason = self._rob_full_reason()
+            uop = uops[next_uop]
+            if len(rob) >= rob_entries:
+                # A fence at the ROB head waiting for the SB flush shows
+                # up as a ROB-full stall otherwise; attribute it to the
+                # fence, since the serialising event is what blocks.
+                reason = (StallReason.FENCE
+                          if rob[0].uop.kind is _FENCE
+                          else StallReason.ROB_FULL)
                 break
-            if uop.kind.is_store and self.sb.full:
+            kind = uop.kind
+            if kind is _STORE and self.sb.full:
                 reason = StallReason.SB_FULL
                 break
-            if uop.kind.is_load and self.lq.full:
+            if kind is _LOAD and self.lq.full:
                 reason = StallReason.LQ_FULL
                 break
-            self._insert(uop, self._next_uop, cycle)
-            self._next_uop += 1
+            self._insert(uop, next_uop, cycle)
+            next_uop += 1
             dispatched += 1
+        self._next_uop = next_uop
         self.last_stall = reason if dispatched == 0 else StallReason.NONE
         return dispatched
-
-    def _rob_full_reason(self) -> StallReason:
-        # A fence at the ROB head waiting for the SB flush shows up as a
-        # ROB-full stall otherwise; attribute it to the fence, since the
-        # serialising event is what actually blocks progress.
-        if self.rob and self.rob[0].uop.kind.is_fence:
-            return StallReason.FENCE
-        return StallReason.ROB_FULL
 
     def _insert(self, uop: UOp, index: int, cycle: int) -> None:
         entry = ROBEntry(uop, index)
         self.rob.append(entry)
         self._inflight[index] = entry
-        if uop.kind.is_load:
+        kind = uop.kind
+        if kind is _LOAD:
             self.lq.insert()
-        elif uop.kind.is_store:
+        elif kind is _STORE:
             entry.sb_entry = self.sb.insert(uop, cycle)
         producer = self._producer_of(entry)
         if producer is not None and producer.complete_cycle is None:
@@ -218,15 +269,14 @@ class Core:
     # -- issue / execute ---------------------------------------------------
     def _issue(self, entry: ROBEntry, cycle: int) -> None:
         kind = entry.uop.kind
-        if kind.is_load:
+        if kind is _LOAD:
             self._issue_load(entry, cycle)
-        elif kind.is_store:
+        elif kind is _STORE:
             # Address and data become available; the actual memory write
             # happens post-commit from the SB.
             self._set_complete(entry, cycle + 1)
         else:
-            latency = exec_latency(kind, self.config)
-            self._set_complete(entry, cycle + latency)
+            self._set_complete(entry, cycle + self._latency_by_kind[kind])
 
     def _issue_load(self, entry: ROBEntry, cycle: int) -> None:
         uop = entry.uop

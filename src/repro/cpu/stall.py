@@ -17,15 +17,34 @@ from ..common.stats import StatGroup
 from ..observe.bus import NULL_PROBE
 
 
-class StallReason(enum.Enum):
-    """Why dispatch made no progress in a cycle."""
+class StallReason(enum.IntEnum):
+    """Why dispatch made no progress in a cycle.
 
-    NONE = "none"                  # dispatch proceeded (not a stall)
-    SB_FULL = "sb"                 # store blocked: store buffer full
-    ROB_FULL = "rob"               # ROB full
-    LQ_FULL = "lq"                 # load queue full
-    FENCE = "fence"                # fence draining the SB at ROB head
-    FRONTEND = "frontend"          # trace exhausted / nothing to dispatch
+    An ``IntEnum`` so the accounting hot path can index a plain list
+    with the reason (C-level, no enum ``__hash__`` call per charge);
+    :attr:`label` carries the short name used in stats and reports.
+    """
+
+    NONE = 0                       # dispatch proceeded (not a stall)
+    SB_FULL = 1                    # store blocked: store buffer full
+    ROB_FULL = 2                   # ROB full
+    LQ_FULL = 3                    # load queue full
+    FENCE = 4                      # fence draining the SB at ROB head
+    FRONTEND = 5                   # trace exhausted / nothing to dispatch
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+
+_LABELS = {
+    StallReason.NONE: "none",
+    StallReason.SB_FULL: "sb",
+    StallReason.ROB_FULL: "rob",
+    StallReason.LQ_FULL: "lq",
+    StallReason.FENCE: "fence",
+    StallReason.FRONTEND: "frontend",
+}
 
 
 class StallAccount:
@@ -34,9 +53,13 @@ class StallAccount:
     def __init__(self, stats: StatGroup) -> None:
         group = stats.child("stalls")
         self._counters = {
-            reason: group.counter(reason.value, f"cycles stalled on {reason.value}")
+            reason: group.counter(_LABELS[reason],
+                                  f"cycles stalled on {_LABELS[reason]}")
             for reason in StallReason if reason != StallReason.NONE
         }
+        #: Counters indexed by the (Int)reason; NONE maps to None.
+        self._by_index = [self._counters.get(reason)
+                          for reason in StallReason]
         self._total = stats.counter("stall_cycles", "total stalled cycles")
         self.current: StallReason = StallReason.NONE
         self.probe = NULL_PROBE
@@ -44,19 +67,22 @@ class StallAccount:
     def charge(self, reason: StallReason, cycles: int = 1,
                cycle: Optional[int] = None) -> None:
         """Charge ``cycles`` of stall to ``reason``."""
-        if reason == StallReason.NONE or cycles <= 0:
+        if cycles <= 0:
             return
-        self._counters[reason].inc(cycles)
-        self._total.inc(cycles)
+        counter = self._by_index[reason]
+        if counter is None:
+            return
+        counter.value += cycles
+        self._total.value += cycles
         if self.probe:
             self.probe.emit(cycle if cycle is not None else 0, "stall",
-                            reason=reason.value, cycles=cycles)
+                            reason=_LABELS[reason], cycles=cycles)
 
     def cycles(self, reason: StallReason) -> int:
         return self._counters[reason].value
 
     def breakdown(self) -> Dict[str, int]:
-        return {reason.value: counter.value
+        return {_LABELS[reason]: counter.value
                 for reason, counter in self._counters.items()}
 
     @property

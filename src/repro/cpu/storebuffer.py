@@ -85,7 +85,7 @@ class StoreBuffer:
         self._next_seq += 1
         self._entries.append(entry)
         self._by_line.setdefault(entry.line, []).append(entry)
-        self._inserts.inc()
+        self._inserts.value += 1
         self._occupancy.sample(len(self._entries))
         if self.probe:
             self.probe.emit(cycle if cycle is not None else 0,
@@ -111,7 +111,7 @@ class StoreBuffer:
         bucket.remove(entry)
         if not bucket:
             del self._by_line[entry.line]
-        self._drains.inc()
+        self._drains.value += 1
         if self.probe:
             self.probe.emit(cycle if cycle is not None else 0,
                             "store:sbexit", seq=entry.seq,
@@ -128,7 +128,7 @@ class StoreBuffer:
         this model (real cores stall and replay — the timing difference
         is second-order for the studied workloads).
         """
-        self._searches.inc()
+        self._searches.value += 1
         line = line_addr(addr)
         bucket = self._by_line.get(line)
         if not bucket:
@@ -137,7 +137,7 @@ class StoreBuffer:
         mask = ((1 << size) - 1) << offset
         for entry in reversed(bucket):
             if entry.mask & mask:
-                self._forwards.inc()
+                self._forwards.value += 1
                 return entry
         return None
 

@@ -83,6 +83,18 @@ class StoreMechanism:
         external event, or None if it is purely event-driven."""
         return None
 
+    def drain_idle(self) -> bool:
+        """True when :meth:`drain` is guaranteed to make no progress *and*
+        have no side effects while the SB head is absent or uncommitted.
+
+        The run loop uses this (via :meth:`repro.cpu.core.Core.stuck_at`)
+        to keep a blocked core stale across events that cannot have
+        unblocked it.  Returning False is always safe — it merely forces
+        a full (no-op) step — so mechanisms with any head-independent
+        drain work (opportunistic flushes, prefetch trains, retries)
+        must return False while that work is possible."""
+        return False
+
     # -- model-checker hooks -----------------------------------------------
     def modelcheck_invariants(self) -> Tuple[str, ...]:
         """Invariant names :mod:`repro.modelcheck` must verify while this

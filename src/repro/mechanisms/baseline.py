@@ -49,6 +49,10 @@ class BaselineMechanism(PrefetchAtCommit):
         self.port.write_hit(head.line, cycle)
         return 1
 
+    def drain_idle(self) -> bool:
+        # Without a committed SB head, drain() returns immediately.
+        return True
+
     # -- model-checker hooks -----------------------------------------------
     def modelcheck_invariants(self) -> Tuple[str, ...]:
         # Baseline drains store by store with permission in hand; nothing

@@ -44,13 +44,18 @@ class CSBMechanism(PrefetchAtCommit):
         port.hold_hook = self._hold_request
 
     def drain(self, cycle: int) -> int:
+        entries = self.sb._entries
+        if not entries or not entries[0].committed:
+            if self.wcb.buffers and self._flush(cycle):
+                return 1
+            return 0
         progress = 0
         budget = self.config.core.commit_width
         flushed = False
         while budget > 0:
-            head = self.sb.head_committed()
-            if head is None:
+            if not entries or not entries[0].committed:
                 break
+            head = entries[0]
             result = self.wcb.insert(head.line, head.mask)
             if result == InsertResult.COALESCED:
                 self.sb.pop_head(cycle)
@@ -76,10 +81,13 @@ class CSBMechanism(PrefetchAtCommit):
                 flushed = True
                 progress += 1
                 budget -= 2
-        if progress == 0 and self.sb.head_committed() is None:
-            if not self.wcb.empty and self._flush(cycle):
-                progress += 1
         return progress
+
+    def drain_idle(self) -> bool:
+        # CSB's head-independent work is the opportunistic flush, which
+        # needs buffered lines (a failed flush also issues permission
+        # requests, so it must not be skipped while buffers exist).
+        return not self.wcb.buffers
 
     def _flush(self, cycle: int) -> bool:
         """Write buffered groups to the L1D; all lines need permission.

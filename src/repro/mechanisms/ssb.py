@@ -113,6 +113,11 @@ class SSBMechanism(PrefetchAtCommit):
     def drained(self) -> bool:
         return not self._tsob
 
+    def drain_idle(self) -> bool:
+        # An occupied TSOB keeps draining (and prefetching ahead)
+        # regardless of the SB head; empty, drain() cannot act.
+        return not self._tsob
+
     def search(self, addr: int, size: int) -> Optional[int]:
         line = line_addr(addr)
         union = self._tsob_lines.get(line)

@@ -36,14 +36,22 @@ class TUSMechanism(PrefetchAtCommit):
 
     # -- draining -----------------------------------------------------------
     def drain(self, cycle: int) -> int:
+        entries = self.sb._entries
+        if not entries or not entries[0].committed:
+            # No SB pressure: opportunistically flush so fences and
+            # quiescent phases converge.
+            if self.wcb.buffers and self._flush(cycle):
+                return 1
+            return 0
         progress = 0
         budget = self.config.core.commit_width
         flushed = False
+        wcb_insert = self.wcb.insert
         while budget > 0:
-            head = self.sb.head_committed()
-            if head is None:
+            if not entries or not entries[0].committed:
                 break
-            result = self.wcb.insert(head.line, head.mask)
+            head = entries[0]
+            result = wcb_insert(head.line, head.mask)
             if result == InsertResult.COALESCED:
                 self.sb.pop_head(cycle)
                 progress += 1
@@ -70,12 +78,12 @@ class TUSMechanism(PrefetchAtCommit):
                 flushed = True
                 progress += 1
                 budget -= 2
-        if progress == 0 and self.sb.head_committed() is None:
-            # No SB pressure: opportunistically flush so fences and
-            # quiescent phases converge.
-            if not self.wcb.empty and self._flush(cycle):
-                progress += 1
         return progress
+
+    def drain_idle(self) -> bool:
+        # With no buffered WCB lines there is nothing to flush, so a
+        # drain without a committed SB head is a guaranteed no-op.
+        return not self.wcb.buffers
 
     def _flush(self, cycle: int) -> bool:
         """Write every buffered atomic group to the L1D, all-or-nothing."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional
 
-from ..common.addr import line_addr, set_index
+from ..common.addr import LINE_MASK, LINE_SHIFT, line_addr, set_index
 from ..common.config import CacheConfig
 from ..common.stats import StatGroup
 from .cacheline import CacheLine, State
@@ -30,6 +30,9 @@ class CacheArray:
         self.config = config
         self.policy = policy if policy is not None else LRU()
         self._sets: Dict[int, List[CacheLine]] = {}
+        # Hoisted constants for the lookup/probe hot loops.
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.assoc
         stats = stats if stats is not None else StatGroup(config.name)
         self.stats = stats
         self._hits = stats.counter("hits", "lookups that found a valid line")
@@ -44,7 +47,7 @@ class CacheArray:
     # -- basic access ------------------------------------------------------
     def set_of(self, addr: int) -> List[CacheLine]:
         """Return (creating if needed) the set holding ``addr``."""
-        idx = set_index(addr, self.config.num_sets)
+        idx = (addr >> LINE_SHIFT) & self._set_mask
         lines = self._sets.get(idx)
         if lines is None:
             lines = []
@@ -58,23 +61,33 @@ class CacheArray:
         Counts a hit or a miss; pass ``touch=False`` for snoops and other
         probes that should not perturb replacement state or hit counters.
         """
-        addr = line_addr(addr)
-        for line in self.set_of(addr):
-            # Lines holding unauthorized data (not_visible) are found even
-            # in state I: they are invisible to *coherence*, not to the
-            # local controller that must coalesce into / combine them.
-            if line.addr == addr and (line.state.valid or line.not_visible):
-                if touch:
-                    self._hits.inc()
-                    self.policy.touch(line, cycle)
-                return line
+        addr &= LINE_MASK
+        lines = self._sets.get((addr >> LINE_SHIFT) & self._set_mask)
+        if lines:
+            for line in lines:
+                # Lines holding unauthorized data (not_visible) are found
+                # even in state I: they are invisible to *coherence*, not
+                # to the local controller that must coalesce into /
+                # combine them.  ``line.state`` is an IntEnum, so its
+                # truthiness is exactly "state != I" (validity).
+                if line.addr == addr and (line.state or line.not_visible):
+                    if touch:
+                        self._hits.value += 1
+                        self.policy.touch(line, cycle)
+                    return line
         if touch:
-            self._misses.inc()
+            self._misses.value += 1
         return None
 
     def probe(self, addr: int) -> Optional[CacheLine]:
         """Side-effect-free lookup (no stats, no replacement update)."""
-        return self.lookup(addr, touch=False)
+        addr &= LINE_MASK
+        lines = self._sets.get((addr >> LINE_SHIFT) & self._set_mask)
+        if lines:
+            for line in lines:
+                if line.addr == addr and (line.state or line.not_visible):
+                    return line
+        return None
 
     def record_read(self) -> None:
         """Count one data-array read (for the energy model)."""
@@ -89,14 +102,14 @@ class CacheArray:
         """True if ``addr``'s set can accept a new line without evicting a
         non-replaceable entry."""
         lines = self.set_of(addr)
-        if len(lines) < self.config.assoc:
+        if len(lines) < self._assoc:
             return True
         return any(line.replaceable for line in lines)
 
     def free_ways(self, addr: int) -> int:
         """Number of ways in ``addr``'s set that could take a new line."""
         lines = self.set_of(addr)
-        unallocated = self.config.assoc - len(lines)
+        unallocated = self._assoc - len(lines)
         return unallocated + sum(1 for line in lines if line.replaceable)
 
     def choose_victim(self, addr: int,
@@ -111,7 +124,7 @@ class CacheArray:
         distinguish via :meth:`has_free_way`.
         """
         lines = self.set_of(addr)
-        if len(lines) < self.config.assoc:
+        if len(lines) < self._assoc:
             return None
         for victim in self.policy.victims(lines):
             if veto is None or not veto(victim):
@@ -131,12 +144,13 @@ class CacheArray:
         callers must check :meth:`has_free_way` first on paths where that
         can happen.
         """
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         lines = self.set_of(addr)
-        existing = self.probe(addr)
-        if existing is not None:
-            raise LookupError(f"{self.config.name}: {addr:#x} already present")
-        if len(lines) >= self.config.assoc:
+        for line in lines:
+            if line.addr == addr and (line.state or line.not_visible):
+                raise LookupError(
+                    f"{self.config.name}: {addr:#x} already present")
+        if len(lines) >= self._assoc:
             victim = self.choose_victim(addr, veto)
             if victim is None:
                 raise LookupError(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..common.addr import line_addr
+from ..common.addr import LINE_MASK
 from ..common.stats import StatGroup
 from ..observe.bus import NULL_PROBE
 
@@ -64,7 +64,7 @@ class MSHRFile:
         return len(self._entries) >= self.capacity
 
     def get(self, addr: int) -> Optional[MSHREntry]:
-        return self._entries.get(line_addr(addr))
+        return self._entries.get(addr & LINE_MASK)
 
     def allocate(self, addr: int, is_write: bool, cycle: int,
                  prefetch: bool = False) -> Optional[MSHREntry]:
@@ -75,7 +75,7 @@ class MSHRFile:
         line.  An existing read entry is upgraded to a write entry if a
         write merges into it, so the eventual fill carries permissions.
         """
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         entry = self._entries.get(addr)
         if entry is not None:
             self._merges.inc()
@@ -101,7 +101,7 @@ class MSHRFile:
         The caller fires the callbacks after installing the line, so
         waiters observe the post-fill cache state.
         """
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         entry = self._entries.pop(addr, None)
         if entry is None:
             return []

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..common.addr import LINE_SIZE, line_addr
+from ..common.addr import LINE_MASK, LINE_SIZE
 from ..common.stats import StatGroup
 
 
@@ -41,7 +41,7 @@ class StreamPrefetcher:
 
     def observe(self, addr: int) -> List[int]:
         """Record a demand access; return line addresses to prefetch."""
-        addr = line_addr(addr)
+        addr &= LINE_MASK
         stream = self._find_stream(addr)
         if stream is None:
             self._streams.append(_Stream(addr))

@@ -38,7 +38,7 @@ class InsertResult(enum.Enum):
     LEX_CONFLICT = "lex_conflict"    # would create a lex conflict: wait
 
 
-@dataclass
+@dataclass(slots=True)
 class WCBEntry:
     """One write-combining buffer."""
 
@@ -83,7 +83,7 @@ class WCBFile:
 
     def find(self, addr: int) -> Optional[WCBEntry]:
         """Associative search for the buffer holding ``addr``'s line."""
-        self._searches.inc()
+        self._searches.value += 1
         addr = line_addr(addr)
         for entry in self.buffers:
             if entry.addr == addr:
@@ -115,7 +115,7 @@ class WCBFile:
         entry.mask |= mask
         entry.stores += 1
         self._last_written = entry.addr
-        self._coalesced.inc()
+        self._coalesced.value += 1
         return InsertResult.COALESCED
 
     def _allocate(self, addr: int, mask: int) -> InsertResult:

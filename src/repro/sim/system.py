@@ -66,56 +66,86 @@ class System:
         watchdog = self.config.deadlock_cycles
         last_progress = 0
         warmup_pending = warmup_committed > 0
+        cores = self.cores
+        events = self.events
+        run_until = events.run_until
+        event_cycles = events._cycles
         # Per-core skip state: a core whose step made no progress cannot
         # change state until an event fires or its own next_wake arrives,
         # so it is not stepped again until then (events are the only
         # external influence on a core).  Skipped stall cycles are
         # charged in bulk when the core is next stepped.
-        stale_since = [None] * len(self.cores)
-        done = [False] * len(self.cores)
-        remaining = len(self.cores)
+        stale_since = [None] * len(cores)
+        done = [False] * len(cores)
+        remaining = len(cores)
         while remaining:
+            cycle = self.cycle
             if warmup_pending and sum(
-                    c.committed for c in self.cores) >= warmup_committed:
+                    c._committed for c in cores) >= warmup_committed:
                 warmup_pending = False
                 self._begin_measurement()
-            if max_cycles is not None and self.cycle >= max_cycles:
+            if max_cycles is not None and cycle >= max_cycles:
                 break
-            fired = self.events.run_until(self.cycle)
+            fired = run_until(cycle) if (
+                event_cycles and event_cycles[0] <= cycle) else 0
             progress = fired > 0
-            for cid, core in enumerate(self.cores):
+            for cid, core in enumerate(cores):
                 if done[cid]:
                     continue
-                if (not fired and stale_since[cid] is not None
-                        and (core.wake_cycle is None
-                             or core.wake_cycle > self.cycle)):
-                    continue
-                if stale_since[cid] is not None:
-                    core.charge_skipped(self.cycle - stale_since[cid] - 1,
-                                        self.cycle)
+                since = stale_since[cid]
+                if since is not None:
+                    if not fired:
+                        wake = core.wake_cycle
+                        if wake is None or wake > cycle:
+                            continue
+                    elif core.stuck_at(cycle):
+                        # The fired events cannot have unblocked this
+                        # core; keep it stale (its skipped cycles keep
+                        # accruing to the same stall reason).
+                        continue
+                    core.charge_skipped(cycle - since - 1, cycle)
                     stale_since[cid] = None
-                stepped = core.step(self.cycle)
+                stepped = core.step(cycle)
                 if stepped:
                     progress = True
-                if core.is_done():
+                # step() records finish_cycle exactly when the core first
+                # reports is_done(); checking it avoids a third is_done()
+                # call per step.
+                if core.finish_cycle is not None and core.is_done():
                     done[cid] = True
                     remaining -= 1
                 elif not stepped:
-                    stale_since[cid] = self.cycle
-                    core.wake_cycle = core.next_wake(self.cycle)
+                    stale_since[cid] = cycle
+                    core.wake_cycle = core.next_wake(cycle)
             if not remaining:
                 break
             if progress:
-                last_progress = self.cycle
-                self.cycle += 1
+                last_progress = cycle
+                self.cycle = cycle + 1
                 continue
-            target = self._next_interesting_cycle()
+            # Fast-forward.  Every non-done core is stale here (a step
+            # that made progress would have set ``progress``), and no
+            # event has fired since each went stale, so the cached
+            # ``wake_cycle`` values are exact — no need to recompute
+            # next_wake per core as _next_interesting_cycle() does.
+            target = None
+            next_event = events.next_cycle()
+            if next_event is not None:
+                target = next_event if next_event > cycle else cycle + 1
+            for cid, core in enumerate(cores):
+                if done[cid]:
+                    continue
+                wake = core.wake_cycle
+                if wake is not None:
+                    cand = wake if wake > cycle else cycle + 1
+                    if target is None or cand < target:
+                        target = cand
             if target is None:
                 raise DeadlockError(
-                    f"no progress possible at cycle {self.cycle} "
+                    f"no progress possible at cycle {cycle} "
                     f"({self.workload}/{self.config.mechanism})")
             self.cycle = target
-            if self.cycle - last_progress > watchdog:
+            if target - last_progress > watchdog:
                 raise DeadlockError(
                     f"watchdog: {watchdog} cycles without progress "
                     f"({self.workload}/{self.config.mechanism})")

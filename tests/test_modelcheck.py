@@ -163,3 +163,60 @@ class TestHarness:
         report = run_check(CheckJob("sb", "baseline"))
         assert "exhaustive" in report.summary()
         assert "PASS" in report.summary()
+
+
+class _FIFOScheduler:
+    """Always picks the first enabled action: fire due events in order,
+    then step runnable cores in core-id order — the same per-cycle order
+    :meth:`System.run` uses."""
+
+    def choose(self, system, actions):
+        return 0
+
+    def after_action(self, system, action):
+        pass
+
+
+class TestControlledRunParity:
+    """The controlled run loop simulates the same machine as the fast
+    loop: under the FIFO scheduler the two must agree on every
+    timing-free observable.  This pins the perf-optimised ``run`` and
+    the model checker's ``run_controlled`` to each other — a staleness
+    or fast-forward bug in either one breaks the agreement."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        from repro.common.config import table_i
+        from repro.sim.system import System
+        from repro.workloads import make_parallel_traces
+
+        def build():
+            config = (table_i().with_mechanism("tus")
+                      .with_sb_size(114).with_cores(2))
+            traces = make_parallel_traces("canneal", 2, 800, 42)
+            return System(config, traces, workload="canneal")
+
+        fast = build()
+        fast_result = fast.run()
+        controlled = build()
+        controlled_result = controlled.run_controlled(
+            _FIFOScheduler(), max_cycles=500_000)
+        return fast, fast_result, controlled, controlled_result
+
+    def test_committed_counts_agree(self, pair):
+        _, fast_result, _, controlled_result = pair
+        committed = [core.committed for core in fast_result.cores]
+        assert committed == [800, 800]
+        assert committed == [core.committed
+                             for core in controlled_result.cores]
+
+    def test_total_cycles_agree(self, pair):
+        _, fast_result, _, controlled_result = pair
+        assert fast_result.cycles == controlled_result.cycles
+
+    def test_final_memory_state_agrees(self, pair):
+        from repro.modelcheck.state import _encode_port
+        fast, _, controlled, _ = pair
+        for fast_port, controlled_port in zip(fast.memsys.ports,
+                                              controlled.memsys.ports):
+            assert _encode_port(fast_port) == _encode_port(controlled_port)

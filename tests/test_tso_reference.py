@@ -1,7 +1,12 @@
 """The operational x86-TSO reference model on classic litmus shapes."""
 
+import random
+
+import pytest
+
 from repro.tso.litmus import (message_passing, store_buffering,
                               store_buffering_fenced, store_forwarding, X, Y)
+from repro.tso.machine import TUSMachine
 from repro.tso.program import Fence, Load, Program, Store
 from repro.tso.reference import enumerate_outcomes
 
@@ -79,3 +84,102 @@ class TestFinalMemory:
         prog = Program([[Fence(), Store(X, 1)]])
         outcomes = enumerate_outcomes(prog)
         assert len(outcomes) == 1
+
+
+# ---------------------------------------------------------------------------
+# Differential equivalence: TUS vs baseline over random programs.
+#
+# Each synthetic program gives every core a private set of addresses
+# (single-writer), so the final memory contents are schedule-independent:
+# whatever the interleaving, the last program-order store of the owning
+# core must win.  Running the value-accurate TUS machine (coalescing
+# store path) and the baseline machine (FIFO store path) over seeded
+# random schedules must therefore reach the *same* final memory — and
+# the order in which a TUS core's writes reach memory must preserve
+# the core's program order per address (the TSO-preservation property
+# of paper Section III-D, checked operationally).
+# ---------------------------------------------------------------------------
+
+_ADDRS_PER_CORE = 2
+_OPS_PER_THREAD = 6
+
+
+def make_random_program(seed, cores=2):
+    rng = random.Random(seed)
+    threads = []
+    value = 0
+    for cid in range(cores):
+        own = [0x100 * (cid + 1) + 8 * j for j in range(_ADDRS_PER_CORE)]
+        every = [0x100 * (c + 1) + 8 * j for c in range(cores)
+                 for j in range(_ADDRS_PER_CORE)]
+        ops = []
+        for i in range(_OPS_PER_THREAD):
+            roll = rng.random()
+            if roll < 0.65:
+                value += 1
+                ops.append(Store(rng.choice(own), value))
+            elif roll < 0.9:
+                ops.append(Load(rng.choice(every), f"r{cid}_{i}"))
+            else:
+                ops.append(Fence())
+        threads.append(ops)
+    return Program(threads)
+
+
+def expected_final_memory(program):
+    """Last program-order store per address (single-writer programs)."""
+    final = {}
+    for thread in program.threads:
+        for op in thread:
+            if isinstance(op, Store):
+                final[op.addr] = op.value
+    return final
+
+
+def run_logged_walk(program, coalescing, seed):
+    """Drive one machine down a seeded random schedule, logging every
+    write in the order it reaches memory as ``(cid, addr, value)``."""
+    rng = random.Random(seed)
+    machine = TUSMachine(program, coalescing=coalescing)
+    commits = []
+    while True:
+        steps = machine.enabled_steps()
+        if not steps:
+            break
+        cid, kind = rng.choice(steps)
+        if kind == "visible":
+            commits.extend((cid, addr, value)
+                           for addr, value in machine.cores[cid].groups[0])
+        machine.step(cid, kind)
+    assert machine.done(), "machine stuck before completion"
+    return machine.memory, commits
+
+
+class TestDifferentialEquivalence:
+    PROGRAMS = 50
+    WALKS_PER_PROGRAM = 3
+
+    @pytest.mark.parametrize("seed", range(PROGRAMS))
+    def test_tus_and_baseline_agree_on_final_memory(self, seed):
+        program = make_random_program(seed)
+        expected = expected_final_memory(program)
+        for walk in range(self.WALKS_PER_PROGRAM):
+            for coalescing in (True, False):
+                memory, _ = run_logged_walk(program, coalescing,
+                                            seed * 1000 + walk)
+                assert memory == expected
+
+    @pytest.mark.parametrize("seed", range(PROGRAMS))
+    def test_tus_commit_order_respects_program_order(self, seed):
+        program = make_random_program(seed)
+        for walk in range(self.WALKS_PER_PROGRAM):
+            _, commits = run_logged_walk(program, True, seed * 1000 + walk)
+            for cid, thread in enumerate(program.threads):
+                for addr in {op.addr for op in thread
+                             if isinstance(op, Store)}:
+                    applied = [v for c, a, v in commits
+                               if c == cid and a == addr]
+                    in_program = [op.value for op in thread
+                                  if isinstance(op, Store)
+                                  and op.addr == addr]
+                    assert applied == in_program
