@@ -47,6 +47,11 @@ def _git_commit() -> Optional[str]:
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True, text=True, timeout=10,
             cwd=os.path.dirname(os.path.abspath(__file__)))
+    except subprocess.TimeoutExpired:
+        # A hung git (stale lock, dead NFS) must not hang or kill the
+        # bench run; the report records the probe failure explicitly so
+        # a missing commit is distinguishable from a non-repo checkout.
+        return "unavailable:timeout"
     except (OSError, subprocess.SubprocessError):
         return None
     if out.returncode != 0:
@@ -75,16 +80,27 @@ def run_suite(suite: str = "all", quick: bool = False,
     if suite not in ("micro", "macro", "all"):
         raise ValueError(f"unknown suite {suite!r}")
     results: List[BenchResult] = []
+    failures: List[Dict[str, Any]] = []
     for bench in all_benchmarks(suite):
         if progress is not None:
             progress(bench)
-        results.append(bench.run(quick=quick, warmup=warmup, trials=trials))
-    return {
+        try:
+            results.append(bench.run(quick=quick, warmup=warmup,
+                                     trials=trials))
+        except Exception as exc:  # noqa: BLE001 - one bad benchmark
+            # must not cost the rest of the suite its results; the
+            # failure is reported structurally instead.
+            failures.append({"name": bench.name,
+                             "error": f"{type(exc).__name__}: {exc}"})
+    report = {
         "version": REPORT_VERSION,
         "environment": environment(),
         "protocol": {"warmup": warmup, "trials": trials, "quick": quick},
         "benchmarks": [result.as_dict() for result in results],
     }
+    if failures:
+        report["failures"] = failures
+    return report
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:

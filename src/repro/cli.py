@@ -15,6 +15,10 @@ Commands
              a small scenario (exhaustive BFS, or ``--fuzz`` swarm)
 ``trace``    record every instrumentation event of one run and export a
              Chrome-trace-event/Perfetto ``.trace.json`` timeline
+``faults``   run deterministic fault-injection campaigns: perturb the
+             protocol at its legal seams under pinned seeds, check
+             invariants after every step, and diff the outcome against
+             the fault-free run
 ``bench``    list the available benchmarks with their descriptions
 
 Examples
@@ -30,6 +34,8 @@ Examples
     python -m repro check --scenario overlap --mechanism tus --unsound-auth
     python -m repro check --cores 3 --fuzz 500 --seed 7
     python -m repro trace --workload parsec-small --mechanism tus
+    python -m repro faults --seeds 50 --mechanism tus --intensity high
+    python -m repro faults --mechanism all --manifest faults.json
 """
 
 from __future__ import annotations
@@ -187,6 +193,38 @@ def _cmd_check(args) -> int:
             print()
     total = len(reports)
     print(f"{total - failures}/{total} checks passed")
+    return 1 if failures else 0
+
+
+def _cmd_faults(args) -> int:
+    import json as _json
+
+    from .faults.campaign import (render_results, run_campaigns,
+                                  sweep_specs)
+    from .sim.progress import ProgressDump
+    mechanisms = MECHANISMS if args.mechanism == "all" \
+        else (args.mechanism,)
+    intensities = ("low", "medium", "high") if args.intensity == "all" \
+        else (args.intensity,)
+    specs = sweep_specs(seeds=range(args.seed, args.seed + args.seeds),
+                        mechanisms=mechanisms, intensities=intensities,
+                        cores=args.cores, ops_per_core=args.ops,
+                        retry_policy=args.retry)
+    results = run_campaigns(specs, workers=args.workers)
+    print(render_results(results))
+    failures = [r for r in results if not r.ok]
+    for res in failures:
+        if res.dump is not None:
+            print()
+            print(ProgressDump.from_dict(res.dump).render())
+    if args.manifest:
+        payload = {"version": 1,
+                   "ok": not failures,
+                   "campaigns": [r.to_dict() for r in results]}
+        with open(args.manifest, "w") as handle:
+            _json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.manifest}")
     return 1 if failures else 0
 
 
@@ -408,6 +446,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output path (default: "
                               "<workload>-<mechanism>.trace.json)")
     trace_p.set_defaults(fn=_cmd_trace)
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="deterministic fault-injection campaigns with invariant "
+             "checks and a fault-free differential oracle")
+    faults_p.add_argument("--seeds", type=int, default=10,
+                          help="number of consecutive seeds per "
+                               "(mechanism, intensity) cell (default 10)")
+    faults_p.add_argument("--seed", type=int, default=0,
+                          help="first seed of the range (default 0)")
+    faults_p.add_argument("--mechanism", default="tus",
+                          choices=MECHANISMS + ("all",))
+    faults_p.add_argument("--intensity", default="medium",
+                          choices=("low", "medium", "high", "all"))
+    faults_p.add_argument("--cores", type=int, default=2)
+    faults_p.add_argument("--ops", type=int, default=24,
+                          help="micro-ops per core in the synthetic "
+                               "workload (default 24)")
+    faults_p.add_argument("--retry", default="backoff",
+                          choices=("fixed", "backoff"),
+                          help="directory retry policy under test "
+                               "(default backoff)")
+    faults_p.add_argument("--workers", type=int, default=1,
+                          help="campaign worker processes (default 1)")
+    faults_p.add_argument("--manifest", default=None, metavar="PATH",
+                          help="write the machine-readable campaign "
+                               "manifest here")
+    faults_p.set_defaults(fn=_cmd_faults)
 
     bench_p = sub.add_parser(
         "bench",

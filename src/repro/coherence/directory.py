@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set
 
 from ..common.addr import LEX_MASK, LINE_MASK, line_index
 from ..common.stats import StatGroup
+from ..faults.plan import NULL_FAULTS
 from ..observe.bus import NULL_PROBE
 
 
@@ -56,6 +57,8 @@ class Directory:
         self._conflict_stalls = stats.counter(
             "conflict_stalls", "allocations refused: set full of busy lines")
         self.probe = NULL_PROBE
+        #: Fault-injection hook (repro.faults).
+        self.faults = NULL_FAULTS
 
     def set_index(self, addr: int) -> int:
         return line_index(addr) & LEX_MASK & (self.num_sets - 1)
@@ -102,6 +105,13 @@ class Directory:
         design would back-invalidate; we refuse and the requester retries,
         which is the conservative choice for TUS forward-progress runs)."""
         addr &= LINE_MASK
+        if self.faults and self.faults.refuse("dir-conflict"):
+            # Injected victim-NACK storm: the set behaves as if every
+            # candidate victim vetoed its eviction, so the allocation is
+            # refused and the requester retries.  Deliberately bypasses
+            # the conflict-stall counter and probes — injected refusals
+            # are bookkept on the FaultPlan, not in system stats.
+            return None
         entries = self._set(addr)
         if len(entries) >= self.assoc:
             victim = self._choose_victim(entries)

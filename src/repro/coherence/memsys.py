@@ -28,10 +28,12 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from ..common.addr import LINE_MASK
-from ..common.config import SystemConfig
+from ..common.config import RetryConfig, SystemConfig
 from ..common.errors import ProtocolError
 from ..common.events import EventQueue
+from ..common.rng import make_rng
 from ..common.stats import StatGroup
+from ..faults.plan import NULL_FAULTS
 from ..mem.cache import CacheArray
 from ..mem.cacheline import CacheLine, State
 from ..mem.dram import DRAM
@@ -43,10 +45,43 @@ from .msgs import ReqType, SnoopKind, SnoopReply, SnoopResult, Transaction
 
 #: Cycles between directory re-polls of a core that answered DELAY.
 POLL_INTERVAL = 24
-#: Retry delay when the directory entry is busy or unallocatable.
+#: Retry delay when the directory entry is busy or unallocatable
+#: (the ``fixed`` retry policy; see :class:`RetryPolicy`).
 BUSY_RETRY = 16
 #: Internal retry delay when a core-side resource (MSHR) is full.
+#: Kept for configuration parity: the MSHR-full path parks requests and
+#: retries them event-driven on the next fill, so no fixed delay is
+#: consumed on that path.
 RESOURCE_RETRY = 4
+
+
+class RetryPolicy:
+    """Delay schedule for busy-directory retries.
+
+    The ``fixed`` policy is the original behaviour — every retry waits
+    exactly ``busy_retry`` cycles, and the jitter RNG is never touched,
+    so default-configured simulations are bit-identical to builds that
+    predate this class.  The ``backoff`` policy applies bounded
+    exponential backoff with jitter so colliding requesters desynchronize
+    instead of hammering the directory in lockstep when fault injection
+    stretches busy windows.
+    """
+
+    def __init__(self, config: RetryConfig) -> None:
+        self.config = config
+        self._rng = (make_rng(config.seed, "retry-jitter")
+                     if config.policy == "backoff" else None)
+
+    def busy_delay(self, attempt: int) -> int:
+        cfg = self.config
+        if cfg.policy == "fixed":
+            return cfg.busy_retry
+        exponent = min(attempt, 16)   # cap so the intermediate stays small
+        delay = min(cfg.max_delay,
+                    cfg.busy_retry * cfg.backoff_factor ** exponent)
+        if cfg.jitter:
+            delay += self._rng.randrange(cfg.jitter + 1)
+        return delay
 
 
 class MemorySystem:
@@ -81,6 +116,10 @@ class MemorySystem:
         self.c_forwards = dstats.counter("c2c_forwards",
                                          "cache-to-cache data transfers")
         self.probe = NULL_PROBE
+        #: Fault-injection hook (repro.faults); the shared null object
+        #: unless a FaultInjector is attached.
+        self.faults = NULL_FAULTS
+        self._retry = RetryPolicy(config.retry)
 
     # ------------------------------------------------------------------
     # Shared-level transaction engine
@@ -107,12 +146,19 @@ class MemorySystem:
     def _at_directory(self, trans: Transaction, cycle: int,
                       on_done: Callable[[int], None]) -> None:
         entry = self.directory.get_or_allocate(trans.addr, cycle)
-        if entry is None or entry.busy:
+        busy = entry is None or entry.busy
+        if not busy and self.faults and self.faults.refuse("dir-busy"):
+            # Injected extended busy window: the entry is free, but the
+            # requester observes it busy (its request lost arbitration)
+            # and walks the normal retry path.
+            busy = True
+        if busy:
             self.c_retries.inc()
             if self.probe:
                 self.probe.emit(cycle, "busy", line=trans.addr,
                                 requester=trans.requester)
-            retry = cycle + BUSY_RETRY
+            retry = cycle + self._retry.busy_delay(trans.retries)
+            trans.retries += 1
             self.events.schedule(
                 retry, lambda: self._at_directory(trans, retry, on_done),
                 label=f"busy:{trans.addr:#x}", actor=trans.requester)
@@ -137,6 +183,27 @@ class MemorySystem:
         targets = [core_id for core_id in self._snoop_targets(trans, entry)
                    if core_id not in trans.resolved]
         for core_id in targets:
+            if self.faults and self.faults.force_delay(trans.addr, core_id):
+                # Injected NACK burst: the snoop message is stuck in the
+                # network, so the target never sees it this round and the
+                # requester re-polls.  No protocol DELAY was answered —
+                # the target made no decision — so no waiting_on edge is
+                # recorded and the wait-for graph keeps its lex-order
+                # meaning (a forced edge could fabricate a cycle no real
+                # schedule can produce).
+                self.c_delays.inc()
+                trans.polls += 1
+                if self.probe:
+                    self.probe.emit(cycle, "poll", line=trans.addr,
+                                    requester=trans.requester,
+                                    target=core_id)
+                retry = cycle + POLL_INTERVAL + self.faults.delay(
+                    "poll-jitter")
+                self.events.schedule(
+                    retry,
+                    lambda: self._resolve_snoops(trans, entry, retry, on_done),
+                    label=f"poll:{trans.addr:#x}", actor=trans.requester)
+                return
             reply = self.ports[core_id]._snoop(trans.addr, kind,
                                                trans.requester, cycle)
             if reply.result == SnoopResult.DELAY:
@@ -150,6 +217,8 @@ class MemorySystem:
                                     requester=trans.requester,
                                     target=core_id)
                 retry = cycle + POLL_INTERVAL
+                if self.faults:
+                    retry += self.faults.delay("poll-jitter")
                 self.events.schedule(
                     retry,
                     lambda: self._resolve_snoops(trans, entry, retry, on_done),
@@ -211,6 +280,10 @@ class MemorySystem:
             data_cycle = self.dram.access(cycle)
             self._install_l3(trans.addr, cycle)
             source = "dram"
+        if self.faults:
+            # Injected completion jitter on the data return path.
+            data_cycle += self.faults.delay(
+                "c2c-delay" if data_from_remote else "fill-delay")
         if self.probe:
             self.probe.emit(cycle, "data", line=trans.addr, source=source)
         if trans.req == ReqType.GETS:

@@ -66,6 +66,9 @@ class Transaction:
     issued_cycle: int
     #: Number of times the directory re-polled a delaying core.
     polls: int = 0
+    #: Number of busy/conflict retries at the directory; indexes the
+    #: retry policy's backoff schedule.
+    retries: int = 0
     prefetch: bool = False
     #: Targets that already answered this transaction's snoop (ACK,
     #: ACK_DATA, or RELINQUISH).  A DELAY re-poll must not snoop them

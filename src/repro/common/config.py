@@ -199,6 +199,40 @@ class TUSConfig:
 
 
 @dataclass(frozen=True)
+class RetryConfig:
+    """Retry timing for NACKed/busy coherence requests.
+
+    The default ``fixed`` policy reproduces the original constants: a
+    busy directory entry is re-tried after exactly ``busy_retry`` cycles
+    (and ``resource_retry`` is kept for parity, though the MSHR-full
+    path parks requests and retries them event-driven on the next fill,
+    so no fixed delay is consumed there).  The ``backoff`` policy
+    replaces the fixed window with bounded exponential backoff plus
+    jitter — ``min(max_delay, busy_retry * backoff_factor**attempt) +
+    U[0, jitter]`` — so that retry storms cannot synchronize when fault
+    injection stretches directory busy windows.
+    """
+
+    policy: str = "fixed"
+    busy_retry: int = 16
+    resource_retry: int = 4
+    backoff_factor: int = 2
+    max_delay: int = 256
+    jitter: int = 8
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.policy not in ("fixed", "backoff"):
+            raise ConfigError(f"unknown retry policy {self.policy!r}")
+        if self.busy_retry < 1 or self.resource_retry < 1:
+            raise ConfigError("retry delays must be positive")
+        if self.backoff_factor < 1 or self.max_delay < self.busy_retry:
+            raise ConfigError("backoff must not shrink the retry window")
+        if self.jitter < 0:
+            raise ConfigError("jitter must be non-negative")
+
+
+@dataclass(frozen=True)
 class MechanismConfig:
     """Parameters of the comparison mechanisms (Section V)."""
 
@@ -219,6 +253,7 @@ class SystemConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     tus: TUSConfig = field(default_factory=TUSConfig)
     mechanisms: MechanismConfig = field(default_factory=MechanismConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
     mechanism: str = "baseline"
     #: Abort if no core commits anything for this many cycles.
     deadlock_cycles: int = 2_000_000
@@ -229,6 +264,7 @@ class SystemConfig:
         self.core.validate()
         self.memory.validate()
         self.tus.validate()
+        self.retry.validate()
 
     def with_sb_size(self, sb_entries: int) -> "SystemConfig":
         """Return a copy with a different store-buffer size."""

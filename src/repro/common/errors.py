@@ -36,5 +36,25 @@ class TraceError(ReproError):
     """A trace is malformed or inconsistent with the running configuration."""
 
 
+class ModelError(ReproError):
+    """An abstract model (e.g. the operational TSO machine) was driven
+    into an illegal step.
+
+    Distinct from :class:`SimulationError` so harness retry logic can
+    tell a model bug apart from infrastructure failures: retrying a
+    :class:`ModelError` can never succeed.
+    """
+
+
 class DeadlockError(SimulationError):
-    """The simulated system made no forward progress for too many cycles."""
+    """The simulated system made no forward progress for too many cycles.
+
+    Carries an optional structured :class:`~repro.sim.progress.ProgressDump`
+    (``dump``) capturing per-core, directory, MSHR, and event-queue state
+    at the moment the watchdog fired, so a hang is diagnosable and
+    replayable rather than a bare string.
+    """
+
+    def __init__(self, message: str, dump=None) -> None:
+        super().__init__(message)
+        self.dump = dump

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for the coherence stack.
+
+Only the leaf-safe pieces are exported here: :mod:`.plan` (fault plans
+and the shared :data:`NULL_FAULTS` null object the memory system imports
+at module load) and :mod:`.injector` (system attach/detach).  The
+campaign orchestrator, workload builder, and differential oracle import
+the simulator, so they are deliberately *not* re-exported — import them
+as submodules (``repro.faults.campaign`` etc.) to keep
+``coherence.memsys -> faults.plan`` cycle-free.
+"""
+
+from .injector import FaultInjector
+from .plan import (FaultConfig, FaultPlan, INTENSITIES, NULL_FAULTS,
+                   NullFaults, SITES)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "INTENSITIES",
+    "NULL_FAULTS",
+    "NullFaults",
+    "SITES",
+]

@@ -1,0 +1,51 @@
+"""Wire a fault plan into a live system, and unwire it cleanly.
+
+Mirrors the attach/detach shape of :mod:`repro.observe.tracer`: the
+injector knows which components expose a ``faults`` hook — the memory
+system itself, its directory and DRAM model, and each port's MSHR file —
+and swaps the shared :data:`~repro.faults.plan.NULL_FAULTS` null object
+for the plan (and back).  Nothing else in the simulator knows fault
+injection exists.
+"""
+
+from __future__ import annotations
+
+from .plan import FaultPlan, NULL_FAULTS
+
+
+class FaultInjector:
+    """Attach one :class:`FaultPlan` to one system's memory hierarchy."""
+
+    def __init__(self, system, plan: FaultPlan) -> None:
+        self.system = system
+        self.plan = plan
+        self._attached = False
+
+    def _holders(self):
+        mem = self.system.memsys
+        yield mem
+        yield mem.directory
+        yield mem.dram
+        for port in mem.ports:
+            yield port.mshrs
+
+    def attach(self) -> "FaultInjector":
+        if self._attached:
+            raise RuntimeError("fault injector already attached")
+        for holder in self._holders():
+            holder.faults = self.plan
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        for holder in self._holders():
+            holder.faults = NULL_FAULTS
+        self._attached = False
+
+    def __enter__(self) -> "FaultInjector":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()

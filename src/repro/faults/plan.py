@@ -1,0 +1,208 @@
+"""Deterministic fault plans: seeded, bounded perturbation schedules.
+
+A :class:`FaultPlan` decides, at each *injection site* the memory system
+exposes, whether to perturb the current protocol step — and by how much.
+Every decision is drawn from a per-site RNG stream derived from the
+plan's seed (:func:`repro.common.rng.derive_seed`), so a (seed, config)
+pair names exactly one perturbation schedule: replaying a failing
+campaign is just re-running it with the same seed.
+
+The plan only ever exercises the protocol's *existing legal seams* —
+behaviours a slow network, a congested directory, or a full MSHR file
+could produce on real hardware:
+
+===============  ======================================================
+site             perturbation
+===============  ======================================================
+``dir-busy``     a free directory entry is reported busy (extra retry)
+``dir-conflict`` directory allocation refused (victim-NACK storm: the
+                 set behaves as if every victim were vetoed)
+``mshr-full``    MSHR allocation refused while entries are in flight
+                 (transient exhaustion; the parked request is retried
+                 at the next fill, so forward progress is preserved)
+``fill-delay``   extra cycles on an L3/DRAM fill completion
+``c2c-delay``    extra cycles on a cache-to-cache data forward
+``dram-jitter``  extra cycles inside the DRAM access itself
+``poll-jitter``  extra cycles before a DELAY re-poll
+``nack-burst``   a snoop target is treated as answering DELAY even
+                 though it would ACK (the snoop message is "delayed in
+                 the network" and re-polled; amplifies NACK traffic on
+                 back-invalidation)
+===============  ======================================================
+
+Boundedness is structural, not statistical: each site has an injection
+*budget* and each delay a *magnitude* cap, so the total perturbation a
+plan can add is at most ``sum(site_budget x magnitude)`` cycles — which
+is what lets a campaign assert termination within a fixed cycle budget.
+
+Like :mod:`repro.observe.bus`, the disabled state is a falsy null
+object (:data:`NULL_FAULTS`) every hook holder starts with; call sites
+guard with ``if self.faults:`` so the disabled fast path is one
+attribute load plus a truth test and the simulated machine is
+bit-identical to a build without the hook layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..common.rng import make_rng
+
+#: Every injection site a plan may be asked about.
+SITES: Tuple[str, ...] = (
+    "dir-busy", "dir-conflict", "mshr-full", "fill-delay", "c2c-delay",
+    "dram-jitter", "poll-jitter", "nack-burst",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Intensity knobs for a fault plan.
+
+    ``rate`` is the per-opportunity injection probability, ``magnitude``
+    the maximum extra cycles of one injected delay, ``burst`` the
+    maximum number of consecutive forced-DELAY answers one snoop target
+    absorbs, and ``site_budget`` the hard cap on injections per site.
+    """
+
+    rate: float = 0.05
+    magnitude: int = 96
+    burst: int = 3
+    site_budget: int = 30
+    sites: Tuple[str, ...] = SITES
+
+    def validate(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate {self.rate} outside [0, 1]")
+        if self.magnitude < 1 or self.burst < 1 or self.site_budget < 0:
+            raise ValueError("fault magnitudes/budgets must be positive")
+        unknown = set(self.sites) - set(SITES)
+        if unknown:
+            raise ValueError(f"unknown fault sites {sorted(unknown)}")
+
+
+#: Preset intensities for campaign sweeps.
+INTENSITIES: Dict[str, FaultConfig] = {
+    "low": FaultConfig(rate=0.02, magnitude=32, burst=2, site_budget=12),
+    "medium": FaultConfig(rate=0.05, magnitude=96, burst=3, site_budget=30),
+    "high": FaultConfig(rate=0.15, magnitude=192, burst=5, site_budget=60),
+}
+
+
+class NullFaults:
+    """The disabled plan: falsy, and every query answers "no fault".
+
+    A single module-level instance (:data:`NULL_FAULTS`) is shared by
+    every hook holder, mirroring :data:`repro.observe.bus.NULL_PROBE`.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def delay(self, site: str) -> int:
+        return 0
+
+    def refuse(self, site: str) -> bool:
+        return False
+
+    def force_delay(self, addr: int, target: int) -> bool:
+        return False
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        return {}
+
+
+#: The shared disabled plan every fault-injectable component starts with.
+NULL_FAULTS = NullFaults()
+
+
+class FaultPlan:
+    """One seeded, bounded perturbation schedule.
+
+    Decisions are drawn in call order from per-site streams, so a fixed
+    (seed, config) pair and a deterministic simulation yield the same
+    injections every run — in this process or a worker process.
+    """
+
+    enabled = True
+
+    def __init__(self, seed: int, config: FaultConfig = None) -> None:
+        config = config if config is not None else FaultConfig()
+        config.validate()
+        self.seed = seed
+        self.config = config
+        self._rngs = {site: make_rng(seed, f"fault:{site}")
+                      for site in config.sites}
+        #: site -> injections performed (bounded by ``site_budget``).
+        self.counts: Dict[str, int] = {site: 0 for site in config.sites}
+        #: site -> total extra cycles injected.
+        self.injected_cycles: Dict[str, int] = {site: 0
+                                                for site in config.sites}
+        #: (addr, target) -> remaining forced-DELAY answers.
+        self._bursts: Dict[Tuple[int, int], int] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    def _roll(self, site: str) -> bool:
+        """One budgeted Bernoulli draw for ``site``."""
+        rng = self._rngs.get(site)
+        if rng is None or self.counts[site] >= self.config.site_budget:
+            return False
+        if rng.random() >= self.config.rate:
+            return False
+        self.counts[site] += 1
+        return True
+
+    def delay(self, site: str) -> int:
+        """Extra cycles to add at ``site`` (0 = no injection)."""
+        if not self._roll(site):
+            return 0
+        extra = self._rngs[site].randint(1, self.config.magnitude)
+        self.injected_cycles[site] += extra
+        return extra
+
+    def refuse(self, site: str) -> bool:
+        """Whether to refuse the resource/allocation at ``site``."""
+        return self._roll(site)
+
+    def force_delay(self, addr: int, target: int) -> bool:
+        """NACK burst: answer ``target``'s snoop of ``addr`` with DELAY.
+
+        The first query of a (line, target) pair may start a bounded
+        burst; subsequent queries drain it.  Draining a burst models a
+        snoop stuck behind a storm of NACKed back-invalidations; the
+        re-poll machinery retries exactly as it does for a real DELAY.
+        """
+        key = (addr, target)
+        remaining = self._bursts.get(key)
+        if remaining is None:
+            if not self._roll("nack-burst"):
+                return False
+            remaining = self._rngs["nack-burst"].randint(
+                1, self.config.burst)
+        remaining -= 1
+        if remaining > 0:
+            self._bursts[key] = remaining
+        else:
+            self._bursts.pop(key, None)
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def total_injections(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-site injection bookkeeping (kept off the system's
+        :class:`~repro.common.stats.StatGroup` on purpose: result
+        fingerprints must not change shape when faults are enabled)."""
+        return {site: {"count": self.counts[site],
+                       "cycles": self.injected_cycles[site]}
+                for site in self.config.sites
+                if self.counts[site]}

@@ -12,14 +12,26 @@ per-point wall-clock and uops/sec, cache hit/miss counts, and worker
 utilization.  Cache misses are simulated; hits are replayed from the
 runner's memory/disk cache, so re-running an unchanged figure simulates
 zero points.
+
+The fan-out is crash-resilient: a point that raises, times out, or
+kills its worker outright is retried a bounded number of times and then
+recorded in a :class:`FailureManifest` — the sweep finishes every other
+point instead of dying with it.  Because completed results land in the
+content-addressed disk cache, re-running the same sweep after a partial
+failure resumes from the checkpoint: finished points replay as cache
+hits and only the failed ones simulate again.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                TimeoutError as FutureTimeout, wait)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..common.config import SystemConfig
@@ -41,6 +53,58 @@ class PointTiming:
 
 
 @dataclass
+class PointFailure:
+    """One point that could not be completed within its retry budget."""
+
+    label: str
+    kind: str            # "error" | "crash" | "timeout"
+    message: str
+    attempts: int
+
+    def to_dict(self) -> Dict:
+        return {"label": self.label, "kind": self.kind,
+                "message": self.message, "attempts": self.attempts}
+
+
+@dataclass
+class FailureManifest:
+    """Machine-readable record of how a sweep ended.
+
+    Written next to the results whenever a caller asks for one, so a
+    partially failed campaign leaves behind exactly which points
+    completed, which failed and why, and how far the cache got — the
+    resume checkpoint a re-run picks up from.
+    """
+
+    failures: List[PointFailure] = field(default_factory=list)
+    completed: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {"version": 1,
+                "ok": self.ok,
+                "failures": [f.to_dict() for f in self.failures],
+                "completed": self.completed,
+                "cache_hits": self.cache_hits}
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "FailureManifest":
+        data = json.loads(Path(path).read_text())
+        manifest = cls(completed=list(data.get("completed", ())),
+                       cache_hits=data.get("cache_hits", 0))
+        manifest.failures = [PointFailure(**f)
+                             for f in data.get("failures", ())]
+        return manifest
+
+
+@dataclass
 class SweepTelemetry:
     """What one :func:`run_points` batch did and how fast."""
 
@@ -49,6 +113,7 @@ class SweepTelemetry:
     cache_hits: int = 0
     wall_seconds: float = 0.0
     timings: List[PointTiming] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
 
     @property
     def simulated(self) -> int:
@@ -84,6 +149,7 @@ class SweepTelemetry:
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization,
             "uops_per_sec": self.uops_per_sec,
+            "failures": [f.to_dict() for f in self.failures],
             "points": [
                 {"label": t.label, "wall_seconds": t.wall_seconds,
                  "uops": t.uops, "uops_per_sec": t.uops_per_sec}
@@ -101,15 +167,30 @@ def default_workers() -> int:
 
 
 def run_points(runner: Runner, points: List[Point],
-               workers: Optional[int] = None) -> SweepTelemetry:
+               workers: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: int = 1,
+               manifest_path=None,
+               worker_fn=None) -> SweepTelemetry:
     """Execute a batch of points, sharding cache misses across workers.
 
     Results land in the runner's memory and disk caches, so any figure
     driven afterwards replays them without simulating.  Duplicate
     points (same cache key) are executed once.
+
+    A point that raises, exceeds ``timeout`` seconds, or kills its
+    worker process is retried up to ``retries`` more times and, if it
+    still fails, recorded in ``telemetry.failures`` while the rest of
+    the batch completes.  When ``manifest_path`` is given a
+    :class:`FailureManifest` is written there regardless of outcome.
+    ``worker_fn`` substitutes the subprocess entry point (tests use it
+    to inject crashing workers); it must accept ``(params, point)`` and
+    return ``(result_dict, wall_seconds)``.
     """
     if workers is None:
         workers = default_workers()
+    if worker_fn is None:
+        worker_fn = _simulate_payload
     start = time.perf_counter()
     telemetry = SweepTelemetry(workers=workers, points_total=len(points))
     misses: Dict[Tuple, Point] = {}
@@ -119,34 +200,182 @@ def run_points(runner: Runner, points: List[Point],
         else:
             misses.setdefault(runner.point_key(pt), pt)
     todo = list(misses.values())
-    if len(todo) <= 1 or workers <= 1:
+    if (len(todo) <= 1 or workers <= 1) and worker_fn is _simulate_payload:
         for pt in todo:
             t0 = time.perf_counter()
-            result = runner.simulate(pt)
+            try:
+                result = runner.simulate(pt)
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                telemetry.failures.append(PointFailure(
+                    pt.label(), "error", f"{type(exc).__name__}: {exc}", 1))
+                continue
             runner.store(pt, result)
             telemetry.timings.append(PointTiming(
                 pt.label(), time.perf_counter() - t0, result.committed))
-    else:
-        _fan_out(runner, todo, workers, telemetry)
+    elif todo:
+        _fan_out(runner, todo, workers, telemetry, timeout, retries,
+                 worker_fn)
     telemetry.wall_seconds = time.perf_counter() - start
+    if manifest_path is not None:
+        manifest = FailureManifest(
+            failures=list(telemetry.failures),
+            completed=[t.label for t in telemetry.timings],
+            cache_hits=telemetry.cache_hits)
+        manifest.save(manifest_path)
     return telemetry
 
 
+class _Attempt:
+    """Book-keeping for one point: failures attributed so far, and the
+    wall-clock deadline of its current in-flight run (if any)."""
+
+    __slots__ = ("point", "failures", "deadline")
+
+    def __init__(self, point: Point) -> None:
+        self.point = point
+        self.failures = 0
+        self.deadline: Optional[float] = None
+
+
 def _fan_out(runner: Runner, todo: List[Point], workers: int,
-             telemetry: SweepTelemetry) -> None:
+             telemetry: SweepTelemetry, timeout: Optional[float],
+             retries: int, worker_fn) -> None:
+    """Shard ``todo`` across a process pool, surviving worker failures.
+
+    Three failure classes, all bounded by the per-point retry budget:
+
+    * ``error``   — the worker raised; the exception travels back over
+      the future, the point is retried in place, and the pool survives.
+    * ``timeout`` — the point exceeded its wall-clock deadline.  A hung
+      worker occupies its pool slot indefinitely, so the pool is
+      abandoned and rebuilt; the expired point is charged an attempt,
+      the other in-flight points are resubmitted uncharged.
+    * ``crash``   — a worker process died (``BrokenProcessPool``).  The
+      breakage surfaces on *every* outstanding future, so the culprit
+      is unidentifiable from the pool; the lost points re-run one at a
+      time in throwaway single-worker pools, where a crash implicates
+      exactly the point that ran.  Innocent bystanders complete there
+      (a deterministic crasher cannot starve them), at the cost of one
+      serialized run each.
+    """
     params = runner.params()
-    with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
-        pending = {pool.submit(_simulate_payload, (params, pt)): pt
-                   for pt in todo}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+    max_failures = 1 + max(0, retries)
+    size = min(workers, len(todo))
+    pool = ProcessPoolExecutor(max_workers=size)
+    pending: Dict[object, _Attempt] = {}
+    # Only `size` points are ever in flight; the rest wait here.  That
+    # keeps per-point deadlines honest: a pending future is (modulo
+    # pool-internal latency) actually running, so its deadline measures
+    # the point's own wall-clock, not time spent queued behind others.
+    backlog: List[_Attempt] = [_Attempt(pt) for pt in todo]
+
+    def record(attempt: _Attempt, kind: str, message: str) -> None:
+        telemetry.failures.append(PointFailure(
+            attempt.point.label(), kind, message, attempt.failures))
+
+    def complete(attempt: _Attempt, data, sim_seconds: float) -> None:
+        result = SimResult.from_dict(data)
+        runner.store(attempt.point, result)
+        telemetry.timings.append(PointTiming(
+            attempt.point.label(), sim_seconds, result.committed))
+
+    def failed(attempt: _Attempt, kind: str, message: str) -> None:
+        """Attribute one failure; requeue while budget remains."""
+        attempt.failures += 1
+        if attempt.failures >= max_failures:
+            record(attempt, kind, message)
+        else:
+            backlog.append(attempt)
+
+    def pump() -> None:
+        while backlog and len(pending) < size:
+            attempt = backlog.pop(0)
+            attempt.deadline = (time.monotonic() + timeout
+                                if timeout is not None else None)
+            pending[pool.submit(worker_fn,
+                                (params, attempt.point))] = attempt
+
+    def run_isolated(attempt: _Attempt) -> None:
+        """Re-run one pool-break casualty alone in a throwaway pool,
+        where a crash implicates exactly the point that ran.  Success
+        costs nothing (losing a slot to someone else's crash is not
+        this point's failure); its own failure is attributed normally.
+        """
+        solo = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = solo.submit(worker_fn, (params, attempt.point))
+            data, sim_seconds = future.result(timeout=timeout)
+        except FutureTimeout:
+            failed(attempt, "timeout",
+                   f"exceeded {timeout:.1f}s wall-clock")
+        except BrokenProcessPool:
+            failed(attempt, "crash",
+                   "worker process died (BrokenProcessPool)")
+        except Exception as exc:  # noqa: BLE001 - per-point record
+            failed(attempt, "error", f"{type(exc).__name__}: {exc}")
+        else:
+            complete(attempt, data, sim_seconds)
+        finally:
+            solo.shutdown(wait=False, cancel_futures=True)
+
+    try:
+        pump()
+        while pending or backlog:
+            pump()
+            wait_timeout = None
+            if timeout is not None:
+                wait_timeout = max(0.0, min(a.deadline for a in
+                                            pending.values())
+                                   - time.monotonic())
+            done, _ = wait(pending, timeout=wait_timeout,
+                           return_when=FIRST_COMPLETED)
+            broken_by: Optional[_Attempt] = None
             for future in done:
-                pt = pending.pop(future)
-                data, sim_seconds = future.result()
-                result = SimResult.from_dict(data)
-                runner.store(pt, result)
-                telemetry.timings.append(PointTiming(
-                    pt.label(), sim_seconds, result.committed))
+                attempt = pending.pop(future)
+                try:
+                    data, sim_seconds = future.result()
+                except BrokenProcessPool:
+                    broken_by = attempt
+                    break
+                except Exception as exc:  # noqa: BLE001 - per point
+                    failed(attempt, "error",
+                           f"{type(exc).__name__}: {exc}")
+                    continue
+                complete(attempt, data, sim_seconds)
+            if broken_by is not None:
+                # The breakage surfaces on every outstanding future, so
+                # the culprit is unidentifiable from the pool: the lost
+                # in-flight points re-run one at a time in isolation.
+                lost = [broken_by] + list(pending.values())
+                pending.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                for item in lost:
+                    run_isolated(item)
+                pool = ProcessPoolExecutor(max_workers=size)
+                continue
+            if timeout is None:
+                continue
+            now = time.monotonic()
+            expired = {f: a for f, a in pending.items()
+                       if a.deadline is not None and now >= a.deadline
+                       and not f.done()}
+            if not expired:
+                continue
+            # Hung workers hold their slots until the process exits, so
+            # the whole pool is abandoned (orphaned workers die when
+            # they finish or the interpreter exits) and rebuilt; the
+            # non-expired in-flight points go back to the backlog with
+            # no failure attributed.
+            survivors = [a for f, a in pending.items() if f not in expired]
+            pending.clear()
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = ProcessPoolExecutor(max_workers=size)
+            for attempt in expired.values():
+                failed(attempt, "timeout",
+                       f"exceeded {timeout:.1f}s wall-clock")
+            backlog.extend(survivors)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 class _DryRunResult(SimResult):

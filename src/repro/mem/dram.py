@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.stats import StatGroup
+from ..faults.plan import NULL_FAULTS
 
 
 class DRAM:
@@ -30,6 +31,8 @@ class DRAM:
         self._accesses = stats.counter("accesses")
         self._queue_cycles = stats.counter(
             "queue_cycles", "cycles spent waiting for bandwidth")
+        #: Fault-injection hook (repro.faults).
+        self.faults = NULL_FAULTS
 
     def access(self, cycle: int) -> int:
         """Issue an access at ``cycle``; return its completion cycle."""
@@ -37,7 +40,10 @@ class DRAM:
         start = max(cycle, self._next_free)
         self._queue_cycles.inc(start - cycle)
         self._next_free = start + self.gap
-        return start + self.latency
+        done = start + self.latency
+        if self.faults:
+            done += self.faults.delay("dram-jitter")
+        return done
 
     @property
     def accesses(self) -> int:

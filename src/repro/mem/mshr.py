@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..common.addr import LINE_MASK
 from ..common.stats import StatGroup
+from ..faults.plan import NULL_FAULTS
 from ..observe.bus import NULL_PROBE
 
 
@@ -55,6 +56,8 @@ class MSHRFile:
                                         num_buckets=64,
                                         desc="miss latency distribution")
         self.probe = NULL_PROBE
+        #: Fault-injection hook (repro.faults).
+        self.faults = NULL_FAULTS
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,6 +84,14 @@ class MSHRFile:
             self._merges.inc()
             entry.is_write = entry.is_write or is_write
             return entry
+        if self.faults and self._entries \
+                and self.faults.refuse("mshr-full"):
+            # Injected transient exhaustion.  Only legal while at least
+            # one real miss is in flight: the refused request parks, and
+            # parked requests are retried exactly when a fill completes —
+            # so a guaranteed future fill is what keeps this live.
+            # Bookkept on the FaultPlan, not the full-events counter.
+            return None
         limit = self.capacity - (self.demand_reserve if prefetch else 0)
         if len(self._entries) >= limit:
             self._full_events.inc()

@@ -22,6 +22,7 @@ from ..cpu.core import Core
 from ..cpu.trace import Trace
 from ..mechanisms.registry import make_mechanism
 from ..observe.bus import NULL_PROBE
+from .progress import ProgressDump
 from .results import CoreResult, SimResult
 
 
@@ -141,12 +142,14 @@ class System:
                     if target is None or cand < target:
                         target = cand
             if target is None:
-                raise DeadlockError(
+                raise self._deadlock(
+                    "no-progress",
                     f"no progress possible at cycle {cycle} "
                     f"({self.workload}/{self.config.mechanism})")
             self.cycle = target
             if target - last_progress > watchdog:
-                raise DeadlockError(
+                raise self._deadlock(
+                    "watchdog",
                     f"watchdog: {watchdog} cycles without progress "
                     f"({self.workload}/{self.config.mechanism})")
         for cid, core in enumerate(self.cores):
@@ -185,7 +188,8 @@ class System:
         events_fired = 0
         while not all(done):
             if self.cycle >= max_cycles:
-                raise DeadlockError(
+                raise self._deadlock(
+                    "cycle-budget",
                     f"controlled run exceeded {max_cycles} cycles "
                     f"({self.workload}/{self.config.mechanism})")
             stepped = list(done)
@@ -243,15 +247,22 @@ class System:
                 continue
             target_cycle = self._next_interesting_cycle()
             if target_cycle is None:
-                raise DeadlockError(
+                raise self._deadlock(
+                    "no-progress",
                     f"no progress possible at cycle {self.cycle} "
                     f"({self.workload}/{self.config.mechanism})")
             self.cycle = target_cycle
             if self.cycle - last_progress > watchdog:
-                raise DeadlockError(
+                raise self._deadlock(
+                    "watchdog",
                     f"watchdog: {watchdog} cycles without progress "
                     f"({self.workload}/{self.config.mechanism})")
         return self._result()
+
+    def _deadlock(self, reason: str, message: str) -> DeadlockError:
+        """Build a DeadlockError carrying a structured progress dump."""
+        dump = ProgressDump.capture(self, reason, message)
+        return DeadlockError(message, dump=dump)
 
     def _begin_measurement(self) -> None:
         """End the warmup region: zero every statistic and restart the

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..common.errors import ModelError
 from ..common.rng import make_rng
 from .program import Fence, Load, Outcome, Program, Store, make_outcome
 
@@ -101,7 +102,7 @@ class TUSMachine:
             self.regs[op.reg] = self._local_read(core, op.addr)
         elif isinstance(op, Fence):
             if core.sb or core.groups:
-                raise RuntimeError("fence executed with pending stores")
+                raise ModelError("fence executed with pending stores")
         else:
             raise TypeError(f"unknown op {op!r}")
 
@@ -229,11 +230,11 @@ def _enumerate(root: TUSMachine, max_states: int) -> Set[Outcome]:
             continue
         seen.add(key)
         if len(seen) > max_states:
-            raise RuntimeError("program too large for exhaustive TUS search")
+            raise ModelError("program too large for exhaustive TUS search")
         steps = machine.enabled_steps()
         if not steps:
             if not machine.done():
-                raise RuntimeError("TUS machine stuck before completion")
+                raise ModelError("TUS machine stuck before completion")
             outcomes.add(machine.outcome())
             continue
         for cid, kind in steps:
@@ -257,6 +258,6 @@ def random_walk_outcomes(program: Program, walks: int = 200,
             cid, kind = rng.choice(steps)
             machine.step(cid, kind)
         if not machine.done():
-            raise RuntimeError("TUS machine stuck before completion")
+            raise ModelError("TUS machine stuck before completion")
         outcomes.add(machine.outcome())
     return outcomes
