@@ -1,10 +1,12 @@
 """Macro-benchmarks: pinned end-to-end simulation points.
 
-Three points cover the three distinct kernels of the repo: a
-single-core SPEC simulation (core + private caches dominate), a 4-core
-Parsec simulation (coherence traffic and the multi-core run loop), and
-one model-checker frontier slice (the controlled scheduler and state
-hashing).  Configurations, trace lengths, and seeds are pinned: the
+The points cover the distinct kernels of the repo: a single-core SPEC
+simulation (core + private caches dominate), a 4-core Parsec simulation
+(coherence traffic and the multi-core run loop), a 16-core Parsec
+simulation on the scaled machine (mesh topology, sharded directory,
+multi-channel DRAM), and one model-checker frontier slice (the
+controlled scheduler and state hashing).  Configurations, trace
+lengths, and seeds are pinned: the
 timings are comparable across commits, and each simulation benchmark
 records the SHA-256 fingerprint of its canonical result JSON — if a
 kernel change alters *any* statistic of the simulated machine, the
@@ -16,7 +18,7 @@ from __future__ import annotations
 import hashlib
 from typing import Callable, List
 
-from ..common.config import table_i
+from ..common.config import scaled_config, table_i
 from ..modelcheck import explore
 from ..sim.system import System
 from ..workloads import make_parallel_traces, make_trace
@@ -53,6 +55,19 @@ def _bench_parsec_4core(quick: bool) -> Callable[[], object]:
     return work
 
 
+def _bench_canneal_16(quick: bool) -> Callable[[], object]:
+    # The paper's Parsec machine width: 16 cores on a mesh with a
+    # 4-way-sharded directory and 2 DRAM channels (scaled_config).
+    length = 400 if quick else 1_500
+    config = scaled_config(16).with_mechanism("tus").with_sb_size(114)
+    traces = make_parallel_traces("canneal", 16, length, SEED)
+
+    def work():
+        return System(config, traces, workload="canneal").run()
+
+    return work
+
+
 def _bench_modelcheck_slice(quick: bool) -> Callable[[], object]:
     max_states = 60 if quick else 200
 
@@ -70,6 +85,10 @@ BENCHMARKS: List[Benchmark] = [
     Benchmark("macro.parsec_4core", "macro",
               "canneal 4-core simulation point (tus, SB=114)",
               _bench_parsec_4core, meta_fn=_fingerprint),
+    Benchmark("macro.canneal_16", "macro",
+              "canneal 16-core simulation point (tus, mesh, 4 directory "
+              "shards, 2 DRAM channels, SB=114)",
+              _bench_canneal_16, meta_fn=_fingerprint),
     Benchmark("macro.modelcheck_slice", "macro",
               "model-checker frontier slice (overlap/tus, 2 cores)",
               _bench_modelcheck_slice,

@@ -6,7 +6,8 @@ Commands
 ``run``      simulate one benchmark under one mechanism and print stats
 ``compare``  run all five mechanisms on one benchmark, side by side
 ``figure``   regenerate one of the paper's figures (fig8..fig15, writes,
-             dse, sbcost) and print its rows
+             dse, sbcost) or the core-count ``scaling`` study and print
+             its rows
 ``sweep``    regenerate figures through the parallel harness: shard the
              cache-missing simulation points across worker processes
              and print run telemetry
@@ -44,7 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .common.config import MECHANISMS, table_i
+from .common.config import MECHANISMS, TOPOLOGIES, table_i
 from .energy.mcpat import attach_energy
 from .sim.system import run_single
 from .workloads import all_profiles, make_trace
@@ -85,13 +86,17 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    from .harness import FIGURES, Runner, sb_cost
+    from .harness import FIGURES, Runner, sb_cost, scaling
     if args.name == "sbcost":
         print(sb_cost().render())
         return 0
+    if args.name == "scaling":
+        # Direct-system experiment (live tracer probes); takes no runner.
+        print(scaling().render())
+        return 0
     if args.name not in FIGURES:
         print(f"unknown figure {args.name!r}; "
-              f"known: {', '.join(sorted(FIGURES))}, sbcost",
+              f"known: {', '.join(sorted(FIGURES))}, sbcost, scaling",
               file=sys.stderr)
         return 2
     runner = Runner()
@@ -181,7 +186,10 @@ def _cmd_check(args) -> int:
                      cores=args.cores, lines=args.lines,
                      unsound=args.unsound_auth, max_depth=args.depth,
                      max_states=args.max_states, max_cycles=args.max_cycles,
-                     fuzz_runs=args.fuzz, seed=args.seed)
+                     fuzz_runs=args.fuzz, seed=args.seed,
+                     topology=args.topology, dir_shards=args.dir_shards,
+                     dram_channels=args.dram_channels,
+                     link_latency=args.link_latency)
             for scenario in scenarios for mechanism in mechanisms]
     reports = run_checks(jobs, workers=args.workers)
     failures = 0
@@ -209,7 +217,10 @@ def _cmd_faults(args) -> int:
     specs = sweep_specs(seeds=range(args.seed, args.seed + args.seeds),
                         mechanisms=mechanisms, intensities=intensities,
                         cores=args.cores, ops_per_core=args.ops,
-                        retry_policy=args.retry)
+                        retry_policy=args.retry, topology=args.topology,
+                        dir_shards=args.dir_shards,
+                        dram_channels=args.dram_channels,
+                        link_latency=args.link_latency)
     results = run_campaigns(specs, workers=args.workers)
     print(render_results(results))
     failures = [r for r in results if not r.ok]
@@ -337,6 +348,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "(MICRO 2024)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_machine_args(p):
+        """Scaled-machine knobs (defaults keep the original layout)."""
+        p.add_argument("--topology", default="p2p", choices=TOPOLOGIES,
+                       help="interconnect layout (default p2p: the "
+                            "original zero-hop timing)")
+        p.add_argument("--dir-shards", type=int, default=1,
+                       help="directory home nodes (power of two)")
+        p.add_argument("--dram-channels", type=int, default=1,
+                       help="DRAM channels (power of two)")
+        p.add_argument("--link-latency", type=int, default=1,
+                       help="cycles per interconnect hop")
+
     def add_sim_args(p):
         p.add_argument("--bench", default="502.gcc5",
                        help="benchmark name (see `repro bench`)")
@@ -423,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--unsound-auth", action="store_true",
                        help="revert the atomic-group authorization fix "
                             "(expect a wait-graph counterexample)")
+    add_machine_args(chk_p)
     chk_p.set_defaults(fn=_cmd_check)
 
     trace_p = sub.add_parser(
@@ -473,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--manifest", default=None, metavar="PATH",
                           help="write the machine-readable campaign "
                                "manifest here")
+    add_machine_args(faults_p)
     faults_p.set_defaults(fn=_cmd_faults)
 
     bench_p = sub.add_parser(

@@ -9,6 +9,16 @@ never self-conflict inside the directory.
 
 Entries track the owner (a core holding E/M) or the sharer set, plus a
 ``busy`` flag that serialises transactions per line.
+
+Scaled machines shard the directory into N home nodes
+(:class:`ShardedDirectory`): line addresses are interleaved across homes
+by their low lex-order bits — the same bits that index the sets — so
+every line has exactly one home, all lines of one atomic group still
+map to different sets within (or across) homes, and the lex-conflict
+deadlock-freedom argument carries over shard boundaries unchanged.
+Both classes expose ``shards`` and ``home_of`` so diagnostics, fault
+injection, and the model checker can quantify over every home without
+caring whether the directory is monolithic.
 """
 
 from __future__ import annotations
@@ -59,6 +69,18 @@ class Directory:
         self.probe = NULL_PROBE
         #: Fault-injection hook (repro.faults).
         self.faults = NULL_FAULTS
+
+    #: A monolithic directory is its own single home node.
+    num_shards = 1
+
+    @property
+    def shards(self) -> tuple:
+        """The home nodes, for code that quantifies over all of them."""
+        return (self,)
+
+    def home_of(self, addr: int) -> int:
+        """The shard id owning ``addr`` (always 0 here)."""
+        return 0
 
     def set_index(self, addr: int) -> int:
         return line_index(addr) & LEX_MASK & (self.num_sets - 1)
@@ -156,3 +178,87 @@ class Directory:
             if entry.addr == addr:
                 entries.remove(entry)
                 return
+
+
+class ShardedDirectory:
+    """N directory home nodes with lex-interleaved line ownership.
+
+    Each shard is a full :class:`Directory` scaled down to its share of
+    the sets; ``home_of`` picks the shard from the low lex-order bits of
+    the line address, so the mapping is static, conflict-free, and
+    identical to the bits the DRAM channel map uses (home-affine NUMA).
+    The per-address API (``lookup``/``allocate``/...) delegates to the
+    owning shard, which keeps :class:`~repro.coherence.memsys
+    .MemorySystem` and the invariants shard-agnostic.
+    """
+
+    def __init__(self, num_shards: int, num_sets: int = 1 << 16,
+                 assoc: int = 16,
+                 stats: Optional[StatGroup] = None) -> None:
+        if num_shards < 2:
+            raise ValueError("a sharded directory needs >= 2 shards")
+        if num_shards & (num_shards - 1):
+            raise ValueError("directory shards must be a power of two")
+        if num_sets % num_shards:
+            raise ValueError("directory sets must split evenly over shards")
+        self.num_shards = num_shards
+        self.num_sets = num_sets
+        self.assoc = assoc
+        stats = stats if stats is not None else StatGroup("directory")
+        self._shards = [
+            Directory(num_sets // num_shards, assoc,
+                      stats=stats.child(f"shard{sid}"))
+            for sid in range(num_shards)]
+
+    @property
+    def shards(self) -> tuple:
+        return tuple(self._shards)
+
+    def home_of(self, addr: int) -> int:
+        return line_index(addr) & LEX_MASK & (self.num_shards - 1)
+
+    def shard(self, addr: int) -> Directory:
+        """The home node owning ``addr``."""
+        return self._shards[self.home_of(addr)]
+
+    # -- delegation to the owning home --------------------------------------
+    def peek(self, addr: int) -> Optional[DirEntry]:
+        return self.shard(addr).peek(addr)
+
+    def lookup(self, addr: int) -> Optional[DirEntry]:
+        return self.shard(addr).lookup(addr)
+
+    def allocate(self, addr: int,
+                 cycle: Optional[int] = None) -> Optional[DirEntry]:
+        return self.shard(addr).allocate(addr, cycle)
+
+    def get_or_allocate(self, addr: int,
+                        cycle: Optional[int] = None) -> Optional[DirEntry]:
+        return self.shard(addr).get_or_allocate(addr, cycle)
+
+    def drop(self, addr: int) -> None:
+        self.shard(addr).drop(addr)
+
+    def entries(self) -> List[DirEntry]:
+        """Every tracked entry across all homes (unordered)."""
+        return [entry for shard in self._shards
+                for entry in shard.entries()]
+
+    # -- hooks fan out to every home ----------------------------------------
+    @property
+    def probe(self):
+        return self._shards[0].probe
+
+    @probe.setter
+    def probe(self, value) -> None:
+        for shard in self._shards:
+            shard.probe = value
+
+    @property
+    def faults(self):
+        return self._shards[0].faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        for shard in self._shards:
+            shard.faults = value

@@ -10,6 +10,15 @@ NACK/retry, data forwarding from a relinquishing core's L2, delayed
 external requests — at message-round-trip timing fidelity, without
 modelling individual network flits.
 
+Scaled machines add placement on top: each transaction is routed to the
+directory home owning its line (``dir_shards`` > 1 shards the directory
+by lex-order bits), and every message leg — request to the home, snoop
+round trips, the home's DRAM channel access, the fill back to the
+requester — pays a hop latency from :class:`~repro.coherence.topology
+.Topology`.  The default point-to-point layout charges zero hops
+everywhere, so default-configured results are bit-identical to builds
+without the topology layer.
+
 TUS integration points (used by ``repro.core``):
 
 * ``CorePort.snoop_hook`` — consulted when a snoop finds a not-visible
@@ -40,8 +49,9 @@ from ..mem.dram import DRAM
 from ..mem.mshr import MSHRFile
 from ..mem.prefetcher import StreamPrefetcher
 from ..observe.bus import NULL_PROBE
-from .directory import Directory
+from .directory import Directory, ShardedDirectory
 from .msgs import ReqType, SnoopKind, SnoopReply, SnoopResult, Transaction
+from .topology import Topology
 
 #: Cycles between directory re-polls of a core that answered DELAY.
 POLL_INTERVAL = 24
@@ -94,9 +104,18 @@ class MemorySystem:
         self.events = events
         self.stats = stats if stats is not None else StatGroup("memsys")
         self.l3 = CacheArray(config.memory.l3, stats=self.stats.child("l3"))
-        self.directory = Directory(stats=self.stats.child("directory"))
+        # A 1-shard config keeps the plain monolithic directory: the
+        # shard layer must not perturb the default machine's stat tree
+        # (fingerprints hash it) or its hot path.
+        if config.dir_shards > 1:
+            self.directory = ShardedDirectory(
+                config.dir_shards, stats=self.stats.child("directory"))
+        else:
+            self.directory = Directory(stats=self.stats.child("directory"))
         self.dram = DRAM(config.memory.dram_latency, config.memory.dram_gap,
+                         channels=config.dram_channels,
                          stats=self.stats.child("dram"))
+        self.topology = Topology(config)
         self.ports = [CorePort(self, cid) for cid in range(config.num_cores)]
         #: Transactions between start and data supply, oldest first.  The
         #: model checker reads this to build the delay wait-for graph.
@@ -134,10 +153,12 @@ class MemorySystem:
         the cycle at which the fill reaches the requester's L1D.
         """
         addr &= LINE_MASK
-        trans = Transaction(req, addr, requester, cycle, prefetch=prefetch)
+        trans = Transaction(req, addr, requester, cycle, prefetch=prefetch,
+                            home=self.directory.home_of(addr))
         self.c_transactions.inc()
         self.inflight.append(trans)
-        arrive = cycle + self.config.memory.l3.latency
+        arrive = (cycle + self.config.memory.l3.latency
+                  + self.topology.request_latency(requester, trans.home))
         self.events.schedule(arrive, lambda: self._at_directory(trans, arrive,
                                                                 on_done),
                              label=f"dir:{req.value}:{addr:#x}",
@@ -197,8 +218,10 @@ class MemorySystem:
                     self.probe.emit(cycle, "poll", line=trans.addr,
                                     requester=trans.requester,
                                     target=core_id)
-                retry = cycle + POLL_INTERVAL + self.faults.delay(
-                    "poll-jitter")
+                retry = (cycle + POLL_INTERVAL
+                         + self.topology.snoop_round_trip(trans.home,
+                                                          core_id)
+                         + self.faults.delay("poll-jitter"))
                 self.events.schedule(
                     retry,
                     lambda: self._resolve_snoops(trans, entry, retry, on_done),
@@ -216,7 +239,9 @@ class MemorySystem:
                     self.probe.emit(cycle, "poll", line=trans.addr,
                                     requester=trans.requester,
                                     target=core_id)
-                retry = cycle + POLL_INTERVAL
+                retry = (cycle + POLL_INTERVAL
+                         + self.topology.snoop_round_trip(trans.home,
+                                                          core_id))
                 if self.faults:
                     retry += self.faults.delay("poll-jitter")
                 self.events.schedule(
@@ -225,6 +250,9 @@ class MemorySystem:
                     label=f"poll:{trans.addr:#x}", actor=trans.requester)
                 return
             trans.resolved.add(core_id)
+            round_trip = self.topology.snoop_round_trip(trans.home, core_id)
+            if round_trip > trans.snoop_latency:
+                trans.snoop_latency = round_trip
             if self.probe:
                 self.probe.emit(cycle, "snoop", line=trans.addr,
                                 kind=kind.value.lower(), target=core_id,
@@ -243,14 +271,22 @@ class MemorySystem:
                           on_done)
 
     def _snoop_targets(self, trans: Transaction, entry) -> List[int]:
-        others = set(entry.sharers)
-        if entry.owner is not None:
-            others.add(entry.owner)
-        others.discard(trans.requester)
+        """Cores the directory entry actually names — never a scan over
+        every core.  The fan-out cost is O(|sharers|), so it stays flat
+        as the machine scales to 64 cores, and a core absent from the
+        sharer vector can never be snooped by construction."""
+        owner = entry.owner
         if trans.req == ReqType.GETS:
             # Only an exclusive owner needs to be downgraded for a read.
-            return [entry.owner] if entry.owner in others else []
-        return sorted(others)
+            return ([owner] if owner is not None
+                    and owner != trans.requester else [])
+        targets = [core_id for core_id in entry.sharers
+                   if core_id != trans.requester]
+        if (owner is not None and owner != trans.requester
+                and owner not in entry.sharers):
+            targets.append(owner)
+        targets.sort()
+        return targets
 
     def _apply_snoop(self, entry, core_id: int, kind: SnoopKind) -> None:
         if kind == SnoopKind.INVALIDATE:
@@ -266,6 +302,9 @@ class MemorySystem:
                      data_from_remote: bool,
                      on_done: Callable[[int], None]) -> None:
         mem = self.config.memory
+        # The home has now collected every snoop answer; the slowest
+        # round trip gates when data supply can begin (zero on p2p).
+        cycle += trans.snoop_latency
         if data_from_remote:
             # Cache-to-cache transfer through the shared level.
             self.c_forwards.inc()
@@ -277,7 +316,12 @@ class MemorySystem:
             data_cycle = cycle
             source = "l3"
         else:
-            data_cycle = self.dram.access(cycle)
+            # The miss travels home -> channel, queues for bandwidth
+            # there, and the data travels back (home-affine NUMA: the
+            # channel interleave uses the same lex bits as the homes).
+            channel = self.dram.channel_of(trans.addr)
+            hop = self.topology.home_dram[trans.home][channel]
+            data_cycle = self.dram.access(cycle + hop, channel) + hop
             self._install_l3(trans.addr, cycle)
             source = "dram"
         if self.faults:
@@ -296,7 +340,8 @@ class MemorySystem:
         # snoop the new owner *before* the data arrives — the remote
         # cache answers from its stale (empty) state and the line ends
         # up writable at one core while another holds a valid copy.
-        done = data_cycle + mem.l2.latency  # shared level back to L1D
+        done = (data_cycle + mem.l2.latency   # shared level back to L1D
+                + self.topology.fill_latency(trans.home, trans.requester))
         grant_state = State.S if trans.req == ReqType.GETS else State.E
         self.events.schedule(
             done, lambda: self._finish(trans, entry, grant_state, done,

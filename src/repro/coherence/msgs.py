@@ -84,3 +84,10 @@ class Transaction:
     #: wait-for graph is built from these edges: a cycle of live delays
     #: is the deadlock the lex order is supposed to exclude.
     waiting_on: Optional[int] = None
+    #: Directory home (shard id) serving this transaction; 0 on a
+    #: monolithic directory.
+    home: int = 0
+    #: Slowest snoop round trip charged so far (hop latency between the
+    #: home and its snoop targets).  Accumulated as a max across DELAY
+    #: re-polls so the data supply pays the full collection time once.
+    snoop_latency: int = 0

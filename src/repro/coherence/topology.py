@@ -1,0 +1,136 @@
+"""Interconnect topology: hop-count latency between tiles.
+
+The transaction engine (:mod:`repro.coherence.memsys`) charges every
+shared-level message a latency derived from where its endpoints sit on
+the interconnect: the requesting core, the directory home that owns the
+line, the snooped cores, and the DRAM channel behind the home.  Four
+layouts are modelled:
+
+``p2p``
+    The original timing: every distance is zero, so requests, snoops,
+    and fills cost exactly what they did before the topology layer
+    existed.  This is the default and keeps every committed benchmark
+    fingerprint bit-identical.
+``crossbar``
+    A non-blocking switch: one hop between any two distinct tiles.
+``ring``
+    Tiles on a bidirectional ring; distance is the shorter way around.
+``mesh``
+    Tiles on a near-square 2D grid; distance is Manhattan.
+
+Placement: core *i* occupies tile *i*.  Directory homes and DRAM
+channels are co-located with cores, spread evenly across the tiles
+(home *s* at tile ``s * C // S``), and each channel sits on the tile of
+the lowest-numbered home it serves, which is what makes the DRAM
+latency home-affine: a home's own channel is zero or few hops away,
+another home's channel is across the die.
+
+Distances are precomputed into dense matrices at construction — the
+hot path does two list indexings per message, no arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..common.config import SystemConfig
+
+
+def _grid_side(tiles: int) -> int:
+    return max(1, math.isqrt(tiles - 1) + 1) if tiles > 1 else 1
+
+
+class Topology:
+    """Precomputed hop latencies for one system layout."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.kind = config.topology
+        self.num_cores = config.num_cores
+        self.num_shards = config.dir_shards
+        self.num_channels = config.dram_channels
+        self.link_latency = config.link_latency
+        cores = self.num_cores
+        home_tiles = [s * cores // self.num_shards
+                      for s in range(self.num_shards)]
+        # A channel sits with the lowest home it serves (home h uses
+        # channel h & (channels - 1)); extra channels beyond the shard
+        # count spread like homes.
+        channel_tiles = [
+            home_tiles[c] if c < self.num_shards else c * cores
+            // self.num_channels for c in range(self.num_channels)]
+        #: One-way latency core -> home (requests, fills, snoops).
+        self.core_home: List[List[int]] = [
+            [self._hops(core, tile) * self.link_latency
+             for tile in home_tiles] for core in range(cores)]
+        #: One-way latency core -> core (symmetry signatures only; data
+        #: forwards are routed through the home in this model).
+        self.core_core: List[List[int]] = [
+            [self._hops(a, b) * self.link_latency for b in range(cores)]
+            for a in range(cores)]
+        #: One-way latency home -> DRAM channel.
+        self.home_dram: List[List[int]] = [
+            [self._hops(tile, ch) * self.link_latency
+             for ch in channel_tiles] for tile in home_tiles]
+
+    def _hops(self, a: int, b: int) -> int:
+        if a == b or self.kind == "p2p":
+            return 0
+        if self.kind == "crossbar":
+            return 1
+        if self.kind == "ring":
+            d = abs(a - b)
+            return min(d, self.num_cores - d)
+        # mesh
+        side = _grid_side(self.num_cores)
+        return (abs(a % side - b % side)
+                + abs(a // side - b // side))
+
+    # -- message latencies --------------------------------------------------
+    def request_latency(self, core: int, home: int) -> int:
+        """Core's request travelling to the directory home (one way)."""
+        return self.core_home[core][home]
+
+    def snoop_round_trip(self, home: int, core: int) -> int:
+        """Home snoops a remote core and waits for its answer."""
+        return 2 * self.core_home[core][home]
+
+    def fill_latency(self, home: int, core: int) -> int:
+        """Data/permission grant travelling home -> requester."""
+        return self.core_home[core][home]
+
+    def dram_round_trip(self, home: int, channel: int) -> int:
+        """Home's miss travelling to its DRAM channel and back."""
+        return 2 * self.home_dram[home][channel]
+
+    # -- symmetry -----------------------------------------------------------
+    @property
+    def uniform(self) -> bool:
+        """True when every core sees identical distances (p2p or any
+        single-tile layout) — core relabelling cannot change timing."""
+        return (all(d == 0 for row in self.core_home for d in row)
+                and all(d == 0 for row in self.core_core for d in row))
+
+    def permutation_ok(self, perm: Dict[int, int]) -> bool:
+        """Is the core relabelling ``old -> new`` timing-preserving?
+
+        A renaming is behaviourally legal only if each core lands on a
+        tile with the same distance to every directory home, and every
+        core pair keeps its pairwise distance.  Under ``p2p`` all
+        distances are zero and every permutation passes — the original
+        unrestricted symmetry reduction.
+        """
+        if self.uniform:
+            return True
+        core_home = self.core_home
+        for old, new in perm.items():
+            if core_home[old] != core_home[new]:
+                return False
+        core_core = self.core_core
+        for a, pa in perm.items():
+            row_a = core_core[a]
+            row_pa = core_core[pa]
+            for b, pb in perm.items():
+                if row_a[b] != row_pa[pb]:
+                    return False
+        return True

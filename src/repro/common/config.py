@@ -244,6 +244,13 @@ class MechanismConfig:
     spb_burst_threshold: int = 4
 
 
+#: Interconnect models the scaled machine supports.  ``p2p`` is the
+#: original zero-hop transaction timing (every shared-level message is
+#: free beyond the cache latencies), so default-configured simulations
+#: are bit-identical to builds that predate the topology layer.
+TOPOLOGIES: Tuple[str, ...] = ("p2p", "crossbar", "ring", "mesh")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete simulated system: cores, hierarchy, mechanism knobs."""
@@ -257,10 +264,30 @@ class SystemConfig:
     mechanism: str = "baseline"
     #: Abort if no core commits anything for this many cycles.
     deadlock_cycles: int = 2_000_000
+    #: Interconnect between cores, directory homes, and DRAM channels.
+    #: ``p2p`` reproduces the original zero-hop timing exactly.
+    topology: str = "p2p"
+    #: Directory home nodes; line addresses are interleaved across homes
+    #: by their low lex-order bits (power of two).
+    dir_shards: int = 1
+    #: Independent DRAM channels, each with its own bandwidth queue.
+    dram_channels: int = 1
+    #: Cycles per interconnect hop (ignored by ``p2p``).
+    link_latency: int = 1
 
     def validate(self) -> None:
         if self.num_cores < 1:
             raise ConfigError("at least one core is required")
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; available: "
+                f"{', '.join(TOPOLOGIES)}")
+        if not _is_pow2(self.dir_shards):
+            raise ConfigError("dir_shards must be a power of two")
+        if not _is_pow2(self.dram_channels):
+            raise ConfigError("dram_channels must be a power of two")
+        if self.link_latency < 0:
+            raise ConfigError("link_latency cannot be negative")
         self.core.validate()
         self.memory.validate()
         self.tus.validate()
@@ -283,6 +310,21 @@ class SystemConfig:
         """Return a copy with modified TUS parameters."""
         return dataclasses.replace(
             self, tus=dataclasses.replace(self.tus, **kwargs))
+
+    def with_topology(self, topology: str, dir_shards: int = 1,
+                      dram_channels: int = 1,
+                      link_latency: int = 1) -> "SystemConfig":
+        """Return a copy with a different interconnect/sharding layout.
+
+        Validates eagerly: a bad machine layout (unknown topology,
+        non-power-of-two shard or channel count) fails here, not deep
+        inside system construction.
+        """
+        config = dataclasses.replace(
+            self, topology=topology, dir_shards=dir_shards,
+            dram_channels=dram_channels, link_latency=link_latency)
+        config.validate()
+        return config
 
     def digest(self) -> str:
         """Stable short hash over every configuration field.
@@ -310,6 +352,30 @@ SB_SIZE_SWEEP: Tuple[int, ...] = (32, 64, 114)
 MECHANISMS: Tuple[str, ...] = ("baseline", "ssb", "csb", "spb", "tus")
 
 
+#: Core counts of the scaling study: the paper's 16-core Parsec machine
+#: plus the 64-core extrapolation (ROADMAP item 2; not a paper claim).
+CORE_COUNT_SWEEP: Tuple[int, ...] = (4, 16, 64)
+
+
+def scaled_config(num_cores: int) -> SystemConfig:
+    """Table I scaled to ``num_cores`` with a realistic shared level.
+
+    Past 4 cores a monolithic directory and a single DRAM channel stop
+    being credible, so the scaled machine uses a mesh interconnect, one
+    directory home per 4 cores, and one DRAM channel per 8 cores (both
+    clamped to at least one and kept a power of two by construction).
+    4 cores keeps the default point-to-point layout so the scaled 4-core
+    point is directly comparable with the existing macro results.
+    """
+    config = table_i().with_cores(num_cores)
+    if num_cores > 4:
+        config = config.with_topology(
+            "mesh", dir_shards=max(1, num_cores // 4),
+            dram_channels=max(1, num_cores // 8))
+    config.validate()
+    return config
+
+
 def sweep_configs(num_cores: int = 1) -> Dict[Tuple[str, int], SystemConfig]:
     """Return the full (mechanism, SB size) configuration matrix."""
     base = table_i().with_cores(num_cores)
@@ -317,4 +383,21 @@ def sweep_configs(num_cores: int = 1) -> Dict[Tuple[str, int], SystemConfig]:
     for mech in MECHANISMS:
         for sb in SB_SIZE_SWEEP:
             configs[(mech, sb)] = base.with_mechanism(mech).with_sb_size(sb)
+    return configs
+
+
+def scale_sweep_configs(
+        core_counts: Tuple[int, ...] = CORE_COUNT_SWEEP,
+        sb_entries: int = 114) -> Dict[Tuple[str, int], SystemConfig]:
+    """The (mechanism, core count) matrix over scaled machines.
+
+    The 16-core variants reproduce the paper's multicore evaluation
+    shape; the 64-core variants are the ROADMAP extrapolation.
+    """
+    configs = {}
+    for mech in MECHANISMS:
+        for cores in core_counts:
+            configs[(mech, cores)] = (scaled_config(cores)
+                                      .with_mechanism(mech)
+                                      .with_sb_size(sb_entries))
     return configs

@@ -70,10 +70,18 @@ class CampaignSpec:
     lines_per_core: int = 2
     ops_per_core: int = 24
     retry_policy: str = "backoff"
+    # Scaled shared level (defaults keep the original reduced machine).
+    topology: str = "p2p"
+    dir_shards: int = 1
+    dram_channels: int = 1
+    link_latency: int = 1
 
     def label(self) -> str:
-        return (f"{self.mechanism}/{self.intensity}/seed{self.seed}"
-                f"/c{self.cores}")
+        label = (f"{self.mechanism}/{self.intensity}/seed{self.seed}"
+                 f"/c{self.cores}")
+        if self.dir_shards > 1 or self.topology != "p2p":
+            label += f"/{self.topology}-s{self.dir_shards}"
+        return label
 
     def fault_config(self) -> FaultConfig:
         try:
@@ -238,7 +246,11 @@ def cycle_budget(ref_cycles: int, fault_config: FaultConfig,
 
 def _make_system(spec: CampaignSpec, traces: List[Trace]
                  ) -> Tuple[System, VisibilityObserver]:
-    config = check_config(spec.cores, spec.mechanism)
+    config = check_config(spec.cores, spec.mechanism,
+                          topology=spec.topology,
+                          dir_shards=spec.dir_shards,
+                          dram_channels=spec.dram_channels,
+                          link_latency=spec.link_latency)
     if spec.retry_policy != config.retry.policy:
         import dataclasses
         config = dataclasses.replace(

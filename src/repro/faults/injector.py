@@ -24,7 +24,11 @@ class FaultInjector:
     def _holders(self):
         mem = self.system.memsys
         yield mem
-        yield mem.directory
+        # Every directory home shard is an injection site of its own:
+        # attaching only a facade would leave dir-conflict faults dead
+        # on sharded machines (Directory.shards is (self,) when the
+        # directory is monolithic, so this also covers the 1-shard case).
+        yield from mem.directory.shards
         yield mem.dram
         for port in mem.ports:
             yield port.mshrs

@@ -33,10 +33,22 @@ class CheckJob:
     max_cycles: int = 20_000
     fuzz_runs: int = 0          # 0 = exhaustive, >0 = swarm mode
     seed: int = 0
+    # Scaled shared level of the reduced machine (defaults reproduce
+    # the original monolithic point-to-point check exactly).
+    topology: str = "p2p"
+    dir_shards: int = 1
+    dram_channels: int = 1
+    link_latency: int = 1
 
     @property
     def label(self) -> str:
         return f"{self.scenario}/{self.mechanism}"
+
+    @property
+    def machine(self) -> dict:
+        return {"topology": self.topology, "dir_shards": self.dir_shards,
+                "dram_channels": self.dram_channels,
+                "link_latency": self.link_latency}
 
 
 def run_check(job: CheckJob) -> CheckReport:
@@ -44,11 +56,12 @@ def run_check(job: CheckJob) -> CheckReport:
     if job.fuzz_runs:
         return fuzz(job.scenario, job.mechanism, cores=job.cores,
                     lines=job.lines, runs=job.fuzz_runs, seed=job.seed,
-                    unsound=job.unsound, max_cycles=job.max_cycles)
+                    unsound=job.unsound, max_cycles=job.max_cycles,
+                    machine=job.machine)
     return explore(job.scenario, job.mechanism, cores=job.cores,
                    lines=job.lines, max_depth=job.max_depth,
                    max_states=job.max_states, max_cycles=job.max_cycles,
-                   unsound=job.unsound)
+                   unsound=job.unsound, machine=job.machine)
 
 
 def run_checks(jobs: List[CheckJob],

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..common.config import MECHANISMS, SB_SIZE_SWEEP, table_i
+from ..common.config import (CORE_COUNT_SWEEP, MECHANISMS, SB_SIZE_SWEEP,
+                             scaled_config, table_i)
 from ..energy.cam import sb_spec, woq_spec
-from ..workloads import benchmarks, sb_bound_benchmarks
+from ..workloads import benchmarks, make_parallel_traces, \
+    sb_bound_benchmarks
 from .report import ExperimentResult, safe_geomean
 from .runner import Runner
 
@@ -300,4 +302,62 @@ def dse(runner: Runner, benches: Optional[List[str]] = None
                                tag=label if overrides else "")
             speedups.append(base.cycles / point.cycles)
         result.add_row(label, {"speedup": safe_geomean(speedups)})
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Core-count scaling study (not a paper figure)
+# ---------------------------------------------------------------------------
+def scaling(core_counts: Optional[Sequence[int]] = None,
+            bench: str = "canneal", length_per_core: int = 400,
+            seed: int = 42, sb_entries: int = 114) -> ExperimentResult:
+    """TUS behaviour as the machine scales from 4 to 16 to 64 cores.
+
+    Each core count uses :func:`~repro.common.config.scaled_config` —
+    mesh interconnect, sharded directory, multi-channel DRAM above 4
+    cores — and reports TUS speedup over baseline plus the contention
+    signals the paper argues stay bounded under scaling: peak WOQ
+    occupancy, mean unauthorized residency (cycles a store's line sits
+    written-but-not-authorized), DELAYed snoops, and directory retries.
+
+    Unlike the figure experiments this runs systems directly with live
+    tracer probes attached: the occupancy and residency columns are
+    derived from trace events, which the point cache cannot transport,
+    so ``scaling`` is not registered in
+    :data:`~repro.harness.sweep.FIGURES`.  The paper evaluates up to 16
+    cores; the 64-core row is an extrapolation of the model, not a
+    reproduction of a paper claim.
+    """
+    from ..observe import Tracer
+    from ..sim.system import System
+    counts = tuple(core_counts) if core_counts is not None \
+        else CORE_COUNT_SWEEP
+    result = ExperimentResult(
+        "scaling",
+        f"Core-count scaling on {bench} (tus vs baseline, "
+        f"{sb_entries}-entry SB)",
+        ["speedup", "woq_peak", "unauth_residency", "delayed_snoops",
+         "retries"], fmt="raw")
+    for cores in counts:
+        config = scaled_config(cores).with_sb_size(sb_entries)
+        base = System(
+            config.with_mechanism("baseline"),
+            make_parallel_traces(bench, cores, length_per_core, seed),
+            workload=bench).run()
+        system = System(
+            config.with_mechanism("tus"),
+            make_parallel_traces(bench, cores, length_per_core, seed),
+            workload=bench)
+        tracer = Tracer(system, max_events=0, keep_records=False).attach()
+        tus = system.run()
+        tracer.finalize()
+        tracer.detach()
+        result.add_row(f"{cores} cores", {
+            "speedup": base.cycles / tus.cycles,
+            "woq_peak": tracer.sampler.peak("post_sb"),
+            "unauth_residency":
+                tracer.lifecycle.breakdown()["unauthorized_residency"],
+            "delayed_snoops": tus.sum_stats("protocol.delayed_snoops"),
+            "retries": tus.sum_stats("protocol.retries"),
+        })
     return result

@@ -135,8 +135,10 @@ class CheckReport:
                 f"{self.wall_seconds:.1f}s")
 
 
-def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool):
-    config = check_config(cores, mechanism, unsound=unsound)
+def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool,
+           machine: Optional[dict] = None):
+    config = check_config(cores, mechanism, unsound=unsound,
+                          **(machine or {}))
     programs = scenario.build(cores, lines)
     traces = [Trace(f"mc-{scenario.name}-c{cid}", program)
               for cid, program in enumerate(programs)]
@@ -149,9 +151,10 @@ def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool):
 
 
 def _run(scenario, mechanism: str, inner, *, cores: int, lines: int,
-         unsound: bool, max_cycles: int) -> RunOutcome:
+         unsound: bool, max_cycles: int,
+         machine: Optional[dict] = None) -> RunOutcome:
     system, observer, ctx, names = _build(scenario, mechanism, cores, lines,
-                                          unsound)
+                                          unsound, machine)
     sched = CheckingScheduler(inner, ctx, names)
     taken = getattr(inner, "taken", [])
     try:
@@ -177,20 +180,27 @@ def run_schedule(scenario_name: str, mechanism: str,
                  schedule: Tuple[int, ...] = (), *, cores: int = 2,
                  lines: int = 2, unsound: bool = False,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
-                 pause: bool = False) -> RunOutcome:
+                 pause: bool = False,
+                 machine: Optional[dict] = None) -> RunOutcome:
     """Execute one schedule (replaying ``schedule`` at decision points,
     then pausing or continuing with default choices)."""
     scenario = get_scenario(scenario_name)
     inner = ReplayScheduler(schedule, pause=pause)
     return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                unsound=unsound, max_cycles=max_cycles)
+                unsound=unsound, max_cycles=max_cycles, machine=machine)
 
 
 def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
             lines: int = 2, max_depth: int = 64, max_states: int = 100_000,
-            max_cycles: int = DEFAULT_MAX_CYCLES,
-            unsound: bool = False) -> CheckReport:
-    """Exhaustive frontier BFS over all interleavings of a scenario."""
+            max_cycles: int = DEFAULT_MAX_CYCLES, unsound: bool = False,
+            machine: Optional[dict] = None) -> CheckReport:
+    """Exhaustive frontier BFS over all interleavings of a scenario.
+
+    ``machine`` optionally overrides the reduced machine's shared level
+    (``topology``/``dir_shards``/``dram_channels``/``link_latency`` as
+    accepted by :func:`~repro.modelcheck.scenarios.check_config`), so
+    checks can run on sharded/non-uniform layouts.
+    """
     scenario = get_scenario(scenario_name)
     start = time.monotonic()
     report = CheckReport(scenario.name, mechanism, cores, lines,
@@ -200,7 +210,7 @@ def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
         report.executions += 1
         inner = ReplayScheduler(schedule, pause=pause)
         return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                    unsound=unsound, max_cycles=max_cycles)
+                    unsound=unsound, max_cycles=max_cycles, machine=machine)
 
     seen = set()
     queue = deque([()])

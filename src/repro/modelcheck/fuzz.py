@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 import time
+from typing import Optional
 
 from .explorer import (DEFAULT_MAX_CYCLES, CheckReport, RunOutcome, _minimise,
                        _run)
@@ -21,8 +22,8 @@ from .scheduler import RandomScheduler, ReplayScheduler
 
 def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
          lines: int = 2, runs: int = 100, seed: int = 0,
-         unsound: bool = False,
-         max_cycles: int = DEFAULT_MAX_CYCLES) -> CheckReport:
+         unsound: bool = False, max_cycles: int = DEFAULT_MAX_CYCLES,
+         machine: Optional[dict] = None) -> CheckReport:
     """Run ``runs`` random schedules; minimise the first violation."""
     scenario = get_scenario(scenario_name)
     start = time.monotonic()
@@ -32,7 +33,7 @@ def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
         report.executions += 1
         inner = ReplayScheduler(schedule, pause=pause)
         return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                    unsound=unsound, max_cycles=max_cycles)
+                    unsound=unsound, max_cycles=max_cycles, machine=machine)
 
     outcomes = set()
     for index in range(runs):
@@ -40,7 +41,8 @@ def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
         inner = RandomScheduler(rng)
         report.executions += 1
         outcome = _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                       unsound=unsound, max_cycles=max_cycles)
+                       unsound=unsound, max_cycles=max_cycles,
+                       machine=machine)
         if outcome.kind == "violation":
             report.violation = _minimise(outcome, runner, scenario.name,
                                          mechanism, cores, lines, unsound)

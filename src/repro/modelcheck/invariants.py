@@ -92,6 +92,8 @@ def _tracked_lines(system) -> List[int]:
             addrs.add(line.addr)
     for line in system.memsys.l3:
         addrs.add(line.addr)
+    # entries() spans every directory home, so on a sharded machine the
+    # invariants quantify over all shards, not just shard 0.
     for entry in system.memsys.directory.entries():
         addrs.add(entry.addr)
     return sorted(addrs)
@@ -118,7 +120,9 @@ def check_swmr(ctx: CheckContext) -> Optional[str]:
 @invariant("directory-backing")
 def check_directory_backing(ctx: CheckContext) -> Optional[str]:
     """A visible writable copy implies the directory tracks the line and
-    (outside an in-flight transaction) names that core as owner."""
+    (outside an in-flight transaction) names that core as owner.
+    ``peek`` routes to the home shard owning the line, so the check is
+    exact on sharded directories too."""
     system = ctx.system
     directory = system.memsys.directory
     for cid, port in enumerate(system.memsys.ports):

@@ -127,8 +127,10 @@ def get_scenario(name: str) -> Scenario:
             f"{', '.join(sorted(SCENARIOS))}") from None
 
 
-def check_config(cores: int, mechanism: str,
-                 unsound: bool = False) -> SystemConfig:
+def check_config(cores: int, mechanism: str, unsound: bool = False,
+                 topology: str = "p2p", dir_shards: int = 1,
+                 dram_channels: int = 1,
+                 link_latency: int = 1) -> SystemConfig:
     """The reduced configuration every model-check run uses.
 
     Latencies are short so event timelines stay small, cache sets are
@@ -137,8 +139,16 @@ def check_config(cores: int, mechanism: str,
     without touching the protocol logic under test).  The store
     prefetch-at-commit stays on: it is part of the production store
     path for every mechanism.
+
+    ``topology``/``dir_shards``/``dram_channels`` put the reduced
+    machine on a scaled shared level — consecutive scenario lines then
+    interleave across directory homes, so a 2-shard check genuinely
+    exercises cross-home transactions and the shard-aware symmetry
+    reduction.
     """
     config = SystemConfig(
+        topology=topology, dir_shards=dir_shards,
+        dram_channels=dram_channels, link_latency=link_latency,
         num_cores=cores,
         core=CoreConfig(
             fetch_width=4, decode_width=4, rename_width=4,

@@ -15,7 +15,15 @@ Two reductions keep the space small:
   completion in the past behaves identically however far past it is);
 * **core symmetry** — cores executing identical traces are
   interchangeable, so the key is the minimum over all trace-preserving
-  permutations of the state with core ids consistently renamed.
+  permutations of the state with core ids consistently renamed.  On a
+  non-uniform interconnect cores stop being interchangeable even with
+  identical traces — a core one hop from a line's directory home and a
+  core three hops away reach genuinely different futures — so the
+  permutations are additionally filtered to those that preserve every
+  core-to-home and core-to-core distance
+  (:meth:`~repro.coherence.topology.Topology.permutation_ok`).  The
+  default point-to-point layout has all-zero distances and keeps the
+  original unrestricted reduction.
 
 Known approximation: cache-line LRU timestamps are *not* part of the
 key.  Replacement order only matters when a set overflows, and the
@@ -46,17 +54,32 @@ def canonical_key(system, observer: Optional[VisibilityObserver] = None
 
 
 def _symmetry_permutations(system) -> List[Dict[int, int]]:
-    """Core renamings that preserve the per-core trace (behaviourally
-    legal relabelings; the configuration is shared by construction)."""
+    """Core renamings that preserve the per-core trace AND the per-core
+    interconnect position (behaviourally legal relabelings; the rest of
+    the configuration is shared by construction).
+
+    The topology filter is what keeps the reduction sound on sharded /
+    non-uniform machines: with >1 directory home, two cores with equal
+    traces but different distances to a home are *not* interchangeable —
+    merging their states would collapse distinguishable timings.  On the
+    default point-to-point layout every permutation passes, preserving
+    the original reduction exactly.
+    """
     signatures = [tuple((uop.kind, uop.addr, uop.size, uop.dep_dist)
                         for uop in core.trace)
                   for core in system.cores]
+    topology = getattr(system.memsys, "topology", None)
     n = len(signatures)
     perms = []
     for order in permutations(range(n)):
-        if all(signatures[order[i]] == signatures[i] for i in range(n)):
-            # order[i] is the old core placed at canonical position i.
-            perms.append({order[i]: i for i in range(n)})
+        if not all(signatures[order[i]] == signatures[i]
+                   for i in range(n)):
+            continue
+        # order[i] is the old core placed at canonical position i.
+        perm = {order[i]: i for i in range(n)}
+        if topology is not None and not topology.permutation_ok(perm):
+            continue
+        perms.append(perm)
     return perms
 
 
@@ -99,7 +122,7 @@ def _encode(system, observer: Optional[VisibilityObserver],
          tuple(sorted(remap(r) for r in trans.resolved)),
          trans.data_from_remote, remap(trans.waiting_on))
         for trans in system.memsys.inflight))
-    dram = rel(system.memsys.dram._next_free)
+    dram = tuple(rel(free) for free in system.memsys.dram._free_at)
     stepped, stale = getattr(
         system, "sched_position",
         ((False,) * len(system.cores), (False,) * len(system.cores)))

@@ -161,10 +161,18 @@ class ProgressDump:
 
     @staticmethod
     def _directory_state(directory) -> List[dict]:
-        busy = [entry for entry in directory.entries() if entry.busy]
-        return [{"line": e.addr, "owner": e.owner,
+        """Busy entries from *every* home shard.  The listing cap is
+        per shard, so on a sharded directory the shard that is actually
+        wedged can never be crowded out of the dump by a noisy
+        neighbour."""
+        listed = []
+        for shard_id, shard in enumerate(directory.shards):
+            busy = [entry for entry in shard.entries() if entry.busy]
+            listed.extend(
+                {"shard": shard_id, "line": e.addr, "owner": e.owner,
                  "sharers": sorted(e.sharers)}
-                for e in busy[:_MAX_ITEMS]]
+                for e in busy[:_MAX_ITEMS])
+        return listed
 
     @staticmethod
     def _transaction_state(trans) -> dict:
@@ -256,7 +264,10 @@ class ProgressDump:
                            f"flight, {mshr['parked']} parked")
         for entry in self.directory:
             sharers = ",".join(map(str, entry["sharers"])) or "-"
-            out.append(f"directory busy: line {entry['line']:#x} "
+            # Dumps captured before directories were sharded have no
+            # shard key; render those as shard 0.
+            out.append(f"directory busy: shard {entry.get('shard', 0)} "
+                       f"line {entry['line']:#x} "
                        f"owner={entry['owner']} sharers={sharers}")
         for trans in self.inflight:
             out.append(f"inflight: {trans['req']} line {trans['line']:#x} "

@@ -11,17 +11,20 @@ relies on this property.
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.common.config import table_i
+from repro.common.config import scaled_config, table_i
 from repro.sim.system import System
 from repro.workloads import make_parallel_traces, make_trace
 
 
 def _simulate_payload(payload):
     """Build and run one system from primitives (must be a module-level
-    function so a process pool can pickle it)."""
-    bench, mechanism, cores, length, seed = payload
-    config = (table_i().with_mechanism(mechanism)
-              .with_sb_size(114).with_cores(cores))
+    function so a process pool can pickle it).  A sixth ``"scaled"``
+    element selects the scaled machine (mesh interconnect, sharded
+    directory, multi-channel DRAM) instead of the Table I layout."""
+    bench, mechanism, cores, length, seed = payload[:5]
+    base = scaled_config(cores) if "scaled" in payload[5:] \
+        else table_i().with_cores(cores)
+    config = base.with_mechanism(mechanism).with_sb_size(114)
     if cores == 1:
         traces = [make_trace(bench, length, seed)]
     else:
@@ -32,6 +35,7 @@ def _simulate_payload(payload):
 
 SINGLE = ("502.gcc5", "tus", 1, 4_000, 42)
 PARALLEL = ("canneal", "tus", 2, 1_500, 42)
+SCALED = ("canneal", "tus", 16, 300, 42, "scaled")
 
 
 class TestInProcessDeterminism:
@@ -40,6 +44,17 @@ class TestInProcessDeterminism:
 
     def test_parallel_repeat(self):
         assert _simulate_payload(PARALLEL) == _simulate_payload(PARALLEL)
+
+    def test_scaled_machine_repeat(self):
+        # The 16-core mesh/sharded/NUMA machine must be as reproducible
+        # as the default layout (macro.canneal_16 pins its fingerprint).
+        assert _simulate_payload(SCALED) == _simulate_payload(SCALED)
+
+    def test_scaled_machine_differs_from_flat(self):
+        # Sanity: the topology layer is live — the same workload on the
+        # p2p machine must not produce the scaled machine's result.
+        flat = ("canneal", "tus", 16, 300, 42)
+        assert _simulate_payload(SCALED) != _simulate_payload(flat)
 
     def test_mechanisms_differ(self):
         # Sanity: the fingerprint is sensitive — a different store path
@@ -53,4 +68,10 @@ class TestCrossProcessDeterminism:
         here = _simulate_payload(PARALLEL)
         with ProcessPoolExecutor(max_workers=1) as pool:
             there = pool.submit(_simulate_payload, PARALLEL).result()
+        assert here == there
+
+    def test_scaled_worker_matches_parent(self):
+        here = _simulate_payload(SCALED)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            there = pool.submit(_simulate_payload, SCALED).result()
         assert here == there
