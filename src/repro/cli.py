@@ -21,6 +21,14 @@ Commands
              invariants after every step, and diff the outcome against
              the fault-free run
 ``bench``    list the available benchmarks with their descriptions
+``serve``    run the long-lived simulation service: REST job API,
+             disk-backed queue, worker fleet, shared artifact store,
+             Prometheus ``/metrics``
+``submit``   submit one job to a running service (and optionally wait
+             for and print its result)
+``loadtest`` drive a running (or freshly booted) service with
+             Locust-style synthetic client traffic and verify
+             throughput, cross-client dedup, and 429 backlog shedding
 
 Examples
 --------
@@ -37,6 +45,9 @@ Examples
     python -m repro trace --workload parsec-small --mechanism tus
     python -m repro faults --seeds 50 --mechanism tus --intensity high
     python -m repro faults --mechanism all --manifest faults.json
+    python -m repro serve --port 8080 --service-workers 4
+    python -m repro submit sweep --spec '{"figure": "fig9"}' --wait
+    python -m repro loadtest --clients 8 --jobs 6
 """
 
 from __future__ import annotations
@@ -125,21 +136,28 @@ def _sweep_runner(args):
 
 
 def _cmd_sweep(args) -> int:
-    from .harness import FIGURES, render_telemetry, sweep_all, sweep_figure
+    from .harness import (FIGURES, SweepInterrupted, render_telemetry,
+                          sweep_all, sweep_figure)
     from .harness.export import telemetry_to_json, to_csv, to_json
     runner = _sweep_runner(args)
-    if args.name == "all":
-        outputs, telemetry = sweep_all(runner, workers=args.workers)
-        results = [r for parts in outputs.values() for r in parts]
-    elif args.name in FIGURES:
-        results, telemetry = sweep_figure(args.name, runner,
-                                          workers=args.workers,
-                                          benches=args.benches)
-    else:
-        print(f"unknown figure {args.name!r}; "
-              f"known: {', '.join(sorted(FIGURES))}, all",
-              file=sys.stderr)
-        return 2
+    try:
+        if args.name == "all":
+            outputs, telemetry = sweep_all(runner, workers=args.workers)
+            results = [r for parts in outputs.values() for r in parts]
+        elif args.name in FIGURES:
+            results, telemetry = sweep_figure(args.name, runner,
+                                              workers=args.workers,
+                                              benches=args.benches)
+        else:
+            print(f"unknown figure {args.name!r}; "
+                  f"known: {', '.join(sorted(FIGURES))}, all",
+                  file=sys.stderr)
+            return 2
+    except SweepInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        print("completed points are checkpointed in the cache; "
+              "re-run the same command to resume", file=sys.stderr)
+        return 130
     for result in results:
         print(result.render())
         print()
@@ -341,6 +359,123 @@ def _cmd_bench(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .service import Service, ServiceConfig
+
+    config = ServiceConfig(data_dir=args.data_dir, host=args.host,
+                           port=args.port, workers=args.service_workers,
+                           max_backlog=args.backlog,
+                           max_attempts=args.max_attempts,
+                           lease_seconds=args.lease)
+    service = Service(config)
+    url = service.start()
+    print(f"repro service listening on {url}")
+    print(f"  data dir   {args.data_dir}")
+    print(f"  workers    {args.service_workers}   "
+          f"backlog {args.backlog}")
+    print(f"  submit     POST {url}/api/v1/jobs")
+    print(f"  metrics    GET  {url}/metrics")
+    done = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: done.set())
+    done.wait()
+    print("draining and shutting down ...")
+    service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient
+
+    if args.file:
+        with open(args.file) as handle:
+            spec = _json.load(handle)
+    else:
+        spec = _json.loads(args.spec) if args.spec else {}
+    client = ServiceClient(args.url)
+    status, body = client.submit(args.kind, spec, priority=args.priority)
+    if status == 429:
+        print(f"shed (429): {body.get('error')}", file=sys.stderr)
+        return 3
+    if status not in (200, 202):
+        print(f"HTTP {status}: {body.get('error')}", file=sys.stderr)
+        return 2
+    job_id = body["id"]
+    print(f"job {job_id} {body['status']}"
+          + (" (deduplicated)" if not body.get("created") else ""))
+    if not args.wait:
+        return 0
+    record = client.wait(job_id, timeout=args.timeout)
+    print(f"job {job_id} {record['status']} "
+          f"(attempts {record['attempts']}, "
+          f"latency {record['latency'] or 0:.2f}s)")
+    if record["status"] != "done":
+        error = record.get("error") or {}
+        print(f"  {error.get('type')}: {error.get('message')}",
+              file=sys.stderr)
+        if error.get("progress_dump"):
+            from .sim.progress import ProgressDump
+            print(ProgressDump.from_dict(error["progress_dump"])
+                  .render(), file=sys.stderr)
+        return 1
+    print(_json.dumps(client.result(job_id)["payload"], indent=1,
+                      sort_keys=True))
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .service import (Service, ServiceConfig, demo_scenario,
+                          parse_prometheus_text)
+    from .service.client import ServiceClient
+
+    service = None
+    if args.url:
+        url = args.url
+    else:
+        import tempfile
+        data_dir = args.data_dir or tempfile.mkdtemp(
+            prefix="repro-loadtest-")
+        service = Service(ServiceConfig(
+            data_dir=data_dir, port=0, workers=args.service_workers,
+            max_backlog=args.backlog))
+        url = service.start()
+        print(f"booted service at {url} (data dir {data_dir})")
+    try:
+        verdicts = demo_scenario(
+            url, clients=args.clients, jobs_per_client=args.jobs,
+            duration_ms=args.duration_ms,
+            real_sweep=not args.no_real_sweep,
+            overload_jobs=args.overload, log=print)
+        # The metrics endpoint must stay parseable under load.
+        families = parse_prometheus_text(ServiceClient(url).metrics())
+        required = ("repro_queue_depth", "repro_jobs_inflight",
+                    "repro_worker_utilization", "repro_jobs_total",
+                    "repro_jobs_shed_total", "repro_job_latency_seconds")
+        missing = [name for name in required if name not in families]
+        drained = True
+        if service is not None:
+            drained = service.drain(timeout=30.0)
+        print()
+        for phase in ("throughput", "dedup", "overload"):
+            if phase in verdicts:
+                status = "PASS" if verdicts[phase]["ok"] else "FAIL"
+                print(f"{phase:12} {status}")
+        print(f"{'metrics':12} "
+              + ("PASS" if not missing else f"FAIL (missing {missing})"))
+        print(f"{'drained':12} " + ("PASS" if drained else "FAIL"))
+        ok = verdicts["ok"] and not missing and drained
+        print(f"loadtest {'PASSED' if ok else 'FAILED'}")
+        return 0 if ok else 1
+    finally:
+        if service is not None:
+            service.stop()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -522,6 +657,81 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative median slowdown tolerated by "
                               "--check (default 0.25)")
     bench_p.set_defaults(fn=_cmd_bench)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service (REST job API, "
+             "disk queue, worker fleet, /metrics)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    serve_p.add_argument("--data-dir", default=".repro_service",
+                         help="durable service state: queue, job "
+                              "records, artifact store")
+    serve_p.add_argument("--service-workers", type=int, default=2,
+                         metavar="N", help="worker processes")
+    serve_p.add_argument("--backlog", type=int, default=64,
+                         help="pending jobs beyond which submissions "
+                              "are shed with 429")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="execution attempts per job before it "
+                              "fails terminally")
+    serve_p.add_argument("--lease", type=float, default=600.0,
+                         help="seconds before a claimed job with a "
+                              "live worker is presumed hung and "
+                              "requeued")
+    serve_p.set_defaults(fn=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one job to a running service")
+    submit_p.add_argument("kind",
+                          choices=("sweep", "check", "faults", "bench",
+                                   "synthetic"))
+    submit_p.add_argument("--url", default="http://127.0.0.1:8080",
+                          help="service base URL")
+    submit_p.add_argument("--spec", default=None,
+                          help="job spec as inline JSON")
+    submit_p.add_argument("--file", default=None,
+                          help="job spec from a JSON file")
+    submit_p.add_argument("--priority", default="normal",
+                          choices=("high", "normal", "low"))
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until terminal and print the "
+                               "result payload")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait poll budget (seconds)")
+    submit_p.set_defaults(fn=_cmd_submit)
+
+    load_p = sub.add_parser(
+        "loadtest",
+        help="synthetic multi-client load test: throughput, dedup, "
+             "and 429 shedding against a bounded backlog")
+    load_p.add_argument("--url", default=None,
+                        help="drive an already-running service instead "
+                             "of booting a private one")
+    load_p.add_argument("--data-dir", default=None,
+                        help="data dir for the private service "
+                             "(default: a fresh temp dir)")
+    load_p.add_argument("--service-workers", type=int, default=2,
+                        metavar="N", help="workers of the private "
+                                          "service")
+    load_p.add_argument("--backlog", type=int, default=8,
+                        help="backlog bound of the private service "
+                             "(small on purpose so the overload phase "
+                             "can shed)")
+    load_p.add_argument("--clients", type=int, default=4,
+                        help="concurrent synthetic clients")
+    load_p.add_argument("--jobs", type=int, default=6,
+                        help="jobs per client in the throughput phase")
+    load_p.add_argument("--duration-ms", type=int, default=20,
+                        help="synthetic job execution time")
+    load_p.add_argument("--overload", type=int, default=6,
+                        help="slow jobs per client in the overload "
+                             "phase (0 disables it)")
+    load_p.add_argument("--no-real-sweep", action="store_true",
+                        help="use synthetic jobs (not a tiny figure "
+                             "sweep) for the dedup phase")
+    load_p.set_defaults(fn=_cmd_loadtest)
     return parser
 
 

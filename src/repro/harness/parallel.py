@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import threading
 import time
 from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
                                 TimeoutError as FutureTimeout, wait)
@@ -35,8 +37,59 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..common.config import SystemConfig
+from ..common.errors import ReproError
 from ..sim.results import CoreResult, SimResult
 from .runner import Point, Runner, _simulate_payload
+
+
+class SweepInterrupted(ReproError):
+    """``run_points`` was stopped by SIGTERM/SIGINT.
+
+    Raised *after* the shutdown work is done: every completed point is
+    checkpointed in the runner's cache, unfinished points are recorded
+    with kind ``interrupted``, and the :class:`FailureManifest` (when
+    requested) is flushed — so an interrupted service drain resumes
+    cleanly: a re-run replays the finished points as cache hits and
+    only simulates the interrupted remainder.  ``telemetry`` carries
+    the batch's partial :class:`SweepTelemetry`.
+    """
+
+    def __init__(self, message: str, telemetry=None) -> None:
+        super().__init__(message)
+        self.telemetry = telemetry
+
+
+class _SignalWatch:
+    """Convert SIGTERM/SIGINT into a cooperative stop flag.
+
+    Handlers are process-global, so they are installed only from the
+    main thread (the only place ``signal.signal`` is legal) and the
+    previous handlers are restored when the sweep ends — a nested or
+    non-main-thread ``run_points`` simply runs unwatched.
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self, enabled: bool) -> None:
+        self.triggered: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+        self.installed = False
+        if not enabled:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for sig in self.SIGNALS:
+            self._previous[sig] = signal.signal(sig, self._handle)
+        self.installed = True
+
+    def _handle(self, signum, frame) -> None:
+        self.triggered = signal.Signals(signum).name
+
+    def restore(self) -> None:
+        if self.installed:
+            for sig, previous in self._previous.items():
+                signal.signal(sig, previous)
+            self.installed = False
 
 
 @dataclass
@@ -171,7 +224,8 @@ def run_points(runner: Runner, points: List[Point],
                timeout: Optional[float] = None,
                retries: int = 1,
                manifest_path=None,
-               worker_fn=None) -> SweepTelemetry:
+               worker_fn=None,
+               graceful_signals: bool = True) -> SweepTelemetry:
     """Execute a batch of points, sharding cache misses across workers.
 
     Results land in the runner's memory and disk caches, so any figure
@@ -186,42 +240,68 @@ def run_points(runner: Runner, points: List[Point],
     ``worker_fn`` substitutes the subprocess entry point (tests use it
     to inject crashing workers); it must accept ``(params, point)`` and
     return ``(result_dict, wall_seconds)``.
+
+    With ``graceful_signals`` (and when running on the main thread),
+    SIGTERM/SIGINT stop the sweep *cleanly*: in-flight and queued
+    points are recorded with kind ``interrupted``, the manifest (when
+    requested) is flushed, and :class:`SweepInterrupted` is raised —
+    completed points are already checkpointed in the cache, so a
+    re-run resumes instead of restarting.
     """
     if workers is None:
         workers = default_workers()
     if worker_fn is None:
         worker_fn = _simulate_payload
+    watch = _SignalWatch(graceful_signals)
     start = time.perf_counter()
     telemetry = SweepTelemetry(workers=workers, points_total=len(points))
-    misses: Dict[Tuple, Point] = {}
-    for pt in points:
-        if runner.cached(pt) is not None:
-            telemetry.cache_hits += 1
-        else:
-            misses.setdefault(runner.point_key(pt), pt)
-    todo = list(misses.values())
-    if (len(todo) <= 1 or workers <= 1) and worker_fn is _simulate_payload:
-        for pt in todo:
-            t0 = time.perf_counter()
-            try:
-                result = runner.simulate(pt)
-            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
-                telemetry.failures.append(PointFailure(
-                    pt.label(), "error", f"{type(exc).__name__}: {exc}", 1))
-                continue
-            runner.store(pt, result)
-            telemetry.timings.append(PointTiming(
-                pt.label(), time.perf_counter() - t0, result.committed))
-    elif todo:
-        _fan_out(runner, todo, workers, telemetry, timeout, retries,
-                 worker_fn)
-    telemetry.wall_seconds = time.perf_counter() - start
-    if manifest_path is not None:
-        manifest = FailureManifest(
-            failures=list(telemetry.failures),
-            completed=[t.label for t in telemetry.timings],
-            cache_hits=telemetry.cache_hits)
-        manifest.save(manifest_path)
+    try:
+        misses: Dict[Tuple, Point] = {}
+        for pt in points:
+            if runner.cached(pt) is not None:
+                telemetry.cache_hits += 1
+            else:
+                misses.setdefault(runner.point_key(pt), pt)
+        todo = list(misses.values())
+        if (len(todo) <= 1 or workers <= 1) \
+                and worker_fn is _simulate_payload:
+            for index, pt in enumerate(todo):
+                if watch.triggered:
+                    for rest in todo[index:]:
+                        telemetry.failures.append(PointFailure(
+                            rest.label(), "interrupted",
+                            f"interrupted by {watch.triggered}", 0))
+                    break
+                t0 = time.perf_counter()
+                try:
+                    result = runner.simulate(pt)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    telemetry.failures.append(PointFailure(
+                        pt.label(), "error",
+                        f"{type(exc).__name__}: {exc}", 1))
+                    continue
+                runner.store(pt, result)
+                telemetry.timings.append(PointTiming(
+                    pt.label(), time.perf_counter() - t0,
+                    result.committed))
+        elif todo:
+            _fan_out(runner, todo, workers, telemetry, timeout, retries,
+                     worker_fn, watch)
+        telemetry.wall_seconds = time.perf_counter() - start
+        if manifest_path is not None:
+            manifest = FailureManifest(
+                failures=list(telemetry.failures),
+                completed=[t.label for t in telemetry.timings],
+                cache_hits=telemetry.cache_hits)
+            manifest.save(manifest_path)
+    finally:
+        watch.restore()
+    if watch.triggered:
+        raise SweepInterrupted(
+            f"sweep interrupted by {watch.triggered}: "
+            f"{telemetry.simulated} point(s) checkpointed, "
+            f"{sum(1 for f in telemetry.failures if f.kind == 'interrupted')}"
+            f" interrupted", telemetry)
     return telemetry
 
 
@@ -239,7 +319,8 @@ class _Attempt:
 
 def _fan_out(runner: Runner, todo: List[Point], workers: int,
              telemetry: SweepTelemetry, timeout: Optional[float],
-             retries: int, worker_fn) -> None:
+             retries: int, worker_fn,
+             watch: Optional[_SignalWatch] = None) -> None:
     """Shard ``todo`` across a process pool, surviving worker failures.
 
     Three failure classes, all bounded by the per-point retry budget:
@@ -318,15 +399,33 @@ def _fan_out(runner: Runner, todo: List[Point], workers: int,
         finally:
             solo.shutdown(wait=False, cancel_futures=True)
 
+    def interrupt() -> None:
+        """Record every unfinished point as ``interrupted`` (signal
+        shutdown is nobody's failure; attempts stay uncharged)."""
+        for attempt in list(pending.values()) + backlog:
+            telemetry.failures.append(PointFailure(
+                attempt.point.label(), "interrupted",
+                f"interrupted by {watch.triggered}", attempt.failures))
+        pending.clear()
+        backlog.clear()
+
     try:
         pump()
         while pending or backlog:
+            if watch is not None and watch.triggered:
+                interrupt()
+                break
             pump()
             wait_timeout = None
             if timeout is not None:
                 wait_timeout = max(0.0, min(a.deadline for a in
                                             pending.values())
                                    - time.monotonic())
+            if watch is not None and watch.installed:
+                # Wake periodically so a signal that lands while every
+                # worker is mid-point still stops the sweep promptly.
+                wait_timeout = 0.2 if wait_timeout is None \
+                    else min(wait_timeout, 0.2)
             done, _ = wait(pending, timeout=wait_timeout,
                            return_when=FIRST_COMPLETED)
             broken_by: Optional[_Attempt] = None

@@ -1,0 +1,194 @@
+"""Stdlib REST/job API for the simulation service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no
+dependencies) exposing:
+
+========  ==============================  =====================================
+method    path                            purpose
+========  ==============================  =====================================
+GET       ``/healthz``                    liveness probe
+GET       ``/metrics``                    Prometheus text exposition
+GET       ``/api/v1/jobs``                job listing (bounded, newest first)
+POST      ``/api/v1/jobs``                submit ``{"kind", "spec", "priority"}``
+GET       ``/api/v1/jobs/<id>``           job status record
+GET       ``/api/v1/jobs/<id>/result``    the stored artifact payload
+GET       ``/api/v1/stats``               service snapshot (queue/workers/store)
+========  ==============================  =====================================
+
+Submission semantics:
+
+* invalid kind/spec/priority -> **400** with the validator's message;
+* accepted new work -> **202** with the queued record;
+* duplicate of known work -> **200** and the *existing* record — a
+  done job answers instantly with its artifact reference (cross-client
+  dedup: nothing re-simulates), an active job coalesces the two
+  submissions onto one record;
+* backlog full -> **429** with ``Retry-After``, and the shed counter
+  increments; accepted jobs are never shed.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .jobs import JobValidationError
+from .queue import QueueFull
+
+#: Submission bodies larger than this are refused outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceAPI:
+    """Binds a :class:`~repro.service.service.Service` to HTTP."""
+
+    def __init__(self, service, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        handler = _make_handler(service)
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+
+
+def _make_handler(service):
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-service/1"
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing --------------------------------------------------------
+        def log_message(self, fmt, *args):   # pragma: no cover - silence
+            pass
+
+        def _send(self, status: int, payload: Dict[str, Any],
+                  headers: Optional[Dict[str, str]] = None) -> None:
+            body = json.dumps(payload, indent=1, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str,
+                       content_type: str) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, status: int, message: str,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+            self._send(status, {"error": message}, headers)
+
+        def _body(self) -> Optional[Dict[str, Any]]:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if length > MAX_BODY_BYTES:
+                self._error(413, "request body too large")
+                return None
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                self._error(400, "empty request body")
+                return None
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                self._error(400, "request body is not valid JSON")
+                return None
+            if not isinstance(body, dict):
+                self._error(400, "request body must be a JSON object")
+                return None
+            return body
+
+        # -- routes ----------------------------------------------------------
+        def do_GET(self) -> None:   # noqa: N802 - http.server API
+            service.metrics_http_requests.inc(method="GET")
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send(200, {"ok": True, "service": "repro"})
+            elif path == "/metrics":
+                self._send_text(200, service.metrics_text(),
+                                "text/plain; version=0.0.4")
+            elif path == "/api/v1/stats":
+                self._send(200, service.snapshot())
+            elif path == "/api/v1/jobs":
+                self._send(200, {"jobs": service.list_jobs()})
+            elif path.startswith("/api/v1/jobs/"):
+                tail = path[len("/api/v1/jobs/"):]
+                if tail.endswith("/result"):
+                    self._get_result(tail[:-len("/result")])
+                else:
+                    self._get_job(tail)
+            else:
+                self._error(404, f"no route for {path!r}")
+
+        def do_POST(self) -> None:   # noqa: N802 - http.server API
+            service.metrics_http_requests.inc(method="POST")
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/api/v1/jobs":
+                self._error(404, f"no route for {path!r}")
+                return
+            body = self._body()
+            if body is None:
+                return
+            kind = body.get("kind")
+            if not isinstance(kind, str):
+                self._error(400, "missing job 'kind'")
+                return
+            try:
+                record, created = service.submit(
+                    kind, body.get("spec") or {},
+                    priority=body.get("priority", "normal"))
+            except JobValidationError as exc:
+                self._error(400, str(exc))
+                return
+            except QueueFull as exc:
+                self._error(429, str(exc), {"Retry-After": "1"})
+                return
+            doc = record.to_dict()
+            doc["created"] = created
+            self._send(202 if created else 200, doc)
+
+        def _get_job(self, job_id: str) -> None:
+            record = service.job(job_id)
+            if record is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            self._send(200, record.to_dict())
+
+        def _get_result(self, job_id: str) -> None:
+            record = service.job(job_id)
+            if record is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            payload = service.result(job_id)
+            if payload is None:
+                if record.status == "failed":
+                    self._send(410, {"error": "job failed",
+                                     "job": record.to_dict()})
+                else:
+                    self._error(409, f"job {job_id!r} is "
+                                     f"{record.status}, no result yet")
+                return
+            self._send(200, {"job": job_id, "payload": payload})
+
+    return Handler

@@ -1,0 +1,298 @@
+"""Locust-style synthetic load generator for the simulation service.
+
+``run_load`` drives a fleet of client threads against a running
+service.  Each client submits a stream of jobs (unique synthetic work
+by default, or any caller-supplied job factory), tolerates 429 sheds
+with bounded retry-after backoff, then polls every *accepted* job to a
+terminal state.  The :class:`LoadReport` aggregates what the service
+demonstrably did under traffic: sustained throughput, latency
+distribution, shed counts, dedup hits — the load-test acceptance
+numbers of ROADMAP item 1.
+
+The canonical demo (:func:`demo_scenario`, backing ``repro
+loadtest``) runs three phases against one service:
+
+1. **throughput** — many clients, unique jobs, queue drains to empty;
+2. **dedup** — one identical batch submitted twice; the second pass
+   must be 100% cache/coalesce hits with zero extra simulation;
+3. **overload** — slow jobs against a tiny backlog; excess submissions
+   must shed with 429 while every accepted job still completes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .client import ServiceClient
+
+#: A job factory: (client index, job index) -> (kind, spec, priority).
+JobFactory = Callable[[int, int], Tuple[str, Dict[str, Any], str]]
+
+
+def synthetic_jobs(duration_ms: int = 20) -> JobFactory:
+    """Unique-per-(client, job) synthetic work."""
+    def factory(client: int, index: int):
+        return ("synthetic",
+                {"duration_ms": duration_ms,
+                 "payload": f"c{client}-j{index}"},
+                "normal")
+    return factory
+
+
+@dataclass
+class LoadConfig:
+    clients: int = 4
+    jobs_per_client: int = 8
+    factory: JobFactory = field(default_factory=synthetic_jobs)
+    #: Re-submit a shed job at most this many times (with backoff)
+    #: before counting it as permanently shed.
+    shed_retries: int = 0
+    poll_interval: float = 0.05
+    job_timeout: float = 120.0
+
+
+@dataclass
+class LoadReport:
+    """What one load phase did, aggregated over every client."""
+
+    submitted: int = 0
+    accepted: int = 0
+    deduped: int = 0          # answered by an existing record/artifact
+    shed: int = 0             # permanently refused with 429
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0       # accepted jobs that never executed
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    #: Dedup'd submissions that still completed (they coalesce onto a
+    #: record that finishes).
+    completed_via_dedup: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall_seconds \
+            if self.wall_seconds else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def merge(self, other: "LoadReport") -> None:
+        self.submitted += other.submitted
+        self.accepted += other.accepted
+        self.deduped += other.deduped
+        self.shed += other.shed
+        self.completed += other.completed
+        self.completed_via_dedup += other.completed_via_dedup
+        self.failed += other.failed
+        self.cache_hits += other.cache_hits
+        self.latencies.extend(other.latencies)
+        self.errors.extend(other.errors)
+
+    def render(self, title: str = "load") -> str:
+        lines = [f"== {title} =="]
+        lines.append(
+            f"submitted {self.submitted}  accepted {self.accepted}  "
+            f"deduped {self.deduped}  shed {self.shed}")
+        lines.append(
+            f"completed {self.completed}  failed {self.failed}  "
+            f"cache hits {self.cache_hits}")
+        lines.append(
+            f"wall {self.wall_seconds:.2f}s  "
+            f"throughput {self.throughput:.1f} jobs/s  "
+            f"p50 {self.quantile(0.50) * 1e3:.0f}ms  "
+            f"p95 {self.quantile(0.95) * 1e3:.0f}ms")
+        for error in self.errors[:5]:
+            lines.append(f"  error: {error}")
+        return "\n".join(lines)
+
+
+def _client_loop(base_url: str, client_index: int, config: LoadConfig,
+                 report: LoadReport) -> None:
+    client = ServiceClient(base_url)
+    pending: List[Tuple[str, float]] = []   # (job id, submit ts)
+    for index in range(config.jobs_per_client):
+        kind, spec, priority = config.factory(client_index, index)
+        report.submitted += 1
+        attempts = 0
+        while True:
+            status, body = client.submit(kind, spec, priority)
+            if status in (200, 202):
+                if body.get("created") and not body.get("cache_hit"):
+                    report.accepted += 1
+                else:
+                    report.deduped += 1
+                pending.append((body["id"], time.time()))
+                break
+            if status == 429:
+                attempts += 1
+                if attempts > config.shed_retries:
+                    report.shed += 1
+                    break
+                time.sleep(0.1 * attempts)
+                continue
+            report.errors.append(
+                f"submit -> HTTP {status}: {body.get('error')}")
+            break
+    for job_id, submitted in pending:
+        try:
+            record = client.wait(job_id, timeout=config.job_timeout,
+                                 poll=config.poll_interval)
+        except Exception as exc:   # noqa: BLE001 - aggregated
+            report.errors.append(f"wait({job_id}): {exc}")
+            continue
+        report.latencies.append(time.time() - submitted)
+        if record["status"] == "done":
+            report.completed += 1
+            if record.get("cache_hit"):
+                report.cache_hits += 1
+            if record.get("resubmits"):
+                report.completed_via_dedup += 1
+        else:
+            report.failed += 1
+
+
+def run_load(base_url: str, config: LoadConfig) -> LoadReport:
+    """Run one load phase; blocks until every client finishes."""
+    reports = [LoadReport() for _ in range(config.clients)]
+    threads = [
+        threading.Thread(target=_client_loop,
+                         args=(base_url, index, config, reports[index]),
+                         name=f"loadgen-c{index}")
+        for index in range(config.clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    merged = LoadReport()
+    for report in reports:
+        merged.merge(report)
+    merged.wall_seconds = time.perf_counter() - start
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The canonical three-phase demo behind `repro loadtest`
+# ----------------------------------------------------------------------
+
+def sweep_job(benches: List[str], st_length: int = 2_000,
+              seed: int = 42) -> Tuple[str, Dict[str, Any], str]:
+    return ("sweep", {"figure": "fig9", "benches": benches,
+                      "st_length": st_length, "simpoints": 1,
+                      "seed": seed}, "normal")
+
+
+def demo_scenario(base_url: str, clients: int = 4,
+                  jobs_per_client: int = 6,
+                  duration_ms: int = 20,
+                  real_sweep: bool = True,
+                  overload_jobs: int = 0,
+                  log: Optional[Callable[[str], None]] = None
+                  ) -> Dict[str, Any]:
+    """Run the three demo phases; returns structured verdicts.
+
+    ``overload_jobs`` > 0 adds the shed phase (needs a service whose
+    backlog is small enough to overflow — the CLI arranges that).
+    """
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    client = ServiceClient(base_url)
+    verdicts: Dict[str, Any] = {}
+
+    say(f"phase 1: throughput — {clients} clients x "
+        f"{jobs_per_client} unique jobs")
+    throughput = run_load(base_url, LoadConfig(
+        clients=clients, jobs_per_client=jobs_per_client,
+        factory=synthetic_jobs(duration_ms)))
+    say(throughput.render("throughput"))
+    verdicts["throughput"] = {
+        "ok": throughput.failed == 0 and not throughput.errors
+        and throughput.completed == throughput.submitted
+        - throughput.shed,
+        "report": throughput.render("throughput"),
+        "completed": throughput.completed,
+        "shed": throughput.shed,
+    }
+
+    say("phase 2: dedup — identical batch submitted twice")
+    if real_sweep:
+        factory = (lambda c, i:
+                   sweep_job(["synth.burst", "synth.scatter"]))
+    else:
+        factory = (lambda c, i:
+                   ("synthetic", {"duration_ms": duration_ms,
+                                  "payload": "dedup-batch"}, "normal"))
+    first = run_load(base_url, LoadConfig(
+        clients=1, jobs_per_client=1, factory=factory))
+    stats_before = client.stats()
+    simulated_before = _points_simulated(client)
+    second = run_load(base_url, LoadConfig(
+        clients=clients, jobs_per_client=2, factory=factory))
+    simulated_after = _points_simulated(client)
+    say(first.render("dedup (first run)"))
+    say(second.render("dedup (resubmissions)"))
+    dedup_ok = (first.completed == 1 and second.failed == 0
+                and second.completed == second.submitted
+                and simulated_after == simulated_before)
+    verdicts["dedup"] = {
+        "ok": dedup_ok,
+        "first_completed": first.completed,
+        "resubmitted": second.submitted,
+        "resubmit_hits": second.deduped + second.cache_hits,
+        "points_resimulated": simulated_after - simulated_before,
+        "report": second.render("dedup"),
+    }
+    del stats_before
+
+    if overload_jobs:
+        say(f"phase 3: overload — {overload_jobs} slow jobs against "
+            f"a bounded backlog")
+        sheds_before = _sheds(client)
+        slow = run_load(base_url, LoadConfig(
+            clients=clients, jobs_per_client=overload_jobs,
+            factory=lambda c, i: (
+                "synthetic",
+                {"duration_ms": 250, "payload": f"slow-{c}-{i}"},
+                "normal")))
+        say(slow.render("overload"))
+        sheds_after = _sheds(client)
+        verdicts["overload"] = {
+            # Every *accepted* job completed; the excess was answered
+            # with 429 instead of being silently dropped.
+            "ok": slow.failed == 0 and not slow.errors
+            and slow.shed > 0
+            and slow.completed == slow.submitted - slow.shed,
+            "shed": slow.shed,
+            "sheds_metric_delta": sheds_after - sheds_before,
+            "completed": slow.completed,
+            "report": slow.render("overload"),
+        }
+
+    verdicts["ok"] = all(v["ok"] for v in verdicts.values()
+                         if isinstance(v, dict))
+    return verdicts
+
+
+def _points_simulated(client: ServiceClient) -> int:
+    from .metrics import parse_prometheus_text
+    families = parse_prometheus_text(client.metrics())
+    samples = families.get("repro_points_simulated_total", {})
+    return int(sum(samples.values()))
+
+
+def _sheds(client: ServiceClient) -> int:
+    from .metrics import parse_prometheus_text
+    families = parse_prometheus_text(client.metrics())
+    samples = families.get("repro_jobs_shed_total", {})
+    return int(sum(samples.values()))

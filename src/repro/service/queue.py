@@ -1,0 +1,193 @@
+"""Disk-backed, crash-safe, priority task queue with a bounded backlog.
+
+The queue is two spool directories of tiny entry files::
+
+    queue/pending/p<priority>-<seq>-<job id>.json
+    queue/running/p<priority>-<seq>-<job id>.json
+
+Every transition is a single atomic ``os.rename`` of one entry file,
+which gives three properties with no locks and no daemon:
+
+* **claim is race-free** — many workers may try to rename the same
+  pending entry into ``running/``; the filesystem lets exactly one
+  succeed (the losers get ``FileNotFoundError`` and move on);
+* **crash-safe** — an entry is always in exactly one directory, so a
+  worker that dies mid-job leaves its entry in ``running/`` where the
+  monitor finds it and renames it back (nothing accepted is ever lost);
+* **restart-safe** — queue state *is* the directory listing; a service
+  restart recovers the backlog by reading nothing but filenames.
+
+Ordering: entries drain lexicographically, and filenames sort by
+priority first (``p0`` < ``p1`` < ``p2``), then by a monotonic
+submission sequence — strict priority, FIFO within a priority band.
+
+The backlog is bounded: :meth:`DiskQueue.submit` refuses work beyond
+``max_backlog`` pending entries by raising :class:`QueueFull`, which
+the API layer turns into HTTP 429.  Shedding happens *only* at the
+submission edge — once an entry is accepted it is never dropped, only
+drained or explicitly failed after its retry budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..common.errors import ReproError
+from .jobs import DEFAULT_PRIORITY, PRIORITIES, read_json, \
+    write_json_atomic
+
+
+class QueueFull(ReproError):
+    """The pending backlog is at capacity; the submission was shed."""
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"backlog full ({depth}/{limit} pending); submission shed")
+        self.depth = depth
+        self.limit = limit
+
+
+class Entry:
+    """A parsed queue entry filename."""
+
+    __slots__ = ("name", "priority", "seq", "job")
+
+    def __init__(self, name: str) -> None:
+        stem = name[:-5] if name.endswith(".json") else name
+        prio, seq, job = stem.split("-", 2)
+        self.name = name
+        self.priority = int(prio[1:])
+        self.seq = int(seq)
+        self.job = job
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return f"Entry({self.name})"
+
+
+class DiskQueue:
+    """Priority FIFO over spool directories (see module docstring)."""
+
+    def __init__(self, root: Path, max_backlog: int = 64) -> None:
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.running_dir = self.root / "running"
+        self.pending_dir.mkdir(parents=True, exist_ok=True)
+        self.running_dir.mkdir(parents=True, exist_ok=True)
+        self.max_backlog = max_backlog
+        # Sequence numbers only need to be unique and increasing per
+        # submitting process; cross-process ties break on the counter
+        # suffix which embeds the pid.
+        self._seq = itertools.count()
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------------
+    def _entries(self, directory: Path) -> List[Entry]:
+        entries = []
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                entries.append(Entry(name))
+            except (ValueError, IndexError):
+                continue
+        entries.sort(key=lambda e: e.name)
+        return entries
+
+    def pending(self) -> List[Entry]:
+        return self._entries(self.pending_dir)
+
+    def running(self) -> List[Entry]:
+        return self._entries(self.running_dir)
+
+    def depth(self) -> int:
+        return len(self.pending())
+
+    def inflight(self) -> int:
+        return len(self.running())
+
+    def depth_by_priority(self) -> Dict[str, int]:
+        by_num = {num: 0 for num in PRIORITIES.values()}
+        for entry in self.pending():
+            by_num[entry.priority] = by_num.get(entry.priority, 0) + 1
+        return {name: by_num.get(num, 0)
+                for name, num in PRIORITIES.items()}
+
+    # -- producer edge -------------------------------------------------------
+    def submit(self, job: str, priority: str = DEFAULT_PRIORITY) -> str:
+        """Enqueue ``job``; returns the entry name.
+
+        Raises :class:`QueueFull` when the pending backlog is at
+        ``max_backlog`` — the *only* point where work is ever refused.
+        """
+        prio = PRIORITIES[priority]
+        with self._lock:
+            depth = self.depth()
+            if depth >= self.max_backlog:
+                raise QueueFull(depth, self.max_backlog)
+            seq = next(self._seq)
+            # time_ns keeps ordering sane across submitting processes;
+            # the (pid, seq) suffix guarantees uniqueness within one.
+            stamp = time.time_ns() // 1_000_000
+            name = f"p{prio}-{stamp:015d}{self._pid % 100_000:05d}" \
+                   f"{seq:06d}-{job}.json"
+            write_json_atomic(self.pending_dir / name,
+                              {"job": job, "priority": priority})
+        return name
+
+    # -- consumer edge -------------------------------------------------------
+    def claim(self) -> Optional[Entry]:
+        """Atomically move the best pending entry to ``running/``.
+
+        Returns the claimed entry, or ``None`` when the queue is empty.
+        Safe to call concurrently from any number of processes.
+        """
+        for entry in self.pending():
+            src = self.pending_dir / entry.name
+            dst = self.running_dir / entry.name
+            try:
+                os.rename(src, dst)
+            except (FileNotFoundError, OSError):
+                continue    # someone else won this entry
+            return entry
+        return None
+
+    def ack(self, entry_name: str) -> None:
+        """The claimed job finished (terminally); drop its entry."""
+        try:
+            os.unlink(self.running_dir / entry_name)
+        except FileNotFoundError:
+            pass
+
+    def requeue(self, entry_name: str) -> bool:
+        """Move a running entry back to pending (worker died/retreated).
+
+        Returns ``False`` when the entry is gone (already acked or
+        requeued by someone else) — requeue races are benign.
+        """
+        try:
+            os.rename(self.running_dir / entry_name,
+                      self.pending_dir / entry_name)
+        except (FileNotFoundError, OSError):
+            return False
+        return True
+
+    def entry_payload(self, directory: Path, entry_name: str) -> Optional[dict]:
+        return read_json(directory / entry_name)
+
+    def running_age(self, entry_name: str) -> Optional[float]:
+        """Seconds since the entry was claimed; ``None`` if gone."""
+        try:
+            claimed = os.stat(self.running_dir / entry_name).st_mtime
+        except FileNotFoundError:
+            return None
+        return max(0.0, time.time() - claimed)

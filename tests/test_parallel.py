@@ -7,13 +7,18 @@ every point.
 """
 
 import os
+import signal
+import threading
+import time
 
 import pytest
 
-from repro.harness import (FIGURES, Point, Runner, collect_points, fig9,
-                           run_points, sweep_figure)
-from repro.harness.parallel import PointCollector, default_workers
+from repro.harness import (FIGURES, Point, Runner, SweepInterrupted,
+                           collect_points, fig9, run_points, sweep_figure)
+from repro.harness.parallel import (FailureManifest, PointCollector,
+                                    default_workers)
 from repro.harness.report import render_telemetry
+from repro.harness.runner import _simulate_payload
 
 SMALL = ["synth.burst", "synth.scatter"]
 
@@ -169,3 +174,96 @@ def test_fanout_at_least_2x_faster_with_4_workers(tmp_path):
     assert telemetry.simulated == len(points)
     assert parallel_seconds * 2 <= serial_seconds, (
         f"parallel {parallel_seconds:.2f}s vs serial {serial_seconds:.2f}s")
+
+
+# ----------------------------------------------------------------------
+# Graceful SIGTERM/SIGINT shutdown (service drain)
+# ----------------------------------------------------------------------
+
+class InterruptingRunner(Runner):
+    """Sends SIGTERM to its own process after N completed points —
+    a deterministic stand-in for a service drain landing mid-sweep."""
+
+    def __init__(self, kill_after, **kwargs):
+        super().__init__(**kwargs)
+        self._kill_after = kill_after
+        self._done = 0
+
+    def simulate(self, pt):
+        result = super().simulate(pt)
+        self._done += 1
+        if self._done == self._kill_after:
+            os.kill(os.getpid(), signal.SIGTERM)
+        return result
+
+
+def sleepy_worker(payload):
+    time.sleep(1.0)
+    return _simulate_payload(payload)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_checkpoints_then_raises(self, tmp_path):
+        points = small_points()[:4]
+        runner = InterruptingRunner(
+            2, cache_dir=str(tmp_path), st_length=2500, par_length=300,
+            num_cores_parallel=4, simpoints=1, parsec_simpoints=1)
+        manifest_path = tmp_path / "manifest.json"
+        previous = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(SweepInterrupted) as err:
+            run_points(runner, points, workers=1,
+                       manifest_path=manifest_path)
+        # Handlers restored, partial telemetry attached.
+        assert signal.getsignal(signal.SIGTERM) is previous
+        telemetry = err.value.telemetry
+        assert telemetry.simulated == 2
+        interrupted = [f for f in telemetry.failures
+                       if f.kind == "interrupted"]
+        assert len(interrupted) == 2
+        # The manifest records the split for the resume.
+        manifest = FailureManifest.load(manifest_path)
+        assert not manifest.ok
+        assert len(manifest.completed) == 2
+        assert all(f.kind == "interrupted" for f in manifest.failures)
+        # A re-run resumes from the cache checkpoint: the two finished
+        # points replay as hits, only the interrupted two simulate.
+        resumed = run_points(small_runner(tmp_path), points, workers=1)
+        assert resumed.cache_hits == 2
+        assert resumed.simulated == 2
+        assert not resumed.failures
+
+    def test_sigterm_interrupts_parallel_fanout(self, tmp_path):
+        points = small_points()
+        runner = small_runner(tmp_path)
+        killer = threading.Timer(
+            0.4, os.kill, (os.getpid(), signal.SIGTERM))
+        killer.start()
+        try:
+            with pytest.raises(SweepInterrupted) as err:
+                run_points(runner, points, workers=2,
+                           worker_fn=sleepy_worker)
+        finally:
+            killer.cancel()
+        telemetry = err.value.telemetry
+        interrupted = [f for f in telemetry.failures
+                       if f.kind == "interrupted"]
+        # Signal shutdown is nobody's failure: every point either
+        # completed or was recorded interrupted, attempts uncharged.
+        assert len(interrupted) == len(telemetry.failures)
+        assert interrupted
+        assert telemetry.simulated + len(interrupted) == len(points)
+
+    def test_non_main_thread_runs_unwatched(self, tmp_path):
+        runner = small_runner(tmp_path)
+        out = {}
+
+        def target():
+            out["telemetry"] = run_points(
+                runner, [Point("synth.burst", "baseline", 114)],
+                workers=1)
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert out["telemetry"].simulated == 1
+        assert not out["telemetry"].failures
