@@ -11,7 +11,10 @@ Commands
 ``sweep``    regenerate figures through the parallel harness: shard the
              cache-missing simulation points across worker processes
              and print run telemetry
-``litmus``   run the x86-TSO litmus checks (optionally one mechanism)
+``litmus``   run the memory-model litmus checks (default: the original
+             x86-TSO set; ``--model relaxed`` runs the cross-model
+             corpus with the axiomatic cross-check)
+``models``   list the registered base consistency models
 ``check``    model-check protocol invariants over all interleavings of
              a small scenario (exhaustive BFS, or ``--fuzz`` swarm)
 ``trace``    record every instrumentation event of one run and export a
@@ -39,6 +42,8 @@ Examples
     python -m repro sweep fig8 --workers 8
     python -m repro sweep all --workers 16 --export-dir out/
     python -m repro litmus --mechanism tus
+    python -m repro litmus --model relaxed
+    python -m repro models
     python -m repro check --cores 2 --lines 2 --mechanism tus
     python -m repro check --scenario overlap --mechanism tus --unsound-auth
     python -m repro check --cores 3 --fuzz 500 --seed 7
@@ -175,6 +180,8 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_litmus(args) -> int:
+    if getattr(args, "model", "tso") != "tso":
+        return _cmd_litmus_model(args)
     from .tso import all_litmus_tests, enumerate_outcomes, \
         enumerate_mechanism_outcomes
     mechanisms = MECHANISMS if args.mechanism == "all" else (args.mechanism,)
@@ -194,6 +201,52 @@ def _cmd_litmus(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_litmus_model(args) -> int:
+    """Litmus under a non-default memory model: run the cross-model
+    corpus, check mechanism outcomes against the model's reference,
+    the operational/axiomatic containment, and the corpus verdict for
+    the critical outcome."""
+    from .models import enumerate_mechanism_outcomes, get_model
+    from .models.axiomatic import axiomatic_outcomes
+    from .models.corpus import ALLOWED, corpus
+    model = get_model(args.model)
+    mechanisms = MECHANISMS if args.mechanism == "all" else (args.mechanism,)
+    failures = 0
+    for entry in corpus():
+        ref = model.reference_outcomes(entry.program)
+        ax = axiomatic_outcomes(entry.program, model)
+        bad = not ref <= ax
+        want = entry.verdict(model.name) == ALLOWED
+        verdict = "allowed" if want else "forbidden"
+        bad |= entry.observable(ref) != want
+        bad |= entry.observable(ax) != want
+        cells = []
+        for mechanism in mechanisms:
+            outcomes = enumerate_mechanism_outcomes(
+                entry.program, mechanism, model=model.name)
+            ok = outcomes <= ref
+            bad |= not ok
+            cells.append(f"{mechanism}={len(outcomes):<3}"
+                         f"{'' if ok else '!'}")
+        failures += bad
+        status = "OK" if not bad else "VIOLATION"
+        print(f"{entry.name:15} {model.name}={len(ref):3} ax={len(ax):3} "
+              f"{' '.join(cells)} {verdict:9} {status}")
+    return 1 if failures else 0
+
+
+def _cmd_models(args) -> int:
+    from .models import DEFAULT_MODEL, available_models, get_model
+    for name in available_models():
+        model = get_model(name)
+        default = " (default)" if name == DEFAULT_MODEL else ""
+        print(f"{name:10} {model.description}{default}")
+        print(f"{'':10} multi-copy-atomic={model.multi_copy_atomic} "
+              f"store-order={model.guarantees_store_order} "
+              f"axioms={','.join(model.axiom_names())}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .harness.checks import CheckJob, run_checks
     from .modelcheck import SCENARIOS
@@ -207,7 +260,7 @@ def _cmd_check(args) -> int:
                      fuzz_runs=args.fuzz, seed=args.seed,
                      topology=args.topology, dir_shards=args.dir_shards,
                      dram_channels=args.dram_channels,
-                     link_latency=args.link_latency)
+                     link_latency=args.link_latency, model=args.model)
             for scenario in scenarios for mechanism in mechanisms]
     reports = run_checks(jobs, workers=args.workers)
     failures = 0
@@ -238,7 +291,8 @@ def _cmd_faults(args) -> int:
                         retry_policy=args.retry, topology=args.topology,
                         dir_shards=args.dir_shards,
                         dram_channels=args.dram_channels,
-                        link_latency=args.link_latency)
+                        link_latency=args.link_latency,
+                        model=args.model)
     results = run_campaigns(specs, workers=args.workers)
     print(render_results(results))
     failures = [r for r in results if not r.ok]
@@ -546,11 +600,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write CSV/JSON results + telemetry here")
     sweep_p.set_defaults(fn=_cmd_sweep)
 
-    lit_p = sub.add_parser("litmus", help="x86-TSO litmus checks")
+    from .models import available_models
+    model_names = tuple(available_models())
+
+    lit_p = sub.add_parser("litmus", help="memory-model litmus checks")
     lit_p.add_argument("--mechanism", default="all",
                        choices=MECHANISMS + ("all",),
                        help="check one store-path model (default: all)")
+    lit_p.add_argument("--model", default="tso", choices=model_names,
+                       help="base consistency model (default tso: the "
+                            "original x86-TSO checks; other models run "
+                            "the cross-model corpus)")
     lit_p.set_defaults(fn=_cmd_litmus)
+
+    models_p = sub.add_parser(
+        "models", help="list the registered memory models")
+    models_p.set_defaults(fn=_cmd_models)
 
     chk_p = sub.add_parser(
         "check", help="model-check protocol invariants exhaustively")
@@ -581,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--unsound-auth", action="store_true",
                        help="revert the atomic-group authorization fix "
                             "(expect a wait-graph counterexample)")
+    chk_p.add_argument("--model", default="tso", choices=model_names,
+                       help="base consistency model; gates which "
+                            "invariants apply (default tso)")
     add_machine_args(chk_p)
     chk_p.set_defaults(fn=_cmd_check)
 
@@ -632,6 +700,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--manifest", default=None, metavar="PATH",
                           help="write the machine-readable campaign "
                                "manifest here")
+    faults_p.add_argument("--model", default="tso", choices=model_names,
+                          help="base consistency model; gates which "
+                               "invariants and oracle legs apply "
+                               "(default tso)")
     add_machine_args(faults_p)
     faults_p.set_defaults(fn=_cmd_faults)
 

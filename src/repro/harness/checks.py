@@ -39,10 +39,16 @@ class CheckJob:
     dir_shards: int = 1
     dram_channels: int = 1
     link_latency: int = 1
+    # Base consistency model (repro.models registry); gates which
+    # invariants apply (e.g. store-order is TSO-only).
+    model: str = "tso"
 
     @property
     def label(self) -> str:
-        return f"{self.scenario}/{self.mechanism}"
+        base = f"{self.scenario}/{self.mechanism}"
+        if self.model != "tso":
+            base += f"@{self.model}"
+        return base
 
     @property
     def machine(self) -> dict:
@@ -57,11 +63,12 @@ def run_check(job: CheckJob) -> CheckReport:
         return fuzz(job.scenario, job.mechanism, cores=job.cores,
                     lines=job.lines, runs=job.fuzz_runs, seed=job.seed,
                     unsound=job.unsound, max_cycles=job.max_cycles,
-                    machine=job.machine)
+                    machine=job.machine, model=job.model)
     return explore(job.scenario, job.mechanism, cores=job.cores,
                    lines=job.lines, max_depth=job.max_depth,
                    max_states=job.max_states, max_cycles=job.max_cycles,
-                   unsound=job.unsound, machine=job.machine)
+                   unsound=job.unsound, machine=job.machine,
+                   model=job.model)
 
 
 def run_checks(jobs: List[CheckJob],

@@ -33,6 +33,7 @@ from typing import Callable, Optional, Tuple
 
 from ..common.errors import DeadlockError
 from ..cpu.trace import Trace
+from ..models import DEFAULT_MODEL, get_model
 from ..sim.system import System
 from ..tso.observer import VisibilityObserver
 from .invariants import CheckContext, InvariantViolation
@@ -56,6 +57,7 @@ class Violation:
     cores: int
     lines: int
     unsound: bool
+    model: str = DEFAULT_MODEL
     trace: Tuple[str, ...] = ()
 
     def describe(self) -> str:
@@ -64,6 +66,8 @@ class Violation:
             f"  {self.message}",
             f"scenario {self.scenario}, mechanism {self.mechanism}, "
             f"{self.cores} cores x {self.lines} lines"
+            + (f", model {self.model}" if self.model != DEFAULT_MODEL
+               else "")
             + (", unsound authorization" if self.unsound else ""),
             f"minimised schedule ({len(self.schedule)} decisions): "
             f"{list(self.schedule)}",
@@ -76,13 +80,15 @@ class Violation:
 
     def as_pytest(self) -> str:
         """A ready-to-paste pytest case replaying this counterexample."""
+        model_arg = ("" if self.model == DEFAULT_MODEL
+                     else f", model={self.model!r}")
         return (
             "def test_replay_counterexample():\n"
             "    from repro.modelcheck import replay\n"
             f"    outcome = replay({self.scenario!r}, {self.mechanism!r},\n"
             f"                     {list(self.schedule)!r},\n"
             f"                     cores={self.cores}, lines={self.lines},\n"
-            f"                     unsound={self.unsound})\n"
+            f"                     unsound={self.unsound}{model_arg})\n"
             "    assert outcome.kind == 'violation'\n"
             f"    assert outcome.invariant == {self.invariant!r}\n"
         )
@@ -111,6 +117,7 @@ class CheckReport:
     cores: int
     lines: int
     mode: str                       # "exhaustive" | "fuzz"
+    model: str = DEFAULT_MODEL
     executions: int = 0
     unique_states: int = 0
     terminal_states: int = 0
@@ -127,6 +134,8 @@ class CheckReport:
         status = "PASS" if self.passed else "FAIL"
         extent = ("exhaustive" if self.complete
                   else f"bounded ({self.mode})")
+        if self.model != DEFAULT_MODEL:
+            extent = f"{self.model}, {extent}"
         return (f"{status} {self.scenario}/{self.mechanism} "
                 f"[{self.cores}c x {self.lines}l, {extent}]: "
                 f"{self.executions} executions, "
@@ -136,7 +145,7 @@ class CheckReport:
 
 
 def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool,
-           machine: Optional[dict] = None):
+           machine: Optional[dict] = None, model: str = DEFAULT_MODEL):
     config = check_config(cores, mechanism, unsound=unsound,
                           **(machine or {}))
     programs = scenario.build(cores, lines)
@@ -146,15 +155,20 @@ def _build(scenario, mechanism: str, cores: int, lines: int, unsound: bool,
     observer = VisibilityObserver()
     observer.attach(system)
     ctx = CheckContext(system, traces, observer)
-    names = system.cores[0].mechanism.modelcheck_invariants()
+    # Invariants that assume orderings the base model does not
+    # guarantee (e.g. store-order under the relaxed model) are
+    # filtered out; under the default model this is the identity.
+    names = get_model(model).filter_invariants(
+        system.cores[0].mechanism.modelcheck_invariants())
     return system, observer, ctx, names
 
 
 def _run(scenario, mechanism: str, inner, *, cores: int, lines: int,
          unsound: bool, max_cycles: int,
-         machine: Optional[dict] = None) -> RunOutcome:
+         machine: Optional[dict] = None,
+         model: str = DEFAULT_MODEL) -> RunOutcome:
     system, observer, ctx, names = _build(scenario, mechanism, cores, lines,
-                                          unsound, machine)
+                                          unsound, machine, model)
     sched = CheckingScheduler(inner, ctx, names)
     taken = getattr(inner, "taken", [])
     try:
@@ -181,19 +195,22 @@ def run_schedule(scenario_name: str, mechanism: str,
                  lines: int = 2, unsound: bool = False,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  pause: bool = False,
-                 machine: Optional[dict] = None) -> RunOutcome:
+                 machine: Optional[dict] = None,
+                 model: str = DEFAULT_MODEL) -> RunOutcome:
     """Execute one schedule (replaying ``schedule`` at decision points,
     then pausing or continuing with default choices)."""
     scenario = get_scenario(scenario_name)
     inner = ReplayScheduler(schedule, pause=pause)
     return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                unsound=unsound, max_cycles=max_cycles, machine=machine)
+                unsound=unsound, max_cycles=max_cycles, machine=machine,
+                model=model)
 
 
 def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
             lines: int = 2, max_depth: int = 64, max_states: int = 100_000,
             max_cycles: int = DEFAULT_MAX_CYCLES, unsound: bool = False,
-            machine: Optional[dict] = None) -> CheckReport:
+            machine: Optional[dict] = None,
+            model: str = DEFAULT_MODEL) -> CheckReport:
     """Exhaustive frontier BFS over all interleavings of a scenario.
 
     ``machine`` optionally overrides the reduced machine's shared level
@@ -204,13 +221,14 @@ def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
     scenario = get_scenario(scenario_name)
     start = time.monotonic()
     report = CheckReport(scenario.name, mechanism, cores, lines,
-                         mode="exhaustive")
+                         mode="exhaustive", model=model)
 
     def runner(schedule: Tuple[int, ...], pause: bool) -> RunOutcome:
         report.executions += 1
         inner = ReplayScheduler(schedule, pause=pause)
         return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                    unsound=unsound, max_cycles=max_cycles, machine=machine)
+                    unsound=unsound, max_cycles=max_cycles, machine=machine,
+                    model=model)
 
     seen = set()
     queue = deque([()])
@@ -222,7 +240,8 @@ def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
         outcome = runner(prefix, pause=True)
         if outcome.kind == "violation":
             report.violation = _minimise(outcome, runner, scenario.name,
-                                         mechanism, cores, lines, unsound)
+                                         mechanism, cores, lines, unsound,
+                                         model)
             break
         if outcome.kind == "done":
             report.terminal_states += 1
@@ -244,7 +263,7 @@ def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
 def _minimise(outcome: RunOutcome,
               runner: Callable[[Tuple[int, ...], bool], RunOutcome],
               scenario: str, mechanism: str, cores: int, lines: int,
-              unsound: bool) -> Violation:
+              unsound: bool, model: str = DEFAULT_MODEL) -> Violation:
     """Shrink a violating schedule while preserving the violated
     invariant: shortest prefix under default continuation, then greedy
     zeroing of individual choices, then trailing-zero stripping."""
@@ -280,4 +299,4 @@ def _minimise(outcome: RunOutcome,
     return Violation(invariant=invariant, message=final.message,
                      schedule=best, scenario=scenario, mechanism=mechanism,
                      cores=cores, lines=lines, unsound=unsound,
-                     trace=final.trace)
+                     model=model, trace=final.trace)

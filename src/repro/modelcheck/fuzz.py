@@ -14,6 +14,7 @@ import random
 import time
 from typing import Optional
 
+from ..models import DEFAULT_MODEL
 from .explorer import (DEFAULT_MAX_CYCLES, CheckReport, RunOutcome, _minimise,
                        _run)
 from .scenarios import get_scenario
@@ -23,17 +24,20 @@ from .scheduler import RandomScheduler, ReplayScheduler
 def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
          lines: int = 2, runs: int = 100, seed: int = 0,
          unsound: bool = False, max_cycles: int = DEFAULT_MAX_CYCLES,
-         machine: Optional[dict] = None) -> CheckReport:
+         machine: Optional[dict] = None,
+         model: str = DEFAULT_MODEL) -> CheckReport:
     """Run ``runs`` random schedules; minimise the first violation."""
     scenario = get_scenario(scenario_name)
     start = time.monotonic()
-    report = CheckReport(scenario.name, mechanism, cores, lines, mode="fuzz")
+    report = CheckReport(scenario.name, mechanism, cores, lines, mode="fuzz",
+                         model=model)
 
     def runner(schedule, pause: bool) -> RunOutcome:
         report.executions += 1
         inner = ReplayScheduler(schedule, pause=pause)
         return _run(scenario, mechanism, inner, cores=cores, lines=lines,
-                    unsound=unsound, max_cycles=max_cycles, machine=machine)
+                    unsound=unsound, max_cycles=max_cycles, machine=machine,
+                    model=model)
 
     outcomes = set()
     for index in range(runs):
@@ -42,10 +46,11 @@ def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
         report.executions += 1
         outcome = _run(scenario, mechanism, inner, cores=cores, lines=lines,
                        unsound=unsound, max_cycles=max_cycles,
-                       machine=machine)
+                       machine=machine, model=model)
         if outcome.kind == "violation":
             report.violation = _minimise(outcome, runner, scenario.name,
-                                         mechanism, cores, lines, unsound)
+                                         mechanism, cores, lines, unsound,
+                                         model)
             break
         outcomes.add(outcome.committed)
         report.terminal_states += 1

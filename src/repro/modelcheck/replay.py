@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..models import DEFAULT_MODEL
 from .explorer import DEFAULT_MAX_CYCLES, RunOutcome, run_schedule
 
 
 def replay(scenario: str, mechanism: str, schedule: Sequence[int], *,
            cores: int = 2, lines: int = 2, unsound: bool = False,
-           max_cycles: int = DEFAULT_MAX_CYCLES) -> RunOutcome:
+           max_cycles: int = DEFAULT_MAX_CYCLES,
+           model: str = DEFAULT_MODEL) -> RunOutcome:
     """Re-execute ``schedule`` and return the outcome.
 
     The outcome's ``kind`` is ``"violation"`` when the schedule still
@@ -26,4 +28,4 @@ def replay(scenario: str, mechanism: str, schedule: Sequence[int], *,
     """
     return run_schedule(scenario, mechanism, tuple(schedule), cores=cores,
                         lines=lines, unsound=unsound, max_cycles=max_cycles,
-                        pause=False)
+                        pause=False, model=model)

@@ -1,0 +1,43 @@
+"""Pluggable base consistency models (ROADMAP item 4).
+
+``repro.models`` factors the model-independent machinery out of
+``repro.tso`` — programs and outcomes (:mod:`.program`), the
+enumeration/random-walk schedule drivers (:mod:`.drivers`) — and puts a
+:class:`~repro.models.base.MemoryModel` registry in front of the
+operational backends, mirroring ``repro.mechanisms.registry``:
+
+* ``tso`` — the paper's base model (Sewell et al.'s x86-TSO reference
+  plus the TUS functional machine), bit-identical with ``repro.tso``;
+* ``relaxed`` — an ARM-flavoured backend (:mod:`.relaxed`):
+  instruction reordering, non-multi-copy-atomic propagation,
+  cumulative ``dmb``-style fences, and the TUS atomic-group store
+  path ported on top.
+
+:mod:`.axiomatic` judges candidate executions against per-model
+acyclicity axioms, and :mod:`.corpus` pins per-model allowed/forbidden
+verdicts for the classic litmus shapes; the tests cross-validate
+operational ⊆ axiomatic ⊆ corpus for every model.
+
+Backends register lazily on first :func:`get_model` /
+:func:`available_models` call, so importing this package from
+``repro.tso`` never recurses.
+"""
+
+from .base import (DEFAULT_MODEL, MemoryModel, available_models,
+                   get_model, register_model)
+from .drivers import (drain_into_groups, enumerate_machine,
+                      enumerate_mechanism_outcomes,
+                      enumerate_model_outcomes, enumerate_tus_outcomes,
+                      random_walk_outcomes, random_walks)
+from .program import (Fence, Load, Outcome, Program, Store,
+                      make_outcome, outcome_matches)
+
+__all__ = [
+    "DEFAULT_MODEL", "MemoryModel", "available_models", "get_model",
+    "register_model",
+    "drain_into_groups", "enumerate_machine",
+    "enumerate_mechanism_outcomes", "enumerate_model_outcomes",
+    "enumerate_tus_outcomes", "random_walk_outcomes", "random_walks",
+    "Fence", "Load", "Outcome", "Program", "Store", "make_outcome",
+    "outcome_matches",
+]

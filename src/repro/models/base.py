@@ -1,0 +1,138 @@
+"""The :class:`MemoryModel` protocol and the model registry.
+
+A *memory model* bundles three artefacts under one name, mirroring how
+``repro.mechanisms.registry`` names store mechanisms:
+
+* a **reference machine** — the plain operational semantics of the model
+  (Sewell et al.'s x86-TSO abstract machine; the Colvin & Smith-style
+  reordering machine for the relaxed backend);
+* a **TUS machine** — the functional atomic-group store path (SB →
+  pending groups → visible) ported on top of that model's storage
+  subsystem, used by :func:`repro.models.drivers.enumerate_tus_outcomes`;
+* an **axiomatic judgment** — per-model acyclicity axioms over the
+  po/rf/co/fr relations :mod:`repro.models.axiomatic` extracts from
+  candidate executions.
+
+Machines follow one step protocol so the drivers in
+:mod:`repro.models.drivers` can enumerate or random-walk any of them:
+
+``enabled_steps() -> list[tuple]``
+    hashable step tokens enabled in the current state;
+``step(*token)``
+    apply one token (tokens are splatted, so the TSO machine's legacy
+    ``step(cid, kind)`` signature is a valid instance);
+``clone()``, ``state_key()``, ``done()``, ``outcome()``
+    copy, memoise, terminate, and project to a canonical
+    :data:`~repro.models.program.Outcome`.
+
+Backends self-register at import; registration is *lazy* (first lookup
+imports the backend modules) so that ``repro.models.program`` can be
+imported from ``repro.tso`` without a circular import.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .program import Outcome, Program
+
+
+class MemoryModel(abc.ABC):
+    """One pluggable base consistency model."""
+
+    #: Registry key (set by :func:`register_model`'s decoratee).
+    name: str = ""
+    #: One-line human description for ``repro models``.
+    description: str = ""
+    #: Writes become visible to all other cores at one instant.
+    multi_copy_atomic: bool = True
+    #: Same-core stores become visible in program order (modulo atomic
+    #: groups).  Gates the ``store-order`` model-check invariant.
+    guarantees_store_order: bool = True
+
+    # -- operational ---------------------------------------------------
+    @abc.abstractmethod
+    def reference_machine(self, program: Program):
+        """The plain (mechanism-free) operational machine."""
+
+    @abc.abstractmethod
+    def machine(self, program: Program, coalescing: bool = True):
+        """The TUS atomic-group machine on this model's storage.
+
+        ``coalescing=False`` models the non-coalescing store paths
+        (baseline/SSB/SPB): every store is its own singleton group.
+        """
+
+    def reference_outcomes(self, program: Program,
+                           max_states: int = 200_000) -> Set[Outcome]:
+        """All outcomes the plain model allows (exhaustive search)."""
+        from .drivers import enumerate_machine
+        return enumerate_machine(self.reference_machine(program),
+                                 max_states, what=self.name)
+
+    # -- axiomatic -----------------------------------------------------
+    @abc.abstractmethod
+    def consistent(self, execution) -> bool:
+        """Does this model's axiom set accept the candidate execution?"""
+
+    @abc.abstractmethod
+    def axiom_names(self) -> Tuple[str, ...]:
+        """The named acyclicity axioms :meth:`consistent` conjoins."""
+
+    # -- model checking ------------------------------------------------
+    def invariant_applies(self, name: str) -> bool:
+        """Whether a model-check invariant is meaningful under this
+        model.  ``store-order`` asserts Store->Store publication order,
+        which only TSO-like models guarantee."""
+        if name == "store-order":
+            return self.guarantees_store_order
+        return True
+
+    def filter_invariants(self, names: Sequence[str]) -> Tuple[str, ...]:
+        return tuple(n for n in names if self.invariant_applies(n))
+
+
+#: name -> registered model instance (models are stateless).
+_REGISTRY: Dict[str, MemoryModel] = {}
+_BACKENDS_LOADED = False
+
+
+def register_model(cls):
+    """Class decorator registering (an instance of) a model backend."""
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"{cls.__name__} has no name")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def _ensure_backends() -> None:
+    """Import the built-in backends exactly once (lazy to keep
+    ``repro.models.program`` importable from ``repro.tso``)."""
+    global _BACKENDS_LOADED
+    if _BACKENDS_LOADED:
+        return
+    _BACKENDS_LOADED = True
+    from . import relaxed, tso  # noqa: F401  (import = registration)
+
+
+def get_model(name: str) -> MemoryModel:
+    """Look up a registered memory model by name."""
+    _ensure_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown memory model {name!r} (known: {known})") from None
+
+
+def available_models() -> List[str]:
+    """Names of all registered memory models."""
+    _ensure_backends()
+    return sorted(_REGISTRY)
+
+
+#: The model every knob defaults to — the paper's base assumption.
+DEFAULT_MODEL = "tso"

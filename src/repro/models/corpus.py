@@ -1,0 +1,188 @@
+"""The cross-model litmus corpus.
+
+Each entry names a program, one *critical* outcome (a partial
+assignment of registers and/or final memory), and a per-model verdict:
+is the critical outcome ``allowed`` (must show up in that model's
+operational enumeration and axiomatic-consistent set) or ``forbidden``
+(must show up in neither)?  The verdicts follow the published x86-TSO
+results (Sewell et al.) and the ARM/POWER litmus literature
+(herding-cats; Colvin & Smith) — see ``docs/memory_models.md`` for the
+per-shape reasoning.
+
+The corpus is the third leg of the cross-validation chain the tests
+enforce per model::
+
+    operational enumeration  ⊆  axiomatic-allowed  ~  corpus verdicts
+
+Shapes: the repo's existing Sewell set (SB, SB+fences, MP, SF,
+ABA-coalesce, interleave, IRIW) plus the classic relaxed-memory
+deltas — MP+fences, LB, LB+fences, WRC, WRC+fences, IRIW+fences,
+2+2W, CoRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from .program import (Fence, Load, Outcome, Program, Store,
+                      outcome_matches)
+
+X, Y, Z = 0x1000, 0x2000, 0x3000
+
+ALLOWED = "allowed"
+FORBIDDEN = "forbidden"
+
+
+@dataclass(frozen=True)
+class LitmusEntry:
+    """One corpus program with its critical outcome and verdicts."""
+    name: str
+    program: Program
+    #: Partial register assignment identifying the critical outcome.
+    critical_regs: Mapping[str, int]
+    #: Per-model verdict: model name -> ALLOWED | FORBIDDEN.
+    expectations: Mapping[str, str]
+    description: str
+    #: Optional partial final-memory constraint (2+2W needs one).
+    critical_memory: Optional[Mapping[int, int]] = None
+
+    def observable(self, outcomes: Set[Outcome]) -> bool:
+        """Is the critical outcome among ``outcomes``?"""
+        return any(outcome_matches(o, dict(self.critical_regs),
+                                   dict(self.critical_memory)
+                                   if self.critical_memory else None)
+                   for o in outcomes)
+
+    def verdict(self, model: str) -> str:
+        return self.expectations[model]
+
+
+def _entry(name, threads, critical_regs, tso, relaxed, description,
+           critical_memory=None):
+    return LitmusEntry(
+        name=name,
+        program=Program(threads, name=name),
+        critical_regs=critical_regs,
+        expectations={"tso": tso, "relaxed": relaxed},
+        description=description,
+        critical_memory=critical_memory,
+    )
+
+
+def corpus() -> Tuple[LitmusEntry, ...]:
+    """The full corpus, in canonical order."""
+    return (
+        _entry(
+            "SB", [[Store(X, 1), Load(Y, "r1")],
+                   [Store(Y, 1), Load(X, "r2")]],
+            {"r1": 0, "r2": 0}, tso=ALLOWED, relaxed=ALLOWED,
+            description="Dekker: both loads overtake the buffered "
+                        "stores; observable even under TSO."),
+        _entry(
+            "SB+fences", [[Store(X, 1), Fence(), Load(Y, "r1")],
+                          [Store(Y, 1), Fence(), Load(X, "r2")]],
+            {"r1": 0, "r2": 0}, tso=FORBIDDEN, relaxed=FORBIDDEN,
+            description="Full fences restore SC for Dekker under "
+                        "both models."),
+        _entry(
+            "MP", [[Store(X, 1), Store(Y, 1)],
+                   [Load(Y, "r1"), Load(X, "r2")]],
+            {"r1": 1, "r2": 0}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Message passing: TSO keeps the stores (and "
+                        "the reads) ordered; the relaxed model "
+                        "reorders either pair — the canonical "
+                        "relaxed-only outcome."),
+        _entry(
+            "MP+fences", [[Store(X, 1), Fence(), Store(Y, 1)],
+                          [Load(Y, "r3"), Fence(), Load(X, "r4")]],
+            {"r3": 1, "r4": 0}, tso=FORBIDDEN, relaxed=FORBIDDEN,
+            description="dmb on both sides restores message passing "
+                        "under the relaxed model."),
+        _entry(
+            "LB", [[Load(Y, "r1"), Store(X, 1)],
+                   [Load(X, "r2"), Store(Y, 1)]],
+            {"r1": 1, "r2": 1}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Load buffering: stores commit ahead of "
+                        "program-earlier loads only under the "
+                        "relaxed model."),
+        _entry(
+            "LB+fences", [[Load(Y, "r1"), Fence(), Store(X, 1)],
+                          [Load(X, "r2"), Fence(), Store(Y, 1)]],
+            {"r1": 1, "r2": 1}, tso=FORBIDDEN, relaxed=FORBIDDEN,
+            description="Fenced load buffering is forbidden "
+                        "everywhere."),
+        _entry(
+            "WRC", [[Store(X, 1)],
+                    [Load(X, "r1"), Store(Y, 1)],
+                    [Load(Y, "r2"), Load(X, "r3")]],
+            {"r1": 1, "r2": 1, "r3": 0}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Write-to-read causality: without multi-copy "
+                        "atomicity the third core may see y=1 before "
+                        "x=1."),
+        _entry(
+            "WRC+fences", [[Store(X, 1)],
+                           [Load(X, "r1"), Fence(), Store(Y, 1)],
+                           [Load(Y, "r2"), Fence(), Load(X, "r3")]],
+            {"r1": 1, "r2": 1, "r3": 0}, tso=FORBIDDEN,
+            relaxed=FORBIDDEN,
+            description="Cumulative fences restore causality under "
+                        "the relaxed model."),
+        _entry(
+            "IRIW", [[Store(X, 1)], [Store(Y, 1)],
+                     [Load(X, "r1"), Load(Y, "r2")],
+                     [Load(Y, "r3"), Load(X, "r4")]],
+            {"r1": 1, "r2": 0, "r3": 1, "r4": 0},
+            tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Independent readers, independent writers: "
+                        "the readers disagree on the write order "
+                        "only without multi-copy atomicity."),
+        _entry(
+            "IRIW+fences", [[Store(X, 1)], [Store(Y, 1)],
+                            [Load(X, "r1"), Fence(), Load(Y, "r2")],
+                            [Load(Y, "r3"), Fence(), Load(X, "r4")]],
+            {"r1": 1, "r2": 0, "r3": 1, "r4": 0},
+            tso=FORBIDDEN, relaxed=FORBIDDEN,
+            description="dmb between the reads forces a single "
+                        "global write order."),
+        _entry(
+            "SF", [[Store(X, 1), Load(X, "r1"), Load(Y, "r2")],
+                   [Store(Y, 1), Load(Y, "r3"), Load(X, "r4")]],
+            {"r1": 1, "r2": 0, "r3": 1, "r4": 0},
+            tso=ALLOWED, relaxed=ALLOWED,
+            description="Store forwarding: each core reads its own "
+                        "buffered store early; allowed under both "
+                        "models."),
+        _entry(
+            "ABA-coalesce", [[Store(X, 1), Store(Y, 1), Store(X, 2)],
+                             [Load(X, "r1"), Load(Y, "r2")]],
+            {"r1": 2, "r2": 0}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="The paper's ABA shape at model level: seeing "
+                        "the second x-write before y=1 needs "
+                        "store-store reordering."),
+        _entry(
+            "interleave", [[Store(X, 1), Store(Y, 1),
+                            Store(X, 2), Store(Y, 2)],
+                           [Load(Y, "r1"), Load(X, "r2")]],
+            {"r1": 2, "r2": 1}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Interleaved line streams: observing y=2 with "
+                        "stale x=1 needs store-store reordering."),
+        _entry(
+            "2+2W", [[Store(X, 1), Store(Y, 2)],
+                     [Store(Y, 1), Store(X, 2)]],
+            {}, tso=FORBIDDEN, relaxed=ALLOWED,
+            description="Both cores' first store finishes last only "
+                        "if store-store pairs reorder.",
+            critical_memory={X: 1, Y: 1}),
+        _entry(
+            "CoRR", [[Store(X, 1)],
+                     [Load(X, "r1"), Load(X, "r2")]],
+            {"r1": 1, "r2": 0}, tso=FORBIDDEN, relaxed=FORBIDDEN,
+            description="Coherence: same-address reads never go "
+                        "backwards, even under the relaxed model "
+                        "(SC per location)."),
+    )
+
+
+def corpus_by_name() -> Dict[str, LitmusEntry]:
+    return {entry.name: entry for entry in corpus()}

@@ -1,0 +1,161 @@
+"""Model-independent schedule drivers for functional litmus machines.
+
+Extracted from ``repro.tso.machine``: the exhaustive DFS with state
+memoisation and the seeded random-walk sampler operate on *any* machine
+implementing the step protocol of :mod:`repro.models.base`, so the same
+drivers enumerate the TSO reference, the TUS machine, and the relaxed
+backend.  ``repro.tso.machine`` delegates here, so its public functions
+stay bit-identical with the pre-refactor code.
+
+The WCB insert rules (coalescing, store cycles, group merging — paper
+Section III-B) are likewise shared: :func:`drain_into_groups` is the
+single implementation both the TSO and the relaxed TUS machines use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..common.errors import ModelError
+from ..common.rng import make_rng
+from .base import DEFAULT_MODEL, get_model
+from .program import Outcome, Program
+
+
+def enumerate_machine(root, max_states: int = 200_000,
+                      what: str = "TUS") -> Set[Outcome]:
+    """All outcomes reachable from ``root`` (exhaustive DFS with state
+    memoisation).  Bit-identical with the pre-refactor
+    ``repro.tso.machine._enumerate`` loop."""
+    outcomes: Set[Outcome] = set()
+    seen = set()
+    stack = [root]
+    while stack:
+        machine = stack.pop()
+        key = machine.state_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > max_states:
+            raise ModelError(
+                f"program too large for exhaustive {what} search")
+        steps = machine.enabled_steps()
+        if not steps:
+            if not machine.done():
+                raise ModelError(
+                    f"{what} machine stuck before completion")
+            outcomes.add(machine.outcome())
+            continue
+        for token in steps:
+            successor = machine.clone()
+            successor.step(*token)
+            stack.append(successor)
+    return outcomes
+
+
+def random_walks(factory: Callable[[], object], walks: int = 200,
+                 seed: int = 0, what: str = "TUS") -> Set[Outcome]:
+    """Sample outcomes via seeded random schedules (for programs too
+    large to exhaust).  Reproduces the pre-refactor RNG stream exactly:
+    walk ``i`` draws from ``make_rng(seed, f"walk{i}")``."""
+    outcomes: Set[Outcome] = set()
+    for walk in range(walks):
+        rng = make_rng(seed, f"walk{walk}")
+        machine = factory()
+        while True:
+            steps = machine.enabled_steps()
+            if not steps:
+                break
+            token = rng.choice(steps)
+            machine.step(*token)
+        if not machine.done():
+            raise ModelError(f"{what} machine stuck before completion")
+        outcomes.add(machine.outcome())
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Shared WCB insert rules (paper Section III-B)
+# ----------------------------------------------------------------------
+
+def drain_into_groups(core, addr: int, value: int,
+                      coalescing: bool) -> None:
+    """Insert one drained store into ``core``'s pending atomic groups.
+
+    ``core`` needs ``groups`` (list of lists of (addr, value)) and
+    ``last_written_group`` attributes.  A store joins the group already
+    holding its line; joining a group other than the most recently
+    written one is a store *cycle* and merges every group in between
+    into one atomic group.  With ``coalescing=False`` every store is a
+    fresh singleton group (FIFO store paths).
+    """
+    if not coalescing:
+        core.groups.append([(addr, value)])
+        core.last_written_group = len(core.groups) - 1
+        return
+    target = None
+    for index, group in enumerate(core.groups):
+        if any(g_addr == addr for g_addr, _ in group):
+            target = index
+            break
+    if target is None:
+        core.groups.append([(addr, value)])
+        core.last_written_group = len(core.groups) - 1
+        return
+    if (core.last_written_group is not None
+            and core.last_written_group != target):
+        # A store cycle: merge every group from `target` to the tail
+        # into one atomic group (paper Section III-B).
+        merged: List[Tuple[int, int]] = []
+        for group in core.groups[target:]:
+            merged.extend(group)
+        core.groups = core.groups[:target] + [merged]
+        target = len(core.groups) - 1
+    core.groups[target].append((addr, value))
+    core.last_written_group = target
+
+
+# ----------------------------------------------------------------------
+# Model-aware entry points
+# ----------------------------------------------------------------------
+
+def enumerate_model_outcomes(program: Program,
+                             model: str = DEFAULT_MODEL,
+                             max_states: int = 200_000) -> Set[Outcome]:
+    """All outcomes the plain (mechanism-free) model allows."""
+    return get_model(model).reference_outcomes(program, max_states)
+
+
+def enumerate_tus_outcomes(program: Program,
+                           max_states: int = 200_000,
+                           model: str = DEFAULT_MODEL) -> Set[Outcome]:
+    """All outcomes of the TUS atomic-group machine on ``model``."""
+    backend = get_model(model)
+    return enumerate_machine(backend.machine(program), max_states,
+                             what=f"TUS-on-{backend.name}")
+
+
+def enumerate_mechanism_outcomes(program: Program, mechanism: str,
+                                 max_states: int = 200_000,
+                                 model: str = DEFAULT_MODEL
+                                 ) -> Set[Outcome]:
+    """All outcomes of one mechanism's store path on ``model``."""
+    from ..common.config import MECHANISMS
+    from ..tso.machine import COALESCING_MECHANISMS
+    if mechanism not in MECHANISMS:
+        raise ValueError(f"unknown mechanism {mechanism!r} "
+                         f"(expected one of {MECHANISMS})")
+    backend = get_model(model)
+    coalescing = mechanism in COALESCING_MECHANISMS
+    return enumerate_machine(
+        backend.machine(program, coalescing=coalescing), max_states,
+        what=f"{mechanism}-on-{backend.name}")
+
+
+def random_walk_outcomes(program: Program, walks: int = 200,
+                         seed: int = 0,
+                         model: str = DEFAULT_MODEL) -> Set[Outcome]:
+    """Sample TUS-machine outcomes on ``model`` via random schedules."""
+    backend = get_model(model)
+    return random_walks(lambda: backend.machine(program), walks, seed,
+                        what=f"TUS-on-{backend.name}")

@@ -1,0 +1,53 @@
+"""The x86-TSO backend: the paper's base consistency model.
+
+This is a thin adapter — the operational semantics live where they
+always did (``repro.tso.reference`` for Sewell et al.'s abstract
+machine, ``repro.tso.machine`` for the TUS atomic-group machine); the
+adapter registers them under the ``"tso"`` name so the model-generic
+drivers, CLI, and service reach them through the registry.  Behaviour
+through this backend is bit-identical with calling ``repro.tso``
+directly (the golden-set regression in ``tests/test_models_registry.py``
+pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from .base import MemoryModel, register_model
+from .program import Outcome, Program
+
+
+@register_model
+class TSOModel(MemoryModel):
+    """x86-TSO (Sewell et al.): FIFO store buffers with forwarding."""
+
+    name = "tso"
+    description = ("x86-TSO (Sewell et al.): FIFO store buffer, store "
+                   "forwarding, mfence drains; multi-copy atomic")
+    multi_copy_atomic = True
+    guarantees_store_order = True
+
+    def reference_machine(self, program: Program):
+        # The TUS machine without coalescing publishes every store as a
+        # FIFO singleton group — operationally the TSO store buffer.
+        from ..tso.machine import TUSMachine
+        return TUSMachine(program, coalescing=False)
+
+    def machine(self, program: Program, coalescing: bool = True):
+        from ..tso.machine import TUSMachine
+        return TUSMachine(program, coalescing=coalescing)
+
+    def reference_outcomes(self, program: Program,
+                           max_states: int = 200_000) -> Set[Outcome]:
+        # Delegate to the original functional enumeration so the
+        # reference path is exactly the pre-refactor one.
+        from ..tso.reference import enumerate_outcomes
+        return enumerate_outcomes(program)
+
+    def consistent(self, execution) -> bool:
+        from .axiomatic import tso_consistent
+        return tso_consistent(execution)
+
+    def axiom_names(self) -> Tuple[str, ...]:
+        return ("sc-per-location", "tso-ghb")

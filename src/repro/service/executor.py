@@ -83,13 +83,15 @@ def _run_check(record: JobRecord, store: ArtifactStore,
                    seed=spec["seed"], topology=spec["topology"],
                    dir_shards=spec["dir_shards"],
                    dram_channels=spec["dram_channels"],
-                   link_latency=spec["link_latency"])
+                   link_latency=spec["link_latency"],
+                   model=spec["model"])
     report = run_check(job)
     violation = None
     if report.violation is not None:
         violation = {"invariant": report.violation.invariant,
                      "describe": report.violation.describe()}
     return {"scenario": report.scenario, "mechanism": report.mechanism,
+            "model": report.model,
             "passed": report.passed, "summary": report.summary(),
             "executions": report.executions,
             "unique_states": report.unique_states,
@@ -114,7 +116,8 @@ def _run_faults(record: JobRecord, store: ArtifactStore,
         retry_policy=spec["retry"], topology=spec["topology"],
         dir_shards=spec["dir_shards"],
         dram_channels=spec["dram_channels"],
-        link_latency=spec["link_latency"])
+        link_latency=spec["link_latency"],
+        model=spec["model"])
     results = run_campaigns(specs, workers=spec["workers"])
     failed = [r for r in results if not r.ok]
     return {"campaigns": [r.to_dict() for r in results],

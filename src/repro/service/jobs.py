@@ -82,7 +82,9 @@ def _schemas() -> Dict[str, Dict[str, Field]]:
     """Per-kind schema, built lazily so importing this module stays
     cheap (mechanism/figure tables import the harness)."""
     from ..common.config import MECHANISMS
+    from ..models import available_models
     mechs = tuple(MECHANISMS) + ("all",)
+    models = tuple(available_models())
     schemas: Dict[str, Dict[str, Field]] = {
         "sweep": {
             "figure": Field((str,), required=True),
@@ -107,6 +109,7 @@ def _schemas() -> Dict[str, Dict[str, Field]]:
             "max_cycles": Field((int,), 20_000, minimum=100),
             "fuzz": Field((int,), 0, minimum=0),
             "seed": Field((int,), 0, minimum=0),
+            "model": Field((str,), "tso", choices=models),
             **_machine_fields(),
         },
         "faults": {
@@ -120,6 +123,7 @@ def _schemas() -> Dict[str, Dict[str, Field]]:
             "retry": Field((str,), "backoff",
                            choices=("fixed", "backoff")),
             "workers": Field((int,), 1, minimum=1, maximum=64),
+            "model": Field((str,), "tso", choices=models),
             **_machine_fields(),
         },
         "bench": {

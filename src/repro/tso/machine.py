@@ -16,15 +16,21 @@ programs) and :func:`random_walk_outcomes` samples deep schedules for
 bigger ones.  The TSO-preservation theorem of Section III-D corresponds
 to: every outcome of this machine is in
 :func:`repro.tso.reference.enumerate_outcomes`.
+
+The schedule drivers (exhaustive DFS, seeded random walks) and the WCB
+insert rules now live in :mod:`repro.models.drivers`, shared with every
+registered memory model; this module keeps its original public API and
+delegates, bit-identically.  This machine is also the ``tso`` backend
+of the :mod:`repro.models` registry.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..common.errors import ModelError
-from ..common.rng import make_rng
+from ..models.drivers import (drain_into_groups, enumerate_machine,
+                              random_walks)
 from .program import Fence, Load, Outcome, Program, Store, make_outcome
 
 #: A pending atomic group: ordered (addr, value) writes; later writes to
@@ -122,30 +128,7 @@ class TUSMachine:
     def _drain(self, core: _CoreState) -> None:
         """Move the SB head into the pending groups (WCB insert rules)."""
         addr, value = core.sb.pop(0)
-        if not self.coalescing:
-            core.groups.append([(addr, value)])
-            core.last_written_group = len(core.groups) - 1
-            return
-        target = None
-        for index, group in enumerate(core.groups):
-            if any(g_addr == addr for g_addr, _ in group):
-                target = index
-                break
-        if target is None:
-            core.groups.append([(addr, value)])
-            core.last_written_group = len(core.groups) - 1
-            return
-        if (core.last_written_group is not None
-                and core.last_written_group != target):
-            # A store cycle: merge every group from `target` to the tail
-            # into one atomic group (paper Section III-B).
-            merged: List[Tuple[int, int]] = []
-            for group in core.groups[target:]:
-                merged.extend(group)
-            core.groups = core.groups[:target] + [merged]
-            target = len(core.groups) - 1
-        core.groups[target].append((addr, value))
-        core.last_written_group = target
+        drain_into_groups(core, addr, value, self.coalescing)
 
     def _make_visible(self, core: _CoreState) -> None:
         """Apply the head atomic group to memory, atomically."""
@@ -209,55 +192,18 @@ def enumerate_mechanism_outcomes(program: Program, mechanism: str,
         raise ValueError(f"unknown mechanism {mechanism!r} "
                          f"(expected one of {MECHANISMS})")
     coalescing = mechanism in COALESCING_MECHANISMS
-    return _enumerate(TUSMachine(program, coalescing=coalescing),
-                      max_states)
+    return enumerate_machine(TUSMachine(program, coalescing=coalescing),
+                             max_states, what="TUS")
 
 
 def enumerate_tus_outcomes(program: Program,
                            max_states: int = 200_000) -> Set[Outcome]:
     """All outcomes the TUS machine can produce (exhaustive DFS)."""
-    return _enumerate(TUSMachine(program), max_states)
-
-
-def _enumerate(root: TUSMachine, max_states: int) -> Set[Outcome]:
-    outcomes: Set[Outcome] = set()
-    seen = set()
-    stack = [root]
-    while stack:
-        machine = stack.pop()
-        key = machine.state_key()
-        if key in seen:
-            continue
-        seen.add(key)
-        if len(seen) > max_states:
-            raise ModelError("program too large for exhaustive TUS search")
-        steps = machine.enabled_steps()
-        if not steps:
-            if not machine.done():
-                raise ModelError("TUS machine stuck before completion")
-            outcomes.add(machine.outcome())
-            continue
-        for cid, kind in steps:
-            successor = machine.clone()
-            successor.step(cid, kind)
-            stack.append(successor)
-    return outcomes
+    return enumerate_machine(TUSMachine(program), max_states, what="TUS")
 
 
 def random_walk_outcomes(program: Program, walks: int = 200,
                          seed: int = 0) -> Set[Outcome]:
     """Sample TUS outcomes via random schedules (for larger programs)."""
-    outcomes: Set[Outcome] = set()
-    for walk in range(walks):
-        rng = make_rng(seed, f"walk{walk}")
-        machine = TUSMachine(program)
-        while True:
-            steps = machine.enabled_steps()
-            if not steps:
-                break
-            cid, kind = rng.choice(steps)
-            machine.step(cid, kind)
-        if not machine.done():
-            raise ModelError("TUS machine stuck before completion")
-        outcomes.add(machine.outcome())
-    return outcomes
+    return random_walks(lambda: TUSMachine(program), walks, seed,
+                        what="TUS")

@@ -1,84 +1,13 @@
-"""Litmus-test program representation for the TSO checker.
+"""Litmus program representation (compatibility shim).
 
-A :class:`Program` is a tiny multi-threaded program: per core, a list of
-loads, stores, and fences over a handful of addresses.  The reference
-model (:mod:`repro.tso.reference`) enumerates its allowed x86-TSO
-outcomes; the functional TUS machine (:mod:`repro.tso.machine`) produces
-outcomes under TUS semantics, which must be a subset.
+The real definitions moved to :mod:`repro.models.program` when the
+memory-model layer became pluggable — programs and outcomes are model
+independent.  Everything is re-exported here so existing imports
+(``from repro.tso.program import Program``) keep working unchanged.
 """
 
-from __future__ import annotations
+from ..models.program import (Fence, Load, Op, Outcome, Program, Store,
+                              make_outcome, outcome_matches)
 
-import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
-
-
-@dataclass(frozen=True)
-class Store:
-    addr: int
-    value: int
-
-
-@dataclass(frozen=True)
-class Load:
-    addr: int
-    reg: str
-
-
-@dataclass(frozen=True)
-class Fence:
-    pass
-
-
-Op = object  # Store | Load | Fence
-
-
-class Program:
-    """One litmus program: a list of op sequences, one per core."""
-
-    def __init__(self, threads: Sequence[Sequence[Op]],
-                 name: str = "") -> None:
-        self.threads: List[List[Op]] = [list(t) for t in threads]
-        self.name = name
-        self._validate()
-
-    def _validate(self) -> None:
-        regs = set()
-        for ops in self.threads:
-            for op in ops:
-                if isinstance(op, Load):
-                    if op.reg in regs:
-                        raise ValueError(f"register {op.reg} reused")
-                    regs.add(op.reg)
-
-    @property
-    def num_cores(self) -> int:
-        return len(self.threads)
-
-    def addresses(self) -> List[int]:
-        addrs = set()
-        for ops in self.threads:
-            for op in ops:
-                if isinstance(op, (Load, Store)):
-                    addrs.add(op.addr)
-        return sorted(addrs)
-
-    def registers(self) -> List[str]:
-        regs = []
-        for ops in self.threads:
-            for op in ops:
-                if isinstance(op, Load):
-                    regs.append(op.reg)
-        return regs
-
-
-#: An outcome: ((reg, value) pairs sorted, (addr, value) pairs sorted).
-Outcome = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[int, int], ...]]
-
-
-def make_outcome(regs: Dict[str, int], memory: Dict[int, int],
-                 addresses: Sequence[int]) -> Outcome:
-    """Canonical outcome tuple for set comparisons."""
-    return (tuple(sorted(regs.items())),
-            tuple((addr, memory.get(addr, 0)) for addr in addresses))
+__all__ = ["Fence", "Load", "Op", "Outcome", "Program", "Store",
+           "make_outcome", "outcome_matches"]

@@ -1,0 +1,177 @@
+"""The axiomatic litmus checker, cross-validated against the machines.
+
+The load-bearing property is the three-way agreement on the corpus:
+for each litmus program and each registered model, the operational
+enumeration, the axiomatic-allowed set, and the hand-written corpus
+verdict must all agree.  On this corpus the operational and axiomatic
+sets are in fact *element-identical* (not merely op ⊆ ax), so we pin
+equality — a weaker assertion would let either side silently over- or
+under-approximate.
+"""
+
+import pytest
+
+from repro.models import (Fence, Load, Program, Store, available_models,
+                          enumerate_model_outcomes, make_outcome)
+from repro.models.axiomatic import (acyclic, axiomatic_outcomes,
+                                    candidate_executions, extract_events,
+                                    fence_pairs, fr_pairs, po_loc,
+                                    po_pairs, relaxed_consistent,
+                                    sc_per_location, tso_consistent)
+from repro.models.corpus import ALLOWED, corpus
+
+X, Y = 0x1000, 0x2000
+
+
+def outcome(program, regs, memory):
+    return make_outcome(regs, memory, program.addresses())
+
+
+def first_execution(program):
+    return next(candidate_executions(program))
+
+
+class TestThreeWayAgreement:
+    """operational == axiomatic == corpus verdict, every entry x model."""
+
+    @pytest.mark.parametrize("model", available_models())
+    @pytest.mark.parametrize("entry", corpus(), ids=lambda e: e.name)
+    def test_operational_equals_axiomatic(self, entry, model):
+        op = enumerate_model_outcomes(entry.program, model=model)
+        ax = axiomatic_outcomes(entry.program, model)
+        assert op == ax, \
+            f"{entry.name}/{model}: op-only {op - ax}, ax-only {ax - op}"
+
+    @pytest.mark.parametrize("model", available_models())
+    @pytest.mark.parametrize("entry", corpus(), ids=lambda e: e.name)
+    def test_corpus_verdict_matches_axiomatic(self, entry, model):
+        ax = axiomatic_outcomes(entry.program, model)
+        assert entry.observable(ax) == (entry.verdict(model) == ALLOWED)
+
+
+class TestRelations:
+    def test_extract_events_skips_fences(self):
+        program = Program([[Store(X, 1), Fence(), Load(Y, "r1")]])
+        events = extract_events(program)
+        assert [e.kind for e in events] == ["W", "R"]
+        assert [e.index for e in events] == [0, 2]
+
+    def test_po_pairs_are_transitive(self):
+        program = Program([[Store(X, 1), Store(Y, 1), Load(X, "r1")]])
+        ex = first_execution(program)
+        ids = {e.index: e.eid for e in ex.events}
+        po = po_pairs(ex)
+        assert (ids[0], ids[2]) in po          # not just adjacent pairs
+        assert (ids[0], ids[1]) in po and (ids[1], ids[2]) in po
+        assert len(po) == 3
+
+    def test_po_loc_restricts_to_same_address(self):
+        program = Program([[Store(X, 1), Store(Y, 1), Load(X, "r1")]])
+        ex = first_execution(program)
+        ids = {e.index: e.eid for e in ex.events}
+        assert po_loc(ex) == {(ids[0], ids[2])}
+
+    def test_fence_pairs_require_intervening_fence(self):
+        program = Program([[Store(X, 1), Fence(), Load(Y, "r1"),
+                            Store(Y, 2)]])
+        ex = first_execution(program)
+        ids = {e.index: e.eid for e in ex.events}
+        fences = fence_pairs(ex)
+        assert (ids[0], ids[2]) in fences
+        assert (ids[0], ids[3]) in fences
+        assert (ids[2], ids[3]) not in fences  # no fence between them
+
+    def test_acyclic(self):
+        assert acyclic({(1, 2), (2, 3)})
+        assert not acyclic({(1, 2), (2, 3), (3, 1)})
+        assert not acyclic({(1, 1)})
+        assert acyclic(set())
+
+
+class TestCandidateExecutions:
+    def test_rf_choices_cover_init(self):
+        # One store, one load: the load reads the store or the zero init.
+        program = Program([[Store(X, 1)], [Load(X, "r1")]])
+        outcomes = {x.outcome() for x in candidate_executions(program)}
+        assert outcomes == {outcome(program, {"r1": 1}, {X: 1}),
+                            outcome(program, {"r1": 0}, {X: 1})}
+
+    def test_co_respects_per_core_program_order(self):
+        # Two same-core stores to X: co must keep them in program order,
+        # so the only final value is the later store's.
+        program = Program([[Store(X, 1), Store(X, 2)]])
+        executions = list(candidate_executions(program))
+        assert len(executions) == 1
+        assert executions[0].outcome() == outcome(program, {}, {X: 2})
+
+    def test_cross_core_co_is_free(self):
+        program = Program([[Store(X, 1)], [Store(X, 2)]])
+        finals = {x.outcome() for x in candidate_executions(program)}
+        assert finals == {outcome(program, {}, {X: 1}),
+                          outcome(program, {}, {X: 2})}
+
+    def test_fr_points_to_immediate_successor(self):
+        program = Program([[Store(X, 1), Store(X, 2)],
+                           [Load(X, "r1")]])
+        for execution in candidate_executions(program):
+            events = execution.events
+            read = next(e for e in events if e.kind == "R")
+            writes = {e.eid: e for e in events if e.kind == "W"}
+            fr = fr_pairs(execution)
+            src = execution.rf[read.eid]
+            if src is None:
+                # Init read: fr targets the co-first write (value 1).
+                assert (read.eid,
+                        next(e for e in writes.values()
+                             if e.value == 1).eid) in fr
+            elif writes[src].value == 1:
+                assert (read.eid,
+                        next(e for e in writes.values()
+                             if e.value == 2).eid) in fr
+            else:
+                assert not any(pair[0] == read.eid for pair in fr)
+
+
+class TestModelAxioms:
+    def _sb(self):
+        return Program([[Store(X, 1), Load(Y, "r1")],
+                        [Store(Y, 1), Load(X, "r2")]])
+
+    def test_tso_allows_sb_relaxation(self):
+        program = self._sb()
+        allowed = axiomatic_outcomes(program, "tso")
+        assert outcome(program, {"r1": 0, "r2": 0}, {X: 1, Y: 1}) \
+            in allowed
+
+    def test_tso_forbids_mp_reordering(self):
+        program = Program([[Store(X, 1), Store(Y, 1)],
+                           [Load(Y, "r1"), Load(X, "r2")]])
+        weak = outcome(program, {"r1": 1, "r2": 0}, {X: 1, Y: 1})
+        assert weak not in axiomatic_outcomes(program, "tso")
+        assert weak in axiomatic_outcomes(program, "relaxed")
+
+    def test_sc_per_location_holds_in_both_models(self):
+        # CoRR: both models keep per-location coherence, so the stale
+        # re-read must fail sc-per-location in every candidate that
+        # produces it.
+        program = Program([[Store(X, 1)],
+                           [Load(X, "r1"), Load(X, "r2")]])
+        stale = outcome(program, {"r1": 1, "r2": 0}, {X: 1})
+        hit = False
+        for execution in candidate_executions(program):
+            if execution.outcome() == stale:
+                hit = True
+                assert not sc_per_location(execution)
+                assert not tso_consistent(execution)
+                assert not relaxed_consistent(execution)
+        assert hit
+
+    def test_accepts_model_object_or_name(self):
+        from repro.models import get_model
+        program = self._sb()
+        assert axiomatic_outcomes(program, "tso") == \
+            axiomatic_outcomes(program, get_model("tso"))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            axiomatic_outcomes(self._sb(), "sc")

@@ -78,6 +78,54 @@ class TestCommands:
         assert main(["figure", "nope"]) == 2
 
 
+class TestModelCommands:
+    def test_models_lists_backends(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "tso" in out and "relaxed" in out
+        assert "default" in out
+
+    def test_litmus_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["litmus", "--model", "sc"])
+
+    def test_litmus_default_model_is_tso(self):
+        args = build_parser().parse_args(["litmus"])
+        assert args.model == "tso"
+
+    def test_litmus_relaxed(self, capsys):
+        assert main(["litmus", "--model", "relaxed"]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        # The relaxed-only shapes must report their allowed criticals.
+        assert "MP" in out and "IRIW" in out
+
+    def test_litmus_relaxed_mechanism_filter(self, capsys):
+        assert main(["litmus", "--model", "relaxed",
+                     "--mechanism", "tus"]) == 0
+        assert "MISMATCH" not in capsys.readouterr().out
+
+    def test_litmus_explicit_tso_matches_default(self, capsys):
+        # `--model tso` must take the byte-identical legacy path.
+        assert main(["litmus"]) == 0
+        default = capsys.readouterr().out
+        assert main(["litmus", "--model", "tso"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_check_relaxed(self, capsys):
+        assert main(["check", "--scenario", "sb", "--mechanism", "tus",
+                     "--model", "relaxed", "--max-states", "4000",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "relaxed" in out
+
+    def test_check_default_summary_omits_model(self, capsys):
+        assert main(["check", "--scenario", "sb", "--mechanism", "tus",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tso" not in out and "relaxed" not in out
+
+
 class TestBenchSuite:
     """`repro bench --suite` runs the performance suite; `--check`
     compares against a committed baseline report."""

@@ -1,0 +1,189 @@
+"""The memory-model registry, and the TSO golden-set regression.
+
+The refactor that made the base consistency model pluggable must leave
+the default path bit-identical: the ``tso`` backend reached through
+``repro.models`` has to reproduce the exact outcome sets of the
+pre-refactor ``repro.tso`` enumeration (pinned here as SHA-256
+fingerprints so a silent semantic drift cannot hide inside a pass),
+and the committed ``BENCH_4.json`` macro fingerprints must be
+untouched.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.checks import CheckJob
+from repro.models import (DEFAULT_MODEL, available_models,
+                          enumerate_mechanism_outcomes,
+                          enumerate_model_outcomes, enumerate_tus_outcomes,
+                          get_model, random_walk_outcomes)
+from repro.models.corpus import corpus, corpus_by_name
+from repro.tso import all_litmus_tests
+from repro.tso import enumerate_mechanism_outcomes as legacy_mechanism
+from repro.tso import enumerate_outcomes as legacy_reference
+from repro.tso import enumerate_tus_outcomes as legacy_tus
+from repro.tso import random_walk_outcomes as legacy_walks
+
+CORPUS = {entry.name: entry for entry in corpus()}
+
+#: SHA-256 of ``repr(sorted(outcomes))`` of the pre-refactor x86-TSO
+#: reference enumeration, per corpus program.  Pinned: any change to
+#: the default model's semantics must show up here.
+TSO_GOLDEN = {
+    "SB": "cd2a9064be931447f0b0793d990abdb875fdcb5c8aa8be79b25bfc16c06a02d5",
+    "SB+fences": "13d06ba8eda01b1eecdd97be5cef3b70b36827b46dca1551e4793739b4f176b9",
+    "MP": "3eb421ffe24024df7210617a01c87e0787586e28af16deebfcf174cf1bff2521",
+    "MP+fences": "be76edae4256a5c68fdf54241d054985e9cd701650d27b23c0cc2490f7a2c73b",
+    "LB": "67740462a03ef58d25734d1f45fc348763f2681ee39edb4640a78905a6f90a4a",
+    "LB+fences": "67740462a03ef58d25734d1f45fc348763f2681ee39edb4640a78905a6f90a4a",
+    "WRC": "c1dee2b212f9063545f9c5561358592cba02256de8a9a4281815d53a09df882f",
+    "WRC+fences": "c1dee2b212f9063545f9c5561358592cba02256de8a9a4281815d53a09df882f",
+    "IRIW": "1170a4651675905efaebb54d7238a22041add9e90021c610130b32562888680b",
+    "IRIW+fences": "1170a4651675905efaebb54d7238a22041add9e90021c610130b32562888680b",
+    "SF": "c450f3976c629c83435940939d6f4163bfd4d42c587ad7cec22deaaf4220a580",
+    "ABA-coalesce": "5f5300250df45e5ba6bbace69d3879f75cba78c315991b5b4940e315b856e97f",
+    "interleave": "0722634700a2bc4e7e326e26c06916248a48e36c7b059ab59a5e70899ff18412",
+    "2+2W": "f68ec5a003130856ee9d3d4c62216567b30fdb3fa4ea78ba70bef746191b160c",
+    "CoRR": "d4b127042aaf0d93c6622ce488505e7587b6c8b875c945d25c2bd0710a279263",
+}
+
+#: The committed macro-benchmark fingerprints of BENCH_4.json.  The
+#: refactor must not change what the macro workloads simulate.
+BENCH_4_MACRO = {
+    "macro.spec_single":
+        "9142b4d4a52744ca315c0130ca5bdb028c593926fc4b7dc4aab416f705d7efb5",
+    "macro.parsec_4core":
+        "8c1b84fd8d3899ce58d982c6d14de4d230467db1f2e54e3c6218a797d3b70a80",
+    "macro.canneal_16":
+        "efe3c605e5d662021df835a566af7fc12e80c81883dfec8d2282a74e7ad5d570",
+}
+
+
+def fingerprint(outcomes):
+    return hashlib.sha256(repr(sorted(outcomes)).encode()).hexdigest()
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert available_models() == ["relaxed", "tso"]
+        assert DEFAULT_MODEL == "tso"
+
+    def test_get_model_roundtrip(self):
+        for name in available_models():
+            model = get_model(name)
+            assert model.name == name
+            assert model.description
+            assert model.axiom_names()
+
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(ValueError, match="relaxed.*tso"):
+            get_model("sc")
+
+    def test_model_flags(self):
+        tso = get_model("tso")
+        relaxed = get_model("relaxed")
+        assert tso.multi_copy_atomic and tso.guarantees_store_order
+        assert not relaxed.multi_copy_atomic
+        assert not relaxed.guarantees_store_order
+
+    def test_invariant_filtering(self):
+        names = ("swmr", "store-order", "wait-graph")
+        assert get_model("tso").filter_invariants(names) == names
+        assert get_model("relaxed").filter_invariants(names) == \
+            ("swmr", "wait-graph")
+
+
+class TestTSOGoldenSet:
+    """Registry-TSO must be the pre-refactor enumeration, exactly."""
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_reference_matches_legacy(self, name):
+        program = CORPUS[name].program
+        assert enumerate_model_outcomes(program, model="tso") == \
+            legacy_reference(program)
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_reference_fingerprint_pinned(self, name):
+        program = CORPUS[name].program
+        assert fingerprint(legacy_reference(program)) == TSO_GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_tus_machine_matches_legacy(self, name):
+        program = CORPUS[name].program
+        assert enumerate_tus_outcomes(program, model="tso") == \
+            legacy_tus(program)
+
+    @pytest.mark.parametrize("name", sorted(all_litmus_tests()))
+    def test_mechanisms_match_legacy_on_litmus(self, name):
+        program = all_litmus_tests()[name]
+        for mechanism in ("baseline", "tus"):
+            assert enumerate_mechanism_outcomes(
+                program, mechanism, model="tso") == \
+                legacy_mechanism(program, mechanism)
+
+    def test_random_walks_reproduce_legacy_stream(self):
+        program = all_litmus_tests()["SB"]
+        assert random_walk_outcomes(program, walks=25, seed=7,
+                                    model="tso") == \
+            legacy_walks(program, walks=25, seed=7)
+
+    def test_baseline_machine_is_sewell_reference(self):
+        # The tso backend's reference machine (non-coalescing TUS) must
+        # agree with the functional Sewell enumeration on every corpus
+        # program.
+        from repro.models.drivers import enumerate_machine
+        model = get_model("tso")
+        for entry in corpus():
+            assert enumerate_machine(
+                model.reference_machine(entry.program)) == \
+                legacy_reference(entry.program)
+
+
+class TestBench4Fingerprints:
+    def test_macro_fingerprints_untouched(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_4.json"
+        data = json.loads(path.read_text())
+        found = {b["name"]: b["meta"]["fingerprint"]
+                 for b in data["benchmarks"]
+                 if "fingerprint" in (b.get("meta") or {})}
+        for name, digest in BENCH_4_MACRO.items():
+            assert found.get(name) == digest
+
+
+class TestCorpus:
+    def test_corpus_names_unique_and_indexed(self):
+        entries = corpus()
+        assert len({e.name for e in entries}) == len(entries)
+        assert corpus_by_name()["MP"].verdict("relaxed") == "allowed"
+
+    def test_every_entry_has_verdicts_for_every_model(self):
+        for entry in corpus():
+            for name in available_models():
+                assert entry.verdict(name) in ("allowed", "forbidden")
+
+    def test_legacy_litmus_shapes_are_covered(self):
+        assert set(all_litmus_tests()) <= set(corpus_by_name())
+
+
+class TestCheckJobModel:
+    def test_default_label_unchanged(self):
+        assert CheckJob("sb", "tus").label == "sb/tus"
+
+    def test_model_label(self):
+        assert CheckJob("sb", "tus", model="relaxed").label == \
+            "sb/tus@relaxed"
+
+    def test_report_summary_default_unchanged(self):
+        from repro.modelcheck import CheckReport
+        summary = CheckReport("sb", "tus", 2, 2, mode="exhaustive",
+                              complete=True).summary()
+        assert "model" not in summary and "tso" not in summary
+
+    def test_report_summary_names_nondefault_model(self):
+        from repro.modelcheck import CheckReport
+        summary = CheckReport("sb", "tus", 2, 2, mode="exhaustive",
+                              model="relaxed").summary()
+        assert "relaxed" in summary
