@@ -78,6 +78,16 @@ def _bench_modelcheck_slice(quick: bool) -> Callable[[], object]:
     return work
 
 
+def _bench_modelcheck_por(quick: bool) -> Callable[[], object]:
+    max_states = 60 if quick else 400
+
+    def work():
+        return explore("disjoint", "tus", cores=3, lines=3,
+                       max_states=max_states, por="persistent")
+
+    return work
+
+
 BENCHMARKS: List[Benchmark] = [
     Benchmark("macro.spec_single", "macro",
               "502.gcc5 single-core simulation point (tus, SB=114)",
@@ -94,5 +104,15 @@ BENCHMARKS: List[Benchmark] = [
               _bench_modelcheck_slice,
               meta_fn=lambda r: {"unique_states": r.unique_states,
                                  "terminal_states": r.terminal_states,
-                                 "executions": r.executions}),
+                                 "executions": r.executions,
+                                 "states_per_sec": r.states_per_sec}),
+    Benchmark("macro.modelcheck_por", "macro",
+              "model-checker slice under persistent-set partial-order "
+              "reduction (disjoint/tus, 3 cores)",
+              _bench_modelcheck_por,
+              meta_fn=lambda r: {"unique_states": r.unique_states,
+                                 "terminal_states": r.terminal_states,
+                                 "executions": r.executions,
+                                 "states_per_sec": r.states_per_sec,
+                                 "por": r.por}),
 ]

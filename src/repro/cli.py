@@ -253,6 +253,12 @@ def _cmd_check(args) -> int:
     mechanisms = MECHANISMS if args.mechanism == "all" else (args.mechanism,)
     scenarios = tuple(sorted(SCENARIOS)) if args.scenario == "all" \
         else (args.scenario,)
+    if args.spool and (len(scenarios) > 1 or len(mechanisms) > 1):
+        print("--spool needs a single (scenario, mechanism) cell")
+        return 2
+    if args.dist_workers and not args.spool:
+        print("--dist-workers needs --spool")
+        return 2
     jobs = [CheckJob(scenario=scenario, mechanism=mechanism,
                      cores=args.cores, lines=args.lines,
                      unsound=args.unsound_auth, max_depth=args.depth,
@@ -260,7 +266,9 @@ def _cmd_check(args) -> int:
                      fuzz_runs=args.fuzz, seed=args.seed,
                      topology=args.topology, dir_shards=args.dir_shards,
                      dram_channels=args.dram_channels,
-                     link_latency=args.link_latency, model=args.model)
+                     link_latency=args.link_latency, model=args.model,
+                     por=args.por, spool=args.spool,
+                     dist_workers=args.dist_workers)
             for scenario in scenarios for mechanism in mechanisms]
     reports = run_checks(jobs, workers=args.workers)
     failures = 0
@@ -649,6 +657,18 @@ def build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--model", default="tso", choices=model_names,
                        help="base consistency model; gates which "
                             "invariants apply (default tso)")
+    from .modelcheck import POR_MODES
+    chk_p.add_argument("--por", default="off", choices=POR_MODES,
+                       help="partial-order reduction: sleep sets or "
+                            "persistent sets (default off: the exact "
+                            "unreduced BFS)")
+    chk_p.add_argument("--spool", default=None, metavar="DIR",
+                       help="durable frontier spool; re-running with "
+                            "the same spool resumes a killed check")
+    chk_p.add_argument("--dist-workers", type=int, default=0,
+                       metavar="N",
+                       help="shard the frontier across N worker "
+                            "processes sharing --spool")
     add_machine_args(chk_p)
     chk_p.set_defaults(fn=_cmd_check)
 

@@ -108,6 +108,19 @@ class StoreMechanism:
         bit of state that influences future behaviour."""
         return ()
 
+    def footprint_lines(self) -> Tuple[int, ...]:
+        """Cache lines currently held in the mechanism's post-SB
+        structures; the model checker's partial-order reduction folds
+        them into the owning core's footprint.  Must over-approximate:
+        a missing line can unsoundly declare two actions independent."""
+        return ()
+
+    def footprint_expand(self, lines):
+        """Widen a set of footprint lines to the granularity this
+        mechanism acts on (identity by default; SPB's page bursts touch
+        every line of a committed store's page)."""
+        return lines
+
     def pending_publication(self, addr: int) -> bool:
         """Does this mechanism still hold an unpublished store to
         ``addr``'s line?  While True, a DELAY answer this core gave for

@@ -63,3 +63,7 @@ class BaselineMechanism(PrefetchAtCommit):
         waiting = self._waiting
         return ("baseline",
                 None if waiting is None else (waiting.line, waiting.seq))
+
+    def footprint_lines(self) -> Tuple[int, ...]:
+        waiting = self._waiting
+        return () if waiting is None else (waiting.line,)

@@ -170,3 +170,6 @@ class CSBMechanism(PrefetchAtCommit):
                 tuple((entry.addr, entry.mask, groups[entry.group])
                       for entry in self.wcb.buffers),
                 self.wcb._last_written)
+
+    def footprint_lines(self) -> Tuple[int, ...]:
+        return tuple(sorted({entry.addr for entry in self.wcb.buffers}))

@@ -65,3 +65,12 @@ class SPBMechanism(BaselineMechanism):
         return super().modelcheck_state() + (
             "spb", self._last_line, self._run,
             tuple(sorted(self._bursted_pages)))
+
+    def footprint_expand(self, lines):
+        # A committed store can burst write-permission prefetches across
+        # its whole 4KB page, so the POR footprint of anything touching
+        # a line is the line's entire page.
+        expanded = set()
+        for line in lines:
+            expanded.update(lines_in_page(page_addr(line)))
+        return expanded

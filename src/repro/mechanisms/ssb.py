@@ -137,3 +137,6 @@ class SSBMechanism(PrefetchAtCommit):
 
     def modelcheck_state(self) -> Tuple:
         return ("ssb", tuple(self._tsob))
+
+    def footprint_lines(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._tsob_lines))

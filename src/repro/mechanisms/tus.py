@@ -153,3 +153,8 @@ class TUSMechanism(PrefetchAtCommit):
              entry.can_cycle, entry.deferred, entry.request_outstanding)
             for entry in woq)
         return ("tus", wcb_state, self.wcb._last_written, woq_state)
+
+    def footprint_lines(self) -> Tuple[int, ...]:
+        lines = {entry.addr for entry in self.wcb.buffers}
+        lines.update(entry.line for entry in self.controller.woq)
+        return tuple(sorted(lines))

@@ -19,12 +19,24 @@ checks protocol invariants after every atomic step.  The pieces:
 * :mod:`~repro.modelcheck.replay` — deterministic re-execution of a
   counterexample schedule (what the generated pytest cases call);
 * :mod:`~repro.modelcheck.fuzz` — randomised swarm exploration for
-  state spaces too large to exhaust.
+  state spaces too large to exhaust;
+* :mod:`~repro.modelcheck.por` — partial-order reduction (sleep sets
+  and a persistent-set provider over action footprints);
+* :mod:`~repro.modelcheck.frontier` — in-memory and durable
+  (spool-dir) frontier stores with checkpoint/resume;
+* :mod:`~repro.modelcheck.distributed` — sharding one check's frontier
+  expansion across a worker fleet over a shared spool;
+* :mod:`~repro.modelcheck.litmus` — the cross-model litmus corpus
+  lowered to fixed-shape scenarios (``lit:IRIW`` etc.).
 """
 
+from .distributed import distributed_explore
 from .explorer import CheckReport, Violation, explore, run_schedule
+from .frontier import DiskFrontier, MemoryFrontier
 from .fuzz import fuzz
 from .invariants import INVARIANTS, InvariantViolation
+from .litmus import litmus_names, litmus_scenarios
+from .por import POR_MODES
 from .replay import replay
 from .scenarios import SCENARIOS, Scenario, check_config, get_scenario
 from .scheduler import (DefaultScheduler, FrontierReached, RandomScheduler,
@@ -35,5 +47,6 @@ __all__ = [
     "INVARIANTS", "InvariantViolation", "replay",
     "SCENARIOS", "Scenario", "check_config", "get_scenario",
     "DefaultScheduler", "FrontierReached", "RandomScheduler",
-    "ReplayScheduler",
+    "ReplayScheduler", "POR_MODES", "distributed_explore",
+    "DiskFrontier", "MemoryFrontier", "litmus_names", "litmus_scenarios",
 ]

@@ -22,12 +22,25 @@ Exploration loop:
 
 The search is exhaustive (``complete=True``) when the queue empties
 without hitting any budget.
+
+Two orthogonal extensions ride on the same loop:
+
+* **partial-order reduction** (``por="sleep"`` or ``"persistent"``):
+  the pausing scheduler captures action footprints at each frontier
+  (:mod:`repro.modelcheck.por`), sleep sets prune commuting sibling
+  orders, and the persistent-set provider drops whole conflict-free
+  processes.  ``por="off"`` takes the exact pre-POR code path.
+* **a durable frontier** (``spool=...``): queue, visited set, terminal
+  markers and proviso bookkeeping live in a crash-safe spool directory
+  (:mod:`repro.modelcheck.frontier`), so a killed run resumes where it
+  stopped and any number of workers can drain the same check
+  (:mod:`repro.modelcheck.distributed`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
@@ -36,7 +49,9 @@ from ..cpu.trace import Trace
 from ..models import DEFAULT_MODEL, get_model
 from ..sim.system import System
 from ..tso.observer import VisibilityObserver
+from .frontier import MemoryFrontier, make_record
 from .invariants import CheckContext, InvariantViolation
+from .por import POR_MODES, describe_for, sleep_filter
 from .scenarios import check_config, get_scenario
 from .scheduler import (CheckingScheduler, FrontierReached,
                         ReplayScheduler)
@@ -100,12 +115,15 @@ class RunOutcome:
 
     kind: str                       # "done" | "frontier" | "violation"
     branches: int = 0               # frontier: enabled actions at the pause
-    key: str = ""                   # frontier: canonical state hash
+    key: str = ""                   # canonical state hash (every kind:
+    #                                 the pause, completion or violation
+    #                                 state)
     invariant: str = ""             # violation: which invariant
     message: str = ""
     taken: Tuple[int, ...] = ()     # choices actually consumed
     trace: Tuple[str, ...] = ()
     committed: Tuple[int, ...] = ()  # done: per-core committed uops
+    actions: Optional[Tuple] = None  # frontier, POR on: (infos, keep)
 
 
 @dataclass
@@ -125,10 +143,23 @@ class CheckReport:
     truncated: bool = False
     violation: Optional[Violation] = None
     wall_seconds: float = 0.0
+    por: str = "off"
+    #: Distinct terminal *states* (``terminal_states`` counts terminal
+    #: executions, which several schedules may share).
+    distinct_terminals: int = 0
+    #: Order-independent hash over the distinct terminal state keys —
+    #: what the differential suite compares between POR modes.
+    terminal_fingerprint: str = ""
 
     @property
     def passed(self) -> bool:
         return self.violation is None
+
+    @property
+    def states_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.unique_states / self.wall_seconds
 
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
@@ -136,11 +167,14 @@ class CheckReport:
                   else f"bounded ({self.mode})")
         if self.model != DEFAULT_MODEL:
             extent = f"{self.model}, {extent}"
+        if self.por != "off":
+            extent = f"por={self.por}, {extent}"
         return (f"{status} {self.scenario}/{self.mechanism} "
                 f"[{self.cores}c x {self.lines}l, {extent}]: "
                 f"{self.executions} executions, "
                 f"{self.unique_states} states, "
                 f"{self.terminal_states} terminal, "
+                f"{self.states_per_sec:.0f} states/s, "
                 f"{self.wall_seconds:.1f}s")
 
 
@@ -176,18 +210,29 @@ def _run(scenario, mechanism: str, inner, *, cores: int, lines: int,
     except FrontierReached as frontier:
         return RunOutcome("frontier", branches=frontier.branches,
                           key=canonical_key(system, observer),
-                          taken=tuple(taken), trace=tuple(sched.trace))
+                          taken=tuple(taken), trace=tuple(sched.trace),
+                          actions=frontier.actions)
     except InvariantViolation as violation:
         return RunOutcome("violation", invariant=violation.invariant,
                           message=violation.message, taken=tuple(taken),
-                          trace=violation.trace)
+                          trace=violation.trace,
+                          key=canonical_key(system, observer))
     except DeadlockError as deadlock:
         return RunOutcome("violation", invariant="deadlock",
                           message=str(deadlock), taken=tuple(taken),
-                          trace=tuple(sched.trace))
+                          trace=tuple(sched.trace),
+                          key=canonical_key(system, observer))
+    # A finished run has no scheduling position: neutralise the run
+    # loop's intra-cycle bookkeeping so terminal states hash by
+    # architectural content alone (two interleavings that end in the
+    # same caches/memory but parked their stale cores differently are
+    # the same terminal state).
+    neutral = (False,) * len(system.cores)
+    system.sched_position = (neutral, neutral)
     return RunOutcome("done", taken=tuple(taken), trace=tuple(sched.trace),
                       committed=tuple(core.committed
-                                      for core in system.cores))
+                                      for core in system.cores),
+                      key=canonical_key(system, observer))
 
 
 def run_schedule(scenario_name: str, mechanism: str,
@@ -196,67 +241,218 @@ def run_schedule(scenario_name: str, mechanism: str,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  pause: bool = False,
                  machine: Optional[dict] = None,
-                 model: str = DEFAULT_MODEL) -> RunOutcome:
+                 model: str = DEFAULT_MODEL,
+                 por: str = "off") -> RunOutcome:
     """Execute one schedule (replaying ``schedule`` at decision points,
-    then pausing or continuing with default choices)."""
+    then pausing or continuing with default choices).  With ``por``
+    set, a pause also captures the POR action descriptions
+    (``outcome.actions``)."""
     scenario = get_scenario(scenario_name)
-    inner = ReplayScheduler(schedule, pause=pause)
+    cores, lines = _shape(scenario, cores, lines)
+    inner = ReplayScheduler(schedule, pause=pause,
+                            describe=describe_for(por) if pause else None)
     return _run(scenario, mechanism, inner, cores=cores, lines=lines,
                 unsound=unsound, max_cycles=max_cycles, machine=machine,
                 model=model)
+
+
+def _shape(scenario, cores: int, lines: int) -> Tuple[int, int]:
+    """Litmus-bridge scenarios carry a fixed shape; honour it."""
+    return (getattr(scenario, "fixed_cores", None) or cores,
+            getattr(scenario, "fixed_lines", None) or lines)
+
+
+def _resolve_child(store, record: dict, fresh: bool) -> None:
+    """Report this record's fate to its parent's proviso bookkeeping;
+    when the parent's reduced expansion turns out to have led nowhere
+    new (the ignoring problem), requeue it for a full expansion."""
+    parent = record.get("parent")
+    if parent is None:
+        return
+    refire = store.proviso_resolve(parent, record["id"], fresh)
+    if refire is not None:
+        store.push(make_record(refire, (), None, full=True))
+
+
+def drain_frontier(store, runner, report: CheckReport, *, por: str,
+                   max_depth: int, max_states: int,
+                   on_violation, wait=None) -> None:
+    """The BFS loop over a frontier store — shared by the in-process
+    explorer and the distributed workers.
+
+    With ``por="off"`` and a :class:`MemoryFrontier` this is
+    operation-for-operation the pre-POR explorer loop (pop order,
+    execution accounting, seen-check placement), which is what keeps
+    ``--por off`` bit-identical.  ``wait`` lets a distributed worker
+    idle while siblings still hold running records that may push more
+    work; without it an empty queue ends the drain.
+    """
+    while True:
+        if store.get_violation() is not None:
+            break
+        if store.queue_empty():
+            if wait is not None and not store.running_empty():
+                if wait():
+                    continue
+            break
+        if report.executions >= max_states:
+            report.truncated = True
+            break
+        record = store.pop()
+        if record is None:
+            continue            # lost a claim race to another worker
+        prefix = record["prefix"]
+        outcome = runner(prefix, pause=True)
+        if outcome.kind == "violation":
+            on_violation(outcome)
+            store.ack(record)
+            break
+        if outcome.kind == "done":
+            store.terminal(record["id"], outcome.key)
+            _resolve_child(store, record, fresh=True)
+            store.ack(record)
+            continue
+        sleep = frozenset(record["sleep"])
+        status = store.claim(outcome.key, record["id"], sleep)
+        if status == "seen" and not record["full"]:
+            if por == "off":
+                _resolve_child(store, record, fresh=False)
+                store.ack(record)
+                continue
+            stored = store.get_sleep(outcome.key)
+            if stored is not None and stored <= sleep:
+                # Everything we would newly explore was already
+                # explored from this state — prune (covering check).
+                _resolve_child(store, record, fresh=False)
+                store.ack(record)
+                continue
+            # Visited before, but with a larger sleep set: re-expand
+            # under the intersection so the union of both visits
+            # covers every non-slept branch.
+            sleep = sleep & stored if stored is not None else sleep
+            store.set_sleep(outcome.key, sleep)
+        if len(prefix) >= max_depth:
+            report.truncated = True
+            _resolve_child(store, record, fresh=True)
+            store.ack(record)
+            continue
+        if por == "off":
+            for branch in range(outcome.branches):
+                store.push(make_record(prefix + (branch,)))
+            store.ack(record)
+            continue
+        infos, keep = outcome.actions
+        if record["full"]:
+            explored = list(range(outcome.branches))
+            child_sleeps = [frozenset()] * outcome.branches
+        else:
+            explored, child_sleeps = sleep_filter(sleep, infos, keep)
+        reduced = 0 < len(explored) < outcome.branches
+        parent_key = outcome.key if reduced else None
+        if reduced:
+            store.proviso_open(outcome.key, len(explored), prefix)
+        for index, child_sleep in zip(explored, child_sleeps):
+            store.push(make_record(prefix + (index,), child_sleep,
+                                   parent_key))
+        _resolve_child(store, record, fresh=True)
+        store.ack(record)
+
+
+def finalise_report(report: CheckReport, store, start: float) -> None:
+    """Fill the store-derived counters of a drained check."""
+    report.executions += store.stats_executions()
+    report.unique_states = store.visited_count()
+    count, distinct = store.terminal_stats()
+    report.terminal_states = count
+    report.distinct_terminals = len(distinct)
+    report.terminal_fingerprint = hashlib.sha1(
+        ",".join(distinct).encode()).hexdigest()
+    report.complete = (not report.truncated and report.violation is None
+                       and store.queue_empty())
+    report.wall_seconds = time.monotonic() - start
+
+
+def job_meta(scenario_name: str, mechanism: str, *, cores: int, lines: int,
+             max_depth: int, max_states: int, max_cycles: int,
+             unsound: bool, machine: Optional[dict], model: str,
+             por: str) -> dict:
+    """The job parameters a spool carries so any worker (or a resumed
+    run) can reconstruct the exact check."""
+    return {"scenario": scenario_name, "mechanism": mechanism,
+            "cores": cores, "lines": lines, "max_depth": max_depth,
+            "max_states": max_states, "max_cycles": max_cycles,
+            "unsound": unsound, "machine": machine, "model": model,
+            "por": por}
 
 
 def explore(scenario_name: str, mechanism: str, *, cores: int = 2,
             lines: int = 2, max_depth: int = 64, max_states: int = 100_000,
             max_cycles: int = DEFAULT_MAX_CYCLES, unsound: bool = False,
             machine: Optional[dict] = None,
-            model: str = DEFAULT_MODEL) -> CheckReport:
+            model: str = DEFAULT_MODEL, por: str = "off",
+            spool=None, store=None) -> CheckReport:
     """Exhaustive frontier BFS over all interleavings of a scenario.
 
     ``machine`` optionally overrides the reduced machine's shared level
     (``topology``/``dir_shards``/``dram_channels``/``link_latency`` as
     accepted by :func:`~repro.modelcheck.scenarios.check_config`), so
     checks can run on sharded/non-uniform layouts.
+
+    ``por`` selects the partial-order reduction ("off", "sleep" or
+    "persistent"); ``spool`` (a directory path) makes the frontier
+    durable — re-running with the same spool resumes a killed check.
     """
+    if por not in POR_MODES:
+        raise ValueError(
+            f"unknown POR mode {por!r}; available: {', '.join(POR_MODES)}")
     scenario = get_scenario(scenario_name)
+    cores, lines = _shape(scenario, cores, lines)
     start = time.monotonic()
     report = CheckReport(scenario.name, mechanism, cores, lines,
-                         mode="exhaustive", model=model)
+                         mode="exhaustive", model=model, por=por)
+    describe = describe_for(por)
 
     def runner(schedule: Tuple[int, ...], pause: bool) -> RunOutcome:
         report.executions += 1
-        inner = ReplayScheduler(schedule, pause=pause)
+        inner = ReplayScheduler(schedule, pause=pause,
+                                describe=describe if pause else None)
         return _run(scenario, mechanism, inner, cores=cores, lines=lines,
                     unsound=unsound, max_cycles=max_cycles, machine=machine,
                     model=model)
 
-    seen = set()
-    queue = deque([()])
-    while queue:
-        if report.executions >= max_states:
-            report.truncated = True
-            break
-        prefix = queue.popleft()
-        outcome = runner(prefix, pause=True)
-        if outcome.kind == "violation":
-            report.violation = _minimise(outcome, runner, scenario.name,
-                                         mechanism, cores, lines, unsound,
-                                         model)
-            break
-        if outcome.kind == "done":
-            report.terminal_states += 1
-            continue
-        if outcome.key in seen:
-            continue
-        seen.add(outcome.key)
-        if len(prefix) >= max_depth:
-            report.truncated = True
-            continue
-        for branch in range(outcome.branches):
-            queue.append(prefix + (branch,))
-    report.unique_states = len(seen)
-    report.complete = (not report.truncated and report.violation is None)
-    report.wall_seconds = time.monotonic() - start
+    if store is None:
+        if spool is not None:
+            from .frontier import DiskFrontier
+            store = DiskFrontier(spool)
+        else:
+            store = MemoryFrontier()
+    store.seed(job_meta(scenario_name, mechanism, cores=cores, lines=lines,
+                        max_depth=max_depth, max_states=max_states,
+                        max_cycles=max_cycles, unsound=unsound,
+                        machine=machine, model=model, por=por),
+               make_record(()))
+
+    def minimise_violation(outcome: RunOutcome) -> None:
+        store.set_violation({"invariant": outcome.invariant,
+                             "message": outcome.message,
+                             "taken": list(outcome.taken)})
+        report.violation = _minimise(outcome, runner, scenario.name,
+                                     mechanism, cores, lines, unsound,
+                                     model)
+
+    drain_frontier(store, runner, report, por=por, max_depth=max_depth,
+                   max_states=max_states, on_violation=minimise_violation)
+    if report.violation is None:
+        stored = store.get_violation()
+        if stored is not None:
+            # A previous (killed or worker) run found the violation;
+            # reproduce and minimise it here.
+            outcome = runner(tuple(stored["taken"]), False)
+            if outcome.kind == "violation":
+                report.violation = _minimise(
+                    outcome, runner, scenario.name, mechanism, cores,
+                    lines, unsound, model)
+    finalise_report(report, store, start)
     return report
 
 

@@ -1,0 +1,454 @@
+"""Frontier stores: where the BFS keeps its queue, visited set and
+bookkeeping — in memory (the default) or on disk (durable).
+
+The disk store makes a model-check run *durable and distributable* by
+reusing the spool-dir discipline of :mod:`repro.service.queue`: every
+record is one small JSON file, every state transition is one atomic
+``os.rename`` (or an ``os.link`` where first-writer-wins matters), so
+
+* a SIGKILL at any instant loses no work — ``recover()`` renames the
+  ``running/`` leftovers back to ``pending/`` and the redo is
+  idempotent (record names, visited claims, terminal markers and
+  proviso markers are all deterministic functions of their content);
+* any number of worker processes can drain the same spool — pending
+  claims race on rename, visited claims race on ``O_EXCL`` creation,
+  and the first violation wins ``violation.json``.
+
+Determinism: record names are ``<depth>-<sha1(prefix)>``, pending
+drains in sorted-name order, and every marker is content-addressed —
+so a killed-and-resumed single-worker run visits exactly the states an
+uninterrupted run visits (``tests/test_frontier_resume.py`` pins
+this).
+
+The in-memory store presents the identical interface over a deque and
+dicts; with POR off its pop/push order is exactly the pre-POR
+explorer's BFS, which keeps ``--por off`` bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Signature tuples survive a JSON round-trip as lists; normalise back.
+def _sig(raw) -> Tuple:
+    return tuple(raw)
+
+
+def _sleep_set(raw) -> frozenset:
+    return frozenset(_sig(s) for s in raw)
+
+
+def record_name(prefix, full: bool = False) -> str:
+    digest = hashlib.sha1(
+        json.dumps(list(prefix)).encode()).hexdigest()[:16]
+    return f"{len(prefix):05d}-{digest}" + ("-full" if full else "")
+
+
+def make_record(prefix, sleep=(), parent: Optional[str] = None,
+                full: bool = False) -> dict:
+    return {"id": record_name(prefix, full), "prefix": tuple(prefix),
+            "sleep": tuple(sorted(frozenset(sleep))),
+            "parent": parent, "full": full}
+
+
+def _load_record(payload: dict) -> dict:
+    return {"id": payload["id"],
+            "prefix": tuple(payload["prefix"]),
+            "sleep": tuple(_sig(s) for s in payload["sleep"]),
+            "parent": payload.get("parent"),
+            "full": bool(payload.get("full"))}
+
+
+class MemoryFrontier:
+    """The default store: a deque plus dicts, nothing durable."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._visited: Dict[str, Optional[frozenset]] = {}
+        self._terminals: Dict[str, str] = {}
+        self._prov: Dict[str, dict] = {}
+        self._violation: Optional[dict] = None
+
+    # -- queue ---------------------------------------------------------------
+    def seed(self, meta: dict, record: dict) -> bool:
+        self._queue.append(record)
+        return False          # never a resume
+
+    def queue_empty(self) -> bool:
+        return not self._queue
+
+    def running_empty(self) -> bool:
+        return True
+
+    def push(self, record: dict) -> None:
+        self._queue.append(record)
+
+    def pop(self) -> Optional[dict]:
+        return self._queue.popleft() if self._queue else None
+
+    def ack(self, record: dict) -> None:
+        pass
+
+    def recover(self) -> int:
+        return 0
+
+    # -- visited claims ------------------------------------------------------
+    def claim(self, key: str, owner: str, sleep) -> str:
+        if key in self._visited:
+            return "seen"
+        self._visited[key] = frozenset(sleep)
+        return "new"
+
+    def get_sleep(self, key: str) -> Optional[frozenset]:
+        return self._visited.get(key)
+
+    def set_sleep(self, key: str, sleep) -> None:
+        self._visited[key] = frozenset(sleep)
+
+    def visited_count(self) -> int:
+        return len(self._visited)
+
+    # -- terminal states -----------------------------------------------------
+    def terminal(self, record_id: str, key: str) -> None:
+        self._terminals[record_id] = key
+
+    def terminal_stats(self) -> Tuple[int, Tuple[str, ...]]:
+        return (len(self._terminals),
+                tuple(sorted(set(self._terminals.values()))))
+
+    # -- proviso (the ignoring problem) --------------------------------------
+    def proviso_open(self, key: str, expect: int, prefix) -> None:
+        self._prov.setdefault(key, {
+            "expect": expect, "prefix": tuple(prefix),
+            "resolved": set(), "fresh": False, "refired": False})
+
+    def proviso_resolve(self, key: str, child_id: str,
+                        fresh: bool) -> Optional[tuple]:
+        entry = self._prov.get(key)
+        if entry is None:
+            return None
+        entry["resolved"].add(child_id)
+        entry["fresh"] = entry["fresh"] or fresh
+        if (len(entry["resolved"]) >= entry["expect"]
+                and not entry["fresh"] and not entry["refired"]):
+            entry["refired"] = True
+            return entry["prefix"]
+        return None
+
+    # -- violation -----------------------------------------------------------
+    def set_violation(self, payload: dict) -> bool:
+        if self._violation is None:
+            self._violation = payload
+            return True
+        return False
+
+    def get_violation(self) -> Optional[dict]:
+        return self._violation
+
+    # -- worker stats --------------------------------------------------------
+    def add_stats(self, label: str, executions: int) -> None:
+        pass                  # an in-process report counts its own runs
+
+    def stats_executions(self) -> int:
+        return 0
+
+
+class DiskFrontier:
+    """A durable, multi-process frontier over a spool directory."""
+
+    durable = True
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.running_dir = self.root / "running"
+        self.visited_dir = self.root / "visited"
+        self.terminal_dir = self.root / "terminals"
+        self.prov_dir = self.root / "prov"
+        for directory in (self.pending_dir, self.running_dir,
+                          self.visited_dir, self.terminal_dir,
+                          self.prov_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self._done: Set[str] = set()
+        self._done_log = self.root / f"done-{os.getpid()}.log"
+        self._load_done()
+
+    # -- small file helpers --------------------------------------------------
+    def _write_atomic(self, path: Path, payload: dict) -> None:
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.rename(tmp, path)
+
+    def _write_exclusive(self, path: Path, payload: dict) -> bool:
+        """First-writer-wins creation; True when this call created it."""
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        try:
+            os.link(tmp, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+
+    def _read(self, path: Path) -> Optional[dict]:
+        try:
+            return json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def _load_done(self) -> None:
+        for log in self.root.glob("done-*.log"):
+            try:
+                for line in log.read_text().splitlines():
+                    if line:
+                        self._done.add(line)
+            except FileNotFoundError:
+                continue
+
+    # -- queue ---------------------------------------------------------------
+    def seed(self, meta: dict, record: dict) -> bool:
+        """Write job metadata and the root record, or — when the spool
+        already holds a run — recover it instead.  Returns True when
+        resuming."""
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            self.recover()
+            return True
+        self._write_atomic(meta_path, meta)
+        self.push(record)
+        return False
+
+    def meta(self) -> Optional[dict]:
+        return self._read(self.root / "meta.json")
+
+    def _names(self, directory: Path) -> List[str]:
+        try:
+            names = [n for n in os.listdir(directory)
+                     if n.endswith(".json")]
+        except FileNotFoundError:
+            return []
+        names.sort()
+        return names
+
+    def queue_empty(self) -> bool:
+        return not self._names(self.pending_dir)
+
+    def running_empty(self) -> bool:
+        return not self._names(self.running_dir)
+
+    def push(self, record: dict) -> None:
+        name = record["id"] + ".json"
+        if (record["id"] in self._done
+                or (self.pending_dir / name).exists()
+                or (self.running_dir / name).exists()):
+            return
+        payload = dict(record)
+        payload["prefix"] = list(record["prefix"])
+        payload["sleep"] = [list(s) for s in record["sleep"]]
+        self._write_atomic(self.pending_dir / name, payload)
+
+    def pop(self) -> Optional[dict]:
+        for name in self._names(self.pending_dir):
+            src = self.pending_dir / name
+            dst = self.running_dir / name
+            try:
+                os.rename(src, dst)
+            except (FileNotFoundError, OSError):
+                continue      # another worker won the claim
+            payload = self._read(dst)
+            if payload is None or payload["id"] in self._done:
+                # A stale duplicate of an already-finished record.
+                try:
+                    os.unlink(dst)
+                except FileNotFoundError:
+                    pass
+                continue
+            return _load_record(payload)
+        return None
+
+    def ack(self, record: dict) -> None:
+        self._done.add(record["id"])
+        with open(self._done_log, "a") as log:
+            log.write(record["id"] + "\n")
+        try:
+            os.unlink(self.running_dir / (record["id"] + ".json"))
+        except FileNotFoundError:
+            pass
+
+    def recover(self) -> int:
+        """Requeue running leftovers (a killed worker's claims)."""
+        self._load_done()
+        requeued = 0
+        for name in self._names(self.running_dir):
+            src = self.running_dir / name
+            if name[:-5] in self._done:
+                try:
+                    os.unlink(src)
+                except FileNotFoundError:
+                    pass
+                continue
+            try:
+                os.rename(src, self.pending_dir / name)
+                requeued += 1
+            except (FileNotFoundError, OSError):
+                continue
+        return requeued
+
+    # -- visited claims ------------------------------------------------------
+    def _claim_path(self, key: str) -> Path:
+        return self.visited_dir / f"k-{key}.json"
+
+    def claim(self, key: str, owner: str, sleep) -> str:
+        if self._segment_lookup(key) is not None:
+            return "seen"     # already compacted: its owner was acked
+        payload = {"key": key, "owner": owner,
+                   "sleep": [list(s) for s in sorted(frozenset(sleep))]}
+        if self._write_exclusive(self._claim_path(key), payload):
+            return "new"
+        existing = self._read(self._claim_path(key))
+        if existing is not None and existing.get("owner") == owner:
+            return "ours"     # crash redo of our own expansion
+        if existing is None and self._segment_lookup(key) is None:
+            # Claim file raced away (compaction moved it to a segment
+            # mid-read); fall through to "seen" — the key exists.
+            pass
+        return "seen"
+
+    def _segment_lookup(self, key: str) -> Optional[dict]:
+        for seg in self.visited_dir.glob("seg-*.json"):
+            payload = self._read(seg)
+            if payload and key in payload.get("keys", {}):
+                return payload["keys"][key]
+        return None
+
+    def get_sleep(self, key: str) -> Optional[frozenset]:
+        payload = self._read(self._claim_path(key))
+        if payload is None:
+            payload = self._segment_lookup(key)
+        if payload is None:
+            return None
+        return _sleep_set(payload.get("sleep", []))
+
+    def set_sleep(self, key: str, sleep) -> None:
+        payload = self._read(self._claim_path(key)) or {"key": key,
+                                                        "owner": ""}
+        payload["sleep"] = [list(s) for s in sorted(frozenset(sleep))]
+        self._write_atomic(self._claim_path(key), payload)
+
+    def visited_count(self) -> int:
+        keys = {name[2:-5] for name in os.listdir(self.visited_dir)
+                if name.startswith("k-") and name.endswith(".json")}
+        for seg in self.visited_dir.glob("seg-*.json"):
+            payload = self._read(seg)
+            if payload:
+                keys.update(payload.get("keys", {}))
+        return len(keys)
+
+    def compact_visited(self) -> int:
+        """Merge finished visited claims into one segment file (the
+        periodic visited-set merge): claims whose owning record has
+        been acked can no longer be redone, so their per-file owner
+        information is dead weight.  Returns how many claims merged."""
+        self._load_done()
+        merged: Dict[str, dict] = {}
+        victims: List[Path] = []
+        for name in sorted(os.listdir(self.visited_dir)):
+            if not (name.startswith("k-") and name.endswith(".json")):
+                continue
+            path = self.visited_dir / name
+            payload = self._read(path)
+            if payload is None or payload.get("owner") not in self._done:
+                continue
+            merged[payload["key"]] = {"sleep": payload.get("sleep", [])}
+            victims.append(path)
+        if not merged:
+            return 0
+        seg_id = hashlib.sha1(
+            "".join(sorted(merged)).encode()).hexdigest()[:12]
+        seg = self.visited_dir / f"seg-{seg_id}.json"
+        existing = self._read(seg) or {"keys": {}}
+        existing["keys"].update(merged)
+        self._write_atomic(seg, existing)
+        for path in victims:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        return len(merged)
+
+    # -- terminal states -----------------------------------------------------
+    def terminal(self, record_id: str, key: str) -> None:
+        self._write_exclusive(self.terminal_dir / f"t-{record_id}.json",
+                              {"key": key})
+
+    def terminal_stats(self) -> Tuple[int, Tuple[str, ...]]:
+        keys = []
+        count = 0
+        for name in os.listdir(self.terminal_dir):
+            if not name.endswith(".json"):
+                continue
+            payload = self._read(self.terminal_dir / name)
+            if payload is None:
+                continue
+            count += 1
+            keys.append(payload["key"])
+        return count, tuple(sorted(set(keys)))
+
+    # -- proviso -------------------------------------------------------------
+    def proviso_open(self, key: str, expect: int, prefix) -> None:
+        self._write_exclusive(self.prov_dir / f"p-{key}.json",
+                              {"expect": expect, "prefix": list(prefix)})
+
+    def proviso_resolve(self, key: str, child_id: str,
+                        fresh: bool) -> Optional[tuple]:
+        self._write_exclusive(
+            self.prov_dir / f"m-{key}-{child_id}.json", {"fresh": fresh})
+        head = self._read(self.prov_dir / f"p-{key}.json")
+        if head is None:
+            return None
+        resolved = 0
+        any_fresh = False
+        marker_prefix = f"m-{key}-"
+        for name in os.listdir(self.prov_dir):
+            if not name.startswith(marker_prefix):
+                continue
+            payload = self._read(self.prov_dir / name)
+            if payload is None:
+                continue
+            resolved += 1
+            any_fresh = any_fresh or payload.get("fresh", False)
+        if resolved < head["expect"] or any_fresh:
+            return None
+        if self._write_exclusive(self.prov_dir / f"r-{key}.json", {}):
+            return tuple(head["prefix"])
+        return None
+
+    # -- violation -----------------------------------------------------------
+    def set_violation(self, payload: dict) -> bool:
+        return self._write_exclusive(self.root / "violation.json", payload)
+
+    def get_violation(self) -> Optional[dict]:
+        return self._read(self.root / "violation.json")
+
+    # -- worker stats --------------------------------------------------------
+    def add_stats(self, label: str, executions: int) -> None:
+        """Persist a finished worker's execution count so the merged
+        report reflects the whole fleet's work."""
+        self._write_atomic(self.root / f"stats-{label}.json",
+                           {"executions": executions})
+
+    def stats_executions(self) -> int:
+        total = 0
+        for path in self.root.glob("stats-*.json"):
+            payload = self._read(path)
+            if payload:
+                total += int(payload.get("executions", 0))
+        return total

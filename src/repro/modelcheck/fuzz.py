@@ -16,7 +16,7 @@ from typing import Optional
 
 from ..models import DEFAULT_MODEL
 from .explorer import (DEFAULT_MAX_CYCLES, CheckReport, RunOutcome, _minimise,
-                       _run)
+                       _run, _shape)
 from .scenarios import get_scenario
 from .scheduler import RandomScheduler, ReplayScheduler
 
@@ -28,6 +28,7 @@ def fuzz(scenario_name: str, mechanism: str, *, cores: int = 2,
          model: str = DEFAULT_MODEL) -> CheckReport:
     """Run ``runs`` random schedules; minimise the first violation."""
     scenario = get_scenario(scenario_name)
+    cores, lines = _shape(scenario, cores, lines)
     start = time.monotonic()
     report = CheckReport(scenario.name, mechanism, cores, lines, mode="fuzz",
                          model=model)

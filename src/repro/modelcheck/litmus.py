@@ -1,0 +1,73 @@
+"""Bridge: the cross-model litmus corpus as model-check scenarios.
+
+Every :mod:`repro.models.corpus` program is a list of per-thread
+Store/Load/Fence sequences over the abstract addresses X/Y/Z.  This
+module lowers each to a model-check scenario named ``lit:<NAME>``:
+threads become cores, abstract addresses become consecutive scenario
+cache lines (ascending lex order, distinct directory/cache sets — the
+same discipline as the hand-written scenarios), and the shape is
+*fixed* (``fixed_cores``/``fixed_lines``): an IRIW check is a 4-core
+check no matter what ``--cores`` says.
+
+The corpus verdicts (allowed/forbidden outcomes) are *not* re-checked
+here — the model layer owns those.  What the model checker adds is
+protocol-level assurance: every interleaving of the litmus program on
+the real simulator upholds SWMR, TUS WOQ/L1D sync, deadlock freedom
+and friends.  The 4-thread shapes (IRIW, IRIW+fences) are exactly the
+checks that were infeasible without partial-order reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cpu.isa import UOp, fence, load, store
+from ..models.corpus import corpus
+from .scenarios import Scenario, scenario_lines
+
+#: Scenario-name prefix selecting a corpus program.
+PREFIX = "lit:"
+
+
+def _lower(program) -> List[List[UOp]]:
+    addr_map = {addr: line for addr, line in
+                zip(program.addresses(), scenario_lines(
+                    len(program.addresses())))}
+    lowered: List[List[UOp]] = []
+    for ops in program.threads:
+        uops: List[UOp] = []
+        for op in ops:
+            kind = type(op).__name__
+            if kind == "Store":
+                uops.append(store(addr_map[op.addr]))
+            elif kind == "Load":
+                uops.append(load(addr_map[op.addr]))
+            else:
+                uops.append(fence())
+        lowered.append(uops)
+    return lowered
+
+
+def _build_fn(entry):
+    def build(cores: int, lines: int) -> List[List[UOp]]:
+        return _lower(entry.program)
+    return build
+
+
+def litmus_scenarios() -> Dict[str, Scenario]:
+    """All corpus programs as fixed-shape scenarios, keyed by
+    ``lit:<NAME>``."""
+    scenarios: Dict[str, Scenario] = {}
+    for entry in corpus():
+        name = PREFIX + entry.name
+        scenarios[name] = Scenario(
+            name=name,
+            description=f"litmus corpus: {entry.description}",
+            build_fn=_build_fn(entry),
+            fixed_cores=len(entry.program.threads),
+            fixed_lines=len(entry.program.addresses()))
+    return scenarios
+
+
+def litmus_names() -> List[str]:
+    return sorted(litmus_scenarios())

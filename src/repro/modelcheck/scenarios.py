@@ -18,7 +18,7 @@ code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..common.addr import LINE_SIZE
 from ..common.config import (CacheConfig, CoreConfig, MemoryConfig,
@@ -37,11 +37,19 @@ def scenario_lines(count: int) -> List[int]:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A parameterised concurrent program."""
+    """A parameterised concurrent program.
+
+    Most scenarios scale with the requested core and line counts;
+    litmus-bridge scenarios (:mod:`repro.modelcheck.litmus`) instead
+    pin their shape via ``fixed_cores``/``fixed_lines`` and the
+    explorer honours the pin.
+    """
 
     name: str
     description: str
     build_fn: Callable[[int, int], List[List[UOp]]]
+    fixed_cores: Optional[int] = None
+    fixed_lines: Optional[int] = None
 
     def build(self, cores: int, lines: int) -> List[List[UOp]]:
         """Per-core micro-op programs for ``cores`` cores over ``lines``
@@ -86,6 +94,24 @@ def _fenced(cores: int, lines: int) -> List[List[UOp]]:
             for cid in range(cores)]
 
 
+def _disjoint(cores: int, lines: int) -> List[List[UOp]]:
+    addrs = scenario_lines(lines)
+    # With lines >= cores every core owns a private line: after the
+    # initial miss its whole program is core-local, so the only sound
+    # cross-core dependencies are the DRAM-channel races of the warm-up
+    # phase.  Program lengths differ per core, so the core-symmetry
+    # reduction cannot collapse the interleavings — this is the
+    # maximal-headroom case for partial-order reduction, and a genuine
+    # check that concurrent but non-conflicting atomic groups never
+    # interact.
+    programs = []
+    for cid in range(cores):
+        a = addrs[cid % lines]
+        ops = [store(a), load(a), store(a), load(a)] * 2
+        programs.append(ops[:4 + 2 * (cid % 3)])
+    return programs
+
+
 def _mixed(cores: int, lines: int) -> List[List[UOp]]:
     addrs = scenario_lines(lines)
     programs = []
@@ -114,17 +140,30 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("mixed",
                  "interleaved loads and stores over overlapping lines",
                  _mixed),
+        Scenario("disjoint",
+                 "per-core private lines: non-conflicting atomic groups "
+                 "(the partial-order-reduction headroom case)", _disjoint),
     )
 }
 
 
 def get_scenario(name: str) -> Scenario:
+    if name.startswith("lit:"):
+        from .litmus import litmus_scenarios
+        scenarios = litmus_scenarios()
+        try:
+            return scenarios[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown litmus scenario {name!r}; available: "
+                f"{', '.join(sorted(scenarios))}") from None
     try:
         return SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; available: "
-            f"{', '.join(sorted(SCENARIOS))}") from None
+            f"{', '.join(sorted(SCENARIOS))} and lit:<corpus name>"
+        ) from None
 
 
 def check_config(cores: int, mechanism: str, unsound: bool = False,

@@ -21,12 +21,15 @@ from .invariants import INVARIANTS, CheckContext, InvariantViolation
 class FrontierReached(Exception):
     """A :class:`ReplayScheduler` in pause mode ran out of recorded
     choices at a decision point.  Carries the branch count so the
-    explorer can enqueue one child prefix per alternative."""
+    explorer can enqueue one child prefix per alternative, plus
+    whatever the scheduler's ``describe`` hook captured about the
+    enabled actions (the POR footprints; ``None`` when POR is off)."""
 
-    def __init__(self, branches: int, depth: int) -> None:
+    def __init__(self, branches: int, depth: int, actions=None) -> None:
         super().__init__(f"frontier at decision {depth}: {branches} branches")
         self.branches = branches
         self.depth = depth
+        self.actions = actions
 
 
 class DefaultScheduler:
@@ -50,11 +53,18 @@ class ReplayScheduler:
     run to completion.  Out-of-range recorded choices are clamped, so a
     schedule is always applicable.  Every choice actually taken is
     appended to :attr:`taken`.
+
+    ``describe``, when given, is called as ``describe(system, actions)``
+    at the pause and its result travels on the raised
+    :class:`FrontierReached` — how the POR layer captures action
+    footprints without the explorer holding the (dying) system.
     """
 
-    def __init__(self, choices: Sequence[int], pause: bool = False) -> None:
+    def __init__(self, choices: Sequence[int], pause: bool = False,
+                 describe=None) -> None:
         self.choices = list(choices)
         self.pause = pause
+        self.describe = describe
         self.taken: List[int] = []
         self.decisions = 0
 
@@ -64,7 +74,9 @@ class ReplayScheduler:
         if index < len(self.choices):
             choice = min(self.choices[index], len(actions) - 1)
         elif self.pause:
-            raise FrontierReached(len(actions), index)
+            described = (None if self.describe is None
+                         else self.describe(system, actions))
+            raise FrontierReached(len(actions), index, described)
         else:
             choice = 0
         self.taken.append(choice)

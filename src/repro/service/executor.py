@@ -76,6 +76,8 @@ def _run_check(record: JobRecord, store: ArtifactStore,
     from ..harness.checks import CheckJob, run_check
 
     spec = record.spec
+    dist = spec["dist_workers"]
+    spool = str(scratch / "frontier") if dist else None
     job = CheckJob(scenario=spec["scenario"], mechanism=spec["mechanism"],
                    cores=spec["cores"], lines=spec["lines"],
                    max_depth=spec["depth"], max_states=spec["max_states"],
@@ -84,18 +86,22 @@ def _run_check(record: JobRecord, store: ArtifactStore,
                    dir_shards=spec["dir_shards"],
                    dram_channels=spec["dram_channels"],
                    link_latency=spec["link_latency"],
-                   model=spec["model"])
+                   model=spec["model"], por=spec["por"],
+                   spool=spool, dist_workers=dist)
     report = run_check(job)
     violation = None
     if report.violation is not None:
         violation = {"invariant": report.violation.invariant,
                      "describe": report.violation.describe()}
     return {"scenario": report.scenario, "mechanism": report.mechanism,
-            "model": report.model,
+            "model": report.model, "por": report.por,
             "passed": report.passed, "summary": report.summary(),
             "executions": report.executions,
             "unique_states": report.unique_states,
             "terminal_states": report.terminal_states,
+            "distinct_terminals": report.distinct_terminals,
+            "terminal_fingerprint": report.terminal_fingerprint,
+            "states_per_sec": report.states_per_sec,
             "complete": report.complete, "truncated": report.truncated,
             "violation": violation,
             "wall_seconds": report.wall_seconds}

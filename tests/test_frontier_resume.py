@@ -1,0 +1,197 @@
+"""Durable-frontier semantics: crash safety, resume, distribution.
+
+Mirrors ``test_resilience.py`` for the model checker: a check driven
+through a spool directory must survive SIGKILL at an arbitrary instant
+— resuming from the spool yields the same verdict, unique-state count
+and counterexample as a run that was never interrupted — and any
+number of workers draining one spool must converge to the in-process
+result.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.modelcheck import DiskFrontier, MemoryFrontier, explore
+from repro.modelcheck.frontier import make_record
+
+_CHILD = """
+import sys
+from repro.modelcheck import explore
+explore("overlap", "tus", cores=2, lines=2,
+        unsound=sys.argv[2] == "1", spool=sys.argv[1])
+"""
+
+
+def _spawn(spool: Path, unsound: bool) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, str(spool), "1" if unsound else "0"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _kill_mid_run(spool: Path, unsound: bool = False,
+                  after_visited: int = 5) -> None:
+    """Run the child until the spool shows real progress, then SIGKILL
+    it.  If the child finishes first the resume below degrades to a
+    no-op drain, which must still produce identical results."""
+    child = _spawn(spool, unsound)
+    visited = spool / "visited"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            return
+        try:
+            count = len(os.listdir(visited))
+        except FileNotFoundError:
+            count = 0
+        if count >= after_visited:
+            break
+        time.sleep(0.01)
+    child.kill()
+    child.wait()
+
+
+class TestKillResume:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        reference = explore("overlap", "tus", cores=2, lines=2,
+                            spool=tmp_path / "ref")
+        assert reference.complete
+        spool = tmp_path / "killed"
+        _kill_mid_run(spool)
+        resumed = explore("overlap", "tus", cores=2, lines=2,
+                          spool=spool)
+        assert resumed.complete
+        assert resumed.violation is None
+        assert resumed.unique_states == reference.unique_states
+        assert resumed.terminal_states == reference.terminal_states
+        assert resumed.terminal_fingerprint == \
+            reference.terminal_fingerprint
+
+    def test_resume_reproduces_the_counterexample(self, tmp_path):
+        reference = explore("overlap", "tus", cores=2, lines=2,
+                            unsound=True, spool=tmp_path / "ref")
+        assert reference.violation is not None
+        spool = tmp_path / "killed"
+        _kill_mid_run(spool, unsound=True, after_visited=3)
+        resumed = explore("overlap", "tus", cores=2, lines=2,
+                          unsound=True, spool=spool)
+        assert resumed.violation is not None
+        assert resumed.violation.invariant == \
+            reference.violation.invariant
+        assert resumed.violation.schedule == \
+            reference.violation.schedule
+
+    def test_disk_run_matches_memory_run(self, tmp_path):
+        memory = explore("overlap", "tus", cores=2, lines=2)
+        disk = explore("overlap", "tus", cores=2, lines=2,
+                       spool=tmp_path / "spool")
+        assert disk.unique_states == memory.unique_states
+        assert disk.terminal_fingerprint == memory.terminal_fingerprint
+
+    def test_resuming_a_finished_spool_is_a_noop(self, tmp_path):
+        spool = tmp_path / "spool"
+        first = explore("overlap", "tus", cores=2, lines=2, spool=spool)
+        again = explore("overlap", "tus", cores=2, lines=2, spool=spool)
+        assert again.complete
+        assert again.unique_states == first.unique_states
+        assert again.terminal_fingerprint == first.terminal_fingerprint
+        assert again.executions <= 1   # nothing left to expand
+
+
+class TestDistributed:
+    def test_two_workers_match_in_process_result(self, tmp_path):
+        from repro.modelcheck import distributed_explore
+        reference = explore("overlap", "tus", cores=2, lines=2,
+                            por="sleep")
+        merged = distributed_explore(
+            "overlap", "tus", spool=tmp_path / "spool", workers=2,
+            cores=2, lines=2, por="sleep")
+        assert merged.complete
+        assert merged.unique_states == reference.unique_states
+        assert merged.terminal_fingerprint == \
+            reference.terminal_fingerprint
+        assert merged.executions > 0
+
+    def test_fleet_finds_the_violation(self, tmp_path):
+        from repro.modelcheck import distributed_explore
+        merged = distributed_explore(
+            "overlap", "tus", spool=tmp_path / "spool", workers=2,
+            cores=2, lines=2, unsound=True)
+        assert merged.violation is not None
+
+
+class TestDiskFrontierUnit:
+    def _seeded(self, tmp_path) -> DiskFrontier:
+        store = DiskFrontier(tmp_path / "spool")
+        resumed = store.seed({"scenario": "sb"}, make_record(()))
+        assert resumed is False
+        return store
+
+    def test_seed_is_resume_aware(self, tmp_path):
+        store = self._seeded(tmp_path)
+        fresh = DiskFrontier(store.root)
+        assert fresh.seed({"scenario": "sb"}, make_record(())) is True
+        assert fresh.meta() == {"scenario": "sb"}
+
+    def test_pop_claims_and_ack_retires(self, tmp_path):
+        store = self._seeded(tmp_path)
+        record = store.pop()
+        assert record["prefix"] == ()
+        assert store.queue_empty() and not store.running_empty()
+        store.ack(record)
+        assert store.running_empty()
+        # A duplicate push of a finished record is dropped.
+        store.push(make_record(()))
+        assert store.queue_empty()
+
+    def test_recover_requeues_running_claims(self, tmp_path):
+        store = self._seeded(tmp_path)
+        store.pop()                      # claimed, never acked (a crash)
+        other = DiskFrontier(store.root)
+        assert other.recover() == 1
+        assert not other.queue_empty()
+
+    def test_claim_distinguishes_ours_from_seen(self, tmp_path):
+        store = self._seeded(tmp_path)
+        assert store.claim("k1", "owner-a", ()) == "new"
+        assert store.claim("k1", "owner-a", ()) == "ours"
+        assert store.claim("k1", "owner-b", ()) == "seen"
+        assert store.visited_count() == 1
+
+    def test_compaction_preserves_sleep_sets(self, tmp_path):
+        store = self._seeded(tmp_path)
+        record = store.pop()
+        sleep = frozenset({("core", 1, 0, 0, 0)})
+        store.claim("k1", record["id"], sleep)
+        store.ack(record)
+        assert store.compact_visited() == 1
+        assert store.get_sleep("k1") == sleep
+        assert store.visited_count() == 1
+        assert store.claim("k1", "other", ()) == "seen"
+
+    def test_violation_is_first_writer_wins(self, tmp_path):
+        store = self._seeded(tmp_path)
+        assert store.set_violation({"taken": [1]}) is True
+        assert store.set_violation({"taken": [2]}) is False
+        assert store.get_violation() == {"taken": [1]}
+
+    def test_stats_accumulate_across_workers(self, tmp_path):
+        store = self._seeded(tmp_path)
+        store.add_stats("w0-100", 40)
+        store.add_stats("w1-101", 2)
+        assert store.stats_executions() == 42
+
+    def test_memory_frontier_mirrors_the_interface(self):
+        store = MemoryFrontier()
+        store.seed({}, make_record(()))
+        record = store.pop()
+        assert store.claim("k", record["id"], ()) == "new"
+        assert store.claim("k", "other", ()) == "seen"
+        store.terminal(record["id"], "k")
+        assert store.terminal_stats() == (1, ("k",))
+        assert store.stats_executions() == 0
