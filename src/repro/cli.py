@@ -27,6 +27,13 @@ Commands
 ``serve``    run the long-lived simulation service: REST job API,
              disk-backed queue, worker fleet, shared artifact store,
              Prometheus ``/metrics``
+``fsck``     scan a service data dir, frontier spool, or cache dir for
+             crash debris (orphaned tmp files, corrupt records,
+             dangling claims, lost entries) and optionally repair it
+``chaos``    run the seeded crash-consistency drills: inject filesystem
+             faults and corruption into a throwaway service / spool /
+             cache and assert no job lost, no attempt double-charged,
+             resumed checks bit-identical
 ``submit``   submit one job to a running service (and optionally wait
              for and print its result)
 ``loadtest`` drive a running (or freshly booted) service with
@@ -53,6 +60,8 @@ Examples
     python -m repro serve --port 8080 --service-workers 4
     python -m repro submit sweep --spec '{"figure": "fig9"}' --wait
     python -m repro loadtest --clients 8 --jobs 6
+    python -m repro fsck .repro_service --repair
+    python -m repro chaos --seeds 2 --manifest chaos.json
 """
 
 from __future__ import annotations
@@ -431,7 +440,11 @@ def _cmd_serve(args) -> int:
                            port=args.port, workers=args.service_workers,
                            max_backlog=args.backlog,
                            max_attempts=args.max_attempts,
-                           lease_seconds=args.lease)
+                           lease_seconds=args.lease,
+                           poll_interval=args.poll_interval,
+                           monitor_interval=args.monitor_interval,
+                           fsync=args.fsync,
+                           tmp_sweep_age=args.tmp_sweep_age)
     service = Service(config)
     url = service.start()
     print(f"repro service listening on {url}")
@@ -447,6 +460,52 @@ def _cmd_serve(args) -> int:
     print("draining and shutting down ...")
     service.stop()
     return 0
+
+
+def _cmd_fsck(args) -> int:
+    import json as _json
+
+    from .durability.fsck import fsck
+
+    report = fsck(args.path, repair=args.repair, tmp_age=args.tmp_age)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render())
+    return 0 if not report.unrepaired else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from .durability.campaign import (SCENARIOS, render_results,
+                                      run_chaos)
+
+    scenarios = args.scenario or None
+    seeds = range(args.seed, args.seed + args.seeds)
+    results = run_chaos(seeds=seeds, scenarios=scenarios,
+                        base_dir=args.work_dir)
+    print(render_results(results))
+    failures = [r for r in results if not r.ok]
+    for res in failures:
+        print()
+        print(f"{res.scenario} seed {res.seed}:")
+        for check in res.checks:
+            mark = "ok " if check["ok"] else "FAIL"
+            detail = f"  {check['detail']}" if check["detail"] else ""
+            print(f"  [{mark}] {check['name']}{detail}")
+        if res.error:
+            print(f"  error: {res.error}")
+    if args.manifest:
+        payload = {"version": 1,
+                   "ok": not failures,
+                   "scenarios": list(SCENARIOS),
+                   "results": [r.to_dict() for r in results]}
+        with open(args.manifest, "w") as handle:
+            _json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.manifest}")
+    return 1 if failures else 0
 
 
 def _cmd_submit(args) -> int:
@@ -772,7 +831,62 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds before a claimed job with a "
                               "live worker is presumed hung and "
                               "requeued")
+    serve_p.add_argument("--fsync", action="store_true",
+                         help="fsync every durable record (and its "
+                              "directory) before the rename publishes "
+                              "it; survives power loss, costs "
+                              "throughput")
+    serve_p.add_argument("--tmp-sweep-age", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="age before an orphaned .tmp file is "
+                              "reclaimed when a store opens")
+    serve_p.add_argument("--poll-interval", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="worker queue poll interval")
+    serve_p.add_argument("--monitor-interval", type=float,
+                         default=0.25, metavar="SECONDS",
+                         help="fleet reap / lease / lost-entry repair "
+                              "cadence")
     serve_p.set_defaults(fn=_cmd_serve)
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="scan a service data dir / frontier spool / cache dir "
+             "for crash debris and optionally repair it")
+    fsck_p.add_argument("path", help="directory to scan (layout is "
+                                     "auto-detected)")
+    fsck_p.add_argument("--repair", action="store_true",
+                        help="fix what is safe: reclaim tmp orphans, "
+                             "quarantine or rebuild corrupt records, "
+                             "requeue dangling claims and lost "
+                             "entries")
+    fsck_p.add_argument("--tmp-age", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="age before a .tmp file counts as an "
+                             "orphan (protects live writers)")
+    fsck_p.add_argument("--json", action="store_true",
+                        help="print the report as JSON")
+    fsck_p.set_defaults(fn=_cmd_fsck)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the seeded crash-consistency drills against "
+             "throwaway service / spool / cache instances")
+    chaos_p.add_argument("--seeds", type=int, default=3, metavar="N",
+                         help="number of seeds to drill")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="first seed")
+    chaos_p.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME",
+                         help="run only this scenario (repeatable); "
+                              "default: all")
+    chaos_p.add_argument("--work-dir", default=None, metavar="PATH",
+                         help="where drill state is staged (default: "
+                              "a fresh temp dir)")
+    chaos_p.add_argument("--manifest", default=None, metavar="PATH",
+                         help="write a JSON manifest of every drill "
+                              "and check")
+    chaos_p.set_defaults(fn=_cmd_chaos)
 
     submit_p = sub.add_parser(
         "submit", help="submit one job to a running service")

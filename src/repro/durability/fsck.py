@@ -1,0 +1,412 @@
+"""``repro fsck``: scan and repair the repo's durable directories.
+
+The scanner is layout-aware: pointed at a service data dir, a
+``--spool`` frontier, or a bare point-cache/record directory, it walks
+the layout it recognises and classifies what it finds:
+
+=====================  =================================================
+finding kind           meaning / repair
+=====================  =================================================
+``tmp-orphan``         a ``*.tmp<pid>`` file older than the age gate —
+                       a crash between write and rename; removed
+``corrupt``            a record that fails envelope validation (parse,
+                       checksum, or schema); quarantined — except queue
+                       entries, whose payload is a pure function of the
+                       filename and is rebuilt in place
+``dangling-running``   a claimed entry with no live claimant (stopped
+                       service / killed checker); renamed back to
+                       pending so the work reruns
+``orphan-entry``       a queue entry whose job record is gone — nothing
+                       says what to execute; removed
+``lost-entry``         an active job record with no queue entry (the
+                       inverse crash window); a fresh entry is enqueued
+``quarantined``        informational: evidence already moved aside by a
+                       previous reader or fsck run
+=====================  =================================================
+
+Repairs are only applied with ``repair=True`` and only when they are
+safe offline; run repair against a *stopped* service or checker (a
+live monitor performs the running-entry repairs itself).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .records import (QUARANTINE_DIR, CorruptRecord, quarantine,
+                      read_record, write_record)
+
+#: Finding kinds that leave data at risk (non-informational).
+PROBLEM_KINDS = ("tmp-orphan", "corrupt", "dangling-running",
+                 "orphan-entry", "lost-entry")
+
+
+@dataclass
+class Finding:
+    """One thing fsck noticed, and what it did (or would do) about it."""
+
+    kind: str
+    path: str
+    detail: str
+    repaired: bool = False
+    action: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "path": self.path,
+                "detail": self.detail, "repaired": self.repaired,
+                "action": self.action}
+
+
+@dataclass
+class FsckReport:
+    """Everything one scan found."""
+
+    root: str
+    layout: str
+    repair: bool
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, kind: str, path: Path, detail: str,
+            repaired: bool = False, action: str = "") -> Finding:
+        finding = Finding(kind, str(path), detail, repaired, action)
+        self.findings.append(finding)
+        return finding
+
+    @property
+    def problems(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind in PROBLEM_KINDS]
+
+    @property
+    def unrepaired(self) -> List[Finding]:
+        return [f for f in self.problems if not f.repaired]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.kind] = out.get(finding.kind, 0) + 1
+        return out
+
+    @property
+    def clean(self) -> bool:
+        return not self.unrepaired
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"root": self.root, "layout": self.layout,
+                "repair": self.repair, "clean": self.clean,
+                "counts": self.counts(),
+                "findings": [f.to_dict() for f in self.findings]}
+
+    def render(self) -> str:
+        lines = [f"fsck {self.root} [{self.layout} layout]"]
+        for finding in self.findings:
+            mark = "fixed" if finding.repaired else (
+                "info" if finding.kind not in PROBLEM_KINDS else "PROBLEM")
+            line = f"  [{mark:>7}] {finding.kind}: {finding.path}" \
+                   f" — {finding.detail}"
+            if finding.action:
+                line += f" ({finding.action})"
+            lines.append(line)
+        counts = self.counts()
+        if counts:
+            summary = ", ".join(f"{k}={v}"
+                                for k, v in sorted(counts.items()))
+            lines.append(f"  {summary}")
+        lines.append("  clean" if self.clean else
+                     f"  {len(self.unrepaired)} problem(s) remain"
+                     + ("" if self.repair else " (re-run with --repair)"))
+        return "\n".join(lines)
+
+
+def detect_layout(root: Path) -> str:
+    """``service``, ``frontier``, or ``records`` (a flat record dir)."""
+    root = Path(root)
+    if (root / "queue").is_dir() and (root / "jobs").is_dir():
+        return "service"
+    if (root / "meta.json").exists() or (root / "visited").is_dir():
+        return "frontier"
+    return "records"
+
+
+def fsck(root: Path, repair: bool = False,
+         tmp_age: float = 60.0) -> FsckReport:
+    """Scan ``root`` (see module docstring); repairs only if asked."""
+    root = Path(root)
+    layout = detect_layout(root)
+    report = FsckReport(str(root), layout, repair)
+    if not root.is_dir():
+        report.add("corrupt", root, "not a directory")
+        return report
+    if layout == "service":
+        _fsck_service(root, report, repair, tmp_age)
+    elif layout == "frontier":
+        _fsck_frontier(root, report, repair, tmp_age)
+    else:
+        _scan_records(root, report, repair, tmp_age)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shared scans
+# ----------------------------------------------------------------------
+
+def _scan_tmp(directory: Path, report: FsckReport, repair: bool,
+              tmp_age: float) -> None:
+    if not directory.is_dir():
+        return
+    now = time.time()
+    for path in sorted(directory.glob("*.tmp*")):
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue
+        if age < tmp_age:
+            continue
+        finding = report.add("tmp-orphan", path,
+                             f"orphaned tmp file ({age:.0f}s old)")
+        if repair:
+            try:
+                path.unlink()
+                finding.repaired = True
+                finding.action = "removed"
+            except OSError as exc:
+                finding.action = f"unlink failed: {exc}"
+
+
+def _scan_quarantine(directory: Path, report: FsckReport) -> None:
+    qdir = directory / QUARANTINE_DIR
+    if not qdir.is_dir():
+        return
+    count = sum(1 for p in qdir.iterdir() if p.is_file())
+    if count:
+        report.add("quarantined", qdir,
+                   f"{count} previously quarantined record(s)")
+
+
+def _check_record(path: Path, report: FsckReport, repair: bool,
+                  schema: Optional[str] = None,
+                  rebuild: Optional[dict] = None) -> bool:
+    """Validate one record file; returns True when it reads clean.
+
+    ``rebuild`` is a replacement payload (queue entries only) written
+    in place on repair; otherwise a corrupt record is quarantined.
+    """
+    try:
+        read_record(path, schema)
+        return True
+    except CorruptRecord as exc:
+        finding = report.add("corrupt", path, exc.reason)
+        if repair:
+            if rebuild is not None:
+                quarantine(path, reason="rebuilt")
+                write_record(path, schema or "generic", rebuild)
+                finding.repaired = True
+                finding.action = "rebuilt from filename"
+            else:
+                dest = quarantine(path, reason="fsck")
+                finding.repaired = True
+                finding.action = f"quarantined -> {dest}"
+        return False
+
+
+def _scan_records(directory: Path, report: FsckReport, repair: bool,
+                  tmp_age: float, schema: Optional[str] = None) -> None:
+    """Generic scan of one flat directory of record files."""
+    if not directory.is_dir():
+        return
+    _scan_tmp(directory, report, repair, tmp_age)
+    _scan_quarantine(directory, report)
+    for path in sorted(directory.glob("*.json")):
+        _check_record(path, report, repair, schema)
+
+
+# ----------------------------------------------------------------------
+# Service layout
+# ----------------------------------------------------------------------
+
+def _entry_rebuild(name: str) -> Optional[dict]:
+    """A queue entry's payload, recomputed from its filename."""
+    from ..service.jobs import PRIORITIES
+    from ..service.queue import Entry
+    try:
+        entry = Entry(name)
+    except (ValueError, IndexError):
+        return None
+    by_num = {num: label for label, num in PRIORITIES.items()}
+    priority = by_num.get(entry.priority, "normal")
+    return {"job": entry.job, "priority": priority}
+
+
+def _fsck_service(root: Path, report: FsckReport, repair: bool,
+                  tmp_age: float) -> None:
+    from ..service.jobs import JobStore
+    pending = root / "queue" / "pending"
+    running = root / "queue" / "running"
+    jobs_dir = root / "jobs"
+    store_dir = root / "store"
+
+    # Job records first: entry repairs below consult them.
+    _scan_tmp(jobs_dir, report, repair, tmp_age)
+    _scan_quarantine(jobs_dir, report)
+    for path in sorted(jobs_dir.glob("*.json")):
+        _check_record(path, report, repair, "job-record")
+
+    jobs = JobStore(jobs_dir) if jobs_dir.is_dir() else None
+
+    def record_of(entry_name: str):
+        if jobs is None:
+            return None
+        stem = entry_name[:-5] if entry_name.endswith(".json") else entry_name
+        job = stem.split("-", 2)[-1]
+        return jobs.load(job)
+
+    # Queue entries: validate (rebuildable), then cross-check records.
+    for directory in (pending, running):
+        _scan_tmp(directory, report, repair, tmp_age)
+        _scan_quarantine(directory, report)
+        for path in sorted(directory.glob("*.json")):
+            _check_record(path, report, repair, "queue-entry",
+                          rebuild=_entry_rebuild(path.name))
+            record = record_of(path.name)
+            if record is None:
+                finding = report.add(
+                    "orphan-entry", path,
+                    "queue entry with no job record")
+                if repair:
+                    try:
+                        path.unlink()
+                        finding.repaired = True
+                        finding.action = "removed"
+                    except OSError:
+                        pass
+            elif directory is running:
+                finding = report.add(
+                    "dangling-running", path,
+                    f"claimed entry for job {record.id} "
+                    f"(status {record.status})")
+                if repair:
+                    try:
+                        if record.active:
+                            os.rename(path, pending / path.name)
+                            finding.action = "requeued"
+                        else:
+                            path.unlink()
+                            finding.action = "removed (job terminal)"
+                        finding.repaired = True
+                    except OSError:
+                        pass
+
+    # The inverse crash window: an active record with no queue entry.
+    if jobs is not None:
+        entries = {p.name.split("-", 2)[-1][:-5]
+                   for d in (pending, running) if d.is_dir()
+                   for p in d.glob("*.json")}
+        for record in jobs.all():
+            if not record.active or record.id in entries:
+                continue
+            finding = report.add(
+                "lost-entry", jobs.path(record.id),
+                f"{record.status} job {record.id} has no queue entry")
+            if repair:
+                from ..service.queue import DiskQueue
+                queue = DiskQueue(root / "queue", max_backlog=1 << 30)
+                record.status = "queued"
+                record.worker = None
+                record.pid = None
+                jobs.save(record)
+                queue.submit(record.id, record.priority)
+                finding.repaired = True
+                finding.action = "re-enqueued"
+
+    # Artifacts, point cache, heartbeats.
+    _scan_records(store_dir / "artifacts", report, repair, tmp_age,
+                  "artifact")
+    _scan_records(store_dir / "points", report, repair, tmp_age,
+                  "point-cache")
+    workers_dir = root / "workers"
+    if workers_dir.is_dir():
+        _scan_tmp(workers_dir, report, repair, tmp_age)
+        for path in sorted(workers_dir.glob("*.json")):
+            if not _check_record(path, report, False, "heartbeat") \
+                    and repair:
+                # Heartbeats are ephemeral: no point quarantining.
+                try:
+                    path.unlink()
+                    report.findings[-1].repaired = True
+                    report.findings[-1].action = "removed"
+                except OSError:
+                    pass
+
+    # Nested frontier spools under scratch/ (check jobs with --spool).
+    scratch = root / "scratch"
+    if scratch.is_dir():
+        for sub in sorted(scratch.iterdir()):
+            if sub.is_dir() and detect_layout(sub) == "frontier":
+                _fsck_frontier(sub, report, repair, tmp_age)
+
+
+# ----------------------------------------------------------------------
+# Frontier spool layout
+# ----------------------------------------------------------------------
+
+def _fsck_frontier(root: Path, report: FsckReport, repair: bool,
+                   tmp_age: float) -> None:
+    pending = root / "pending"
+    running = root / "running"
+    _scan_records(pending, report, repair, tmp_age, "frontier-record")
+    _scan_tmp(running, report, repair, tmp_age)
+    _scan_quarantine(running, report)
+    if running.is_dir():
+        done = set()
+        for log in root.glob("done-*.log"):
+            try:
+                done.update(line for line
+                            in log.read_text().splitlines() if line)
+            except OSError:
+                pass
+        for path in sorted(running.glob("*.json")):
+            if not _check_record(path, report, repair,
+                                 "frontier-record"):
+                continue
+            finding = report.add("dangling-running", path,
+                                 "claimed frontier record")
+            if repair:
+                try:
+                    if path.stem in done:
+                        path.unlink()
+                        finding.action = "removed (already done)"
+                    else:
+                        os.rename(path, pending / path.name)
+                        finding.action = "requeued"
+                    finding.repaired = True
+                except OSError:
+                    pass
+    visited = root / "visited"
+    if visited.is_dir():
+        _scan_tmp(visited, report, repair, tmp_age)
+        _scan_quarantine(visited, report)
+        for path in sorted(visited.glob("*.json")):
+            schema = "frontier-claim" if path.name.startswith("k-") \
+                else None
+            _check_record(path, report, repair, schema)
+    _scan_records(root / "terminals", report, repair, tmp_age,
+                  "frontier-terminal")
+    _scan_records(root / "prov", report, repair, tmp_age)
+    # Root-level singletons: meta, violation, per-worker stats.
+    _scan_tmp(root, report, repair, tmp_age)
+    _scan_quarantine(root, report)
+    meta = root / "meta.json"
+    if meta.exists():
+        _check_record(meta, report, repair, "frontier-meta")
+    violation = root / "violation.json"
+    if violation.exists():
+        _check_record(violation, report, repair)
+    for path in sorted(root.glob("stats-*.json")):
+        _check_record(path, report, repair, "frontier-stats")
+
+
+__all__ = ["Finding", "FsckReport", "PROBLEM_KINDS", "detect_layout",
+           "fsck"]

@@ -24,6 +24,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import SystemConfig, table_i
+from ..durability.faultyfs import NULL_FS
+from ..durability.records import (CorruptRecord, quarantine,
+                                  read_record, sweep_tmp, write_record)
 from ..energy.mcpat import attach_energy
 from ..sim.results import SimResult
 from ..sim.system import System
@@ -80,12 +83,16 @@ class Point:
 class Runner:
     """Runs and caches simulation points."""
 
+    #: Envelope schema tag of disk-cached points.
+    CACHE_SCHEMA = "point-cache"
+
     def __init__(self, cache_dir: Optional[str] = None,
                  st_length: int = 40_000, par_length: int = 1_200,
                  num_cores_parallel: int = 16, seed: int = 42,
                  use_disk_cache: bool = True,
                  warmup_fraction: float = 0.3,
-                 simpoints: int = 2, parsec_simpoints: int = 1) -> None:
+                 simpoints: int = 2, parsec_simpoints: int = 1,
+                 fs=NULL_FS) -> None:
         self.st_length = st_length
         self.par_length = par_length
         self.warmup_fraction = warmup_fraction
@@ -101,6 +108,12 @@ class Runner:
             cache_dir = os.environ.get(
                 "REPRO_CACHE", str(Path.cwd() / ".repro_cache"))
         self.cache_dir = Path(cache_dir)
+        self.fs = fs
+        #: Orphaned tmp files reclaimed on open; corrupt cache entries
+        #: quarantined (and recomputed) by this runner's reads.
+        self.tmp_swept = sweep_tmp(self.cache_dir) \
+            if use_disk_cache else 0
+        self.cache_quarantined = 0
         self._memory: Dict[Tuple, SimResult] = {}
 
     def params(self) -> Dict:
@@ -250,23 +263,31 @@ class Runner:
         if not self.use_disk_cache:
             return None
         path = self._cache_path(key)
-        if not path.exists():
+        try:
+            # Envelope-validated; pre-envelope entries (a bare result
+            # dict) pass through read_record unchanged.
+            doc = read_record(path, self.CACHE_SCHEMA)
+        except CorruptRecord:
+            # A torn or bit-rotted cache entry must never feed a
+            # figure: move it aside and recompute the point.
+            quarantine(path, root=self.cache_dir)
+            self.cache_quarantined += 1
+            return None
+        if doc is None:
             return None
         try:
-            with open(path) as handle:
-                return SimResult.from_dict(json.load(handle))
-        except (OSError, ValueError, KeyError):
+            return SimResult.from_dict(doc)
+        except (ValueError, KeyError, TypeError):
+            quarantine(path, root=self.cache_dir)
+            self.cache_quarantined += 1
             return None
 
     def _store_disk(self, key: Tuple, result: SimResult) -> None:
         if not self.use_disk_cache:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._cache_path(key)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "w") as handle:
-            handle.write(result.canonical_json())
-        os.replace(tmp, path)
+        write_record(self._cache_path(key), self.CACHE_SCHEMA,
+                     result.to_dict(), fs=self.fs)
 
 
 def _simulate_payload(payload: Tuple[Dict, Point]) -> Tuple[Dict, float]:

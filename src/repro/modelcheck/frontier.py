@@ -34,6 +34,10 @@ from collections import deque
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..durability.faultyfs import NULL_FS
+from ..durability.records import (CorruptRecord, quarantine,
+                                  read_record, sweep_tmp, write_record)
+
 #: Signature tuples survive a JSON round-trip as lists; normalise back.
 def _sig(raw) -> Tuple:
     return tuple(raw)
@@ -165,7 +169,8 @@ class DiskFrontier:
 
     durable = True
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, fs=NULL_FS, fsync: bool = False,
+                 sweep_age: float = 60.0) -> None:
         self.root = Path(root)
         self.pending_dir = self.root / "pending"
         self.running_dir = self.root / "running"
@@ -176,32 +181,42 @@ class DiskFrontier:
                           self.visited_dir, self.terminal_dir,
                           self.prov_dir):
             directory.mkdir(parents=True, exist_ok=True)
+        self.fs = fs
+        self.fsync = fsync
+        #: Orphaned tmp files reclaimed on open; corrupt records moved
+        #: aside by this process's reads.
+        self.tmp_swept = sum(
+            sweep_tmp(d, max_age=sweep_age)
+            for d in (self.root, self.pending_dir, self.running_dir,
+                      self.visited_dir, self.terminal_dir,
+                      self.prov_dir))
+        self.quarantined = 0
         self._done: Set[str] = set()
         self._done_log = self.root / f"done-{os.getpid()}.log"
         self._load_done()
 
     # -- small file helpers --------------------------------------------------
-    def _write_atomic(self, path: Path, payload: dict) -> None:
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        os.rename(tmp, path)
+    def _write_atomic(self, path: Path, payload: dict,
+                      schema: str) -> None:
+        write_record(path, schema, payload, fs=self.fs,
+                     fsync=self.fsync)
 
-    def _write_exclusive(self, path: Path, payload: dict) -> bool:
+    def _write_exclusive(self, path: Path, payload: dict,
+                         schema: str) -> bool:
         """First-writer-wins creation; True when this call created it."""
-        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        try:
-            os.link(tmp, path)
-            return True
-        except FileExistsError:
-            return False
-        finally:
-            os.unlink(tmp)
+        return write_record(path, schema, payload, fs=self.fs,
+                            fsync=self.fsync, exclusive=True)
 
-    def _read(self, path: Path) -> Optional[dict]:
+    def _read(self, path: Path, schema: Optional[str] = None) \
+            -> Optional[dict]:
+        """Read and validate one spool record; a corrupt record is
+        quarantined into ``<root>/quarantine/`` (kept as evidence for
+        ``repro fsck``) and reads as missing."""
         try:
-            return json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            return read_record(path, schema)
+        except CorruptRecord:
+            if quarantine(path, root=self.root) is not None:
+                self.quarantined += 1
             return None
 
     def _load_done(self) -> None:
@@ -222,8 +237,12 @@ class DiskFrontier:
         if meta_path.exists():
             self.recover()
             return True
-        self._write_atomic(meta_path, meta)
+        # Root record first, meta last: meta.json is the commit point
+        # a resume keys on, so it must never exist before the work it
+        # promises.  (The reverse order had a crash window that left a
+        # spool which "resumed" to an instantly-complete empty run.)
         self.push(record)
+        self._write_atomic(meta_path, meta, "frontier-meta")
         return False
 
     def meta(self) -> Optional[dict]:
@@ -253,7 +272,8 @@ class DiskFrontier:
         payload = dict(record)
         payload["prefix"] = list(record["prefix"])
         payload["sleep"] = [list(s) for s in record["sleep"]]
-        self._write_atomic(self.pending_dir / name, payload)
+        self._write_atomic(self.pending_dir / name, payload,
+                           "frontier-record")
 
     def pop(self) -> Optional[dict]:
         for name in self._names(self.pending_dir):
@@ -263,9 +283,11 @@ class DiskFrontier:
                 os.rename(src, dst)
             except (FileNotFoundError, OSError):
                 continue      # another worker won the claim
-            payload = self._read(dst)
+            payload = self._read(dst, "frontier-record")
             if payload is None or payload["id"] in self._done:
-                # A stale duplicate of an already-finished record.
+                # A stale duplicate of an already-finished record —
+                # or a corrupt one, which ``_read`` has quarantined
+                # (kept for fsck rather than silently unlinked).
                 try:
                     os.unlink(dst)
                 except FileNotFoundError:
@@ -311,15 +333,20 @@ class DiskFrontier:
             return "seen"     # already compacted: its owner was acked
         payload = {"key": key, "owner": owner,
                    "sleep": [list(s) for s in sorted(frozenset(sleep))]}
-        if self._write_exclusive(self._claim_path(key), payload):
+        if self._write_exclusive(self._claim_path(key), payload,
+                                 "frontier-claim"):
             return "new"
-        existing = self._read(self._claim_path(key))
+        existing = self._read(self._claim_path(key), "frontier-claim")
         if existing is not None and existing.get("owner") == owner:
             return "ours"     # crash redo of our own expansion
         if existing is None and self._segment_lookup(key) is None:
-            # Claim file raced away (compaction moved it to a segment
-            # mid-read); fall through to "seen" — the key exists.
-            pass
+            # The claim file either raced away (compaction moved it to
+            # a segment mid-read) or was corrupt and has just been
+            # quarantined; in the latter case the key is unclaimed
+            # again — retake it so the state is not silently skipped.
+            if self._write_exclusive(self._claim_path(key), payload,
+                                     "frontier-claim"):
+                return "new"
         return "seen"
 
     def _segment_lookup(self, key: str) -> Optional[dict]:
@@ -341,7 +368,8 @@ class DiskFrontier:
         payload = self._read(self._claim_path(key)) or {"key": key,
                                                         "owner": ""}
         payload["sleep"] = [list(s) for s in sorted(frozenset(sleep))]
-        self._write_atomic(self._claim_path(key), payload)
+        self._write_atomic(self._claim_path(key), payload,
+                           "frontier-claim")
 
     def visited_count(self) -> int:
         keys = {name[2:-5] for name in os.listdir(self.visited_dir)
@@ -376,7 +404,7 @@ class DiskFrontier:
         seg = self.visited_dir / f"seg-{seg_id}.json"
         existing = self._read(seg) or {"keys": {}}
         existing["keys"].update(merged)
-        self._write_atomic(seg, existing)
+        self._write_atomic(seg, existing, "frontier-claim")
         for path in victims:
             try:
                 os.unlink(path)
@@ -387,7 +415,7 @@ class DiskFrontier:
     # -- terminal states -----------------------------------------------------
     def terminal(self, record_id: str, key: str) -> None:
         self._write_exclusive(self.terminal_dir / f"t-{record_id}.json",
-                              {"key": key})
+                              {"key": key}, "frontier-terminal")
 
     def terminal_stats(self) -> Tuple[int, Tuple[str, ...]]:
         keys = []
@@ -405,12 +433,14 @@ class DiskFrontier:
     # -- proviso -------------------------------------------------------------
     def proviso_open(self, key: str, expect: int, prefix) -> None:
         self._write_exclusive(self.prov_dir / f"p-{key}.json",
-                              {"expect": expect, "prefix": list(prefix)})
+                              {"expect": expect, "prefix": list(prefix)},
+                              "frontier-prov")
 
     def proviso_resolve(self, key: str, child_id: str,
                         fresh: bool) -> Optional[tuple]:
         self._write_exclusive(
-            self.prov_dir / f"m-{key}-{child_id}.json", {"fresh": fresh})
+            self.prov_dir / f"m-{key}-{child_id}.json", {"fresh": fresh},
+            "frontier-prov")
         head = self._read(self.prov_dir / f"p-{key}.json")
         if head is None:
             return None
@@ -427,13 +457,15 @@ class DiskFrontier:
             any_fresh = any_fresh or payload.get("fresh", False)
         if resolved < head["expect"] or any_fresh:
             return None
-        if self._write_exclusive(self.prov_dir / f"r-{key}.json", {}):
+        if self._write_exclusive(self.prov_dir / f"r-{key}.json", {},
+                                 "frontier-prov"):
             return tuple(head["prefix"])
         return None
 
     # -- violation -----------------------------------------------------------
     def set_violation(self, payload: dict) -> bool:
-        return self._write_exclusive(self.root / "violation.json", payload)
+        return self._write_exclusive(self.root / "violation.json",
+                                     payload, "frontier-violation")
 
     def get_violation(self) -> Optional[dict]:
         return self._read(self.root / "violation.json")
@@ -443,7 +475,8 @@ class DiskFrontier:
         """Persist a finished worker's execution count so the merged
         report reflects the whole fleet's work."""
         self._write_atomic(self.root / f"stats-{label}.json",
-                           {"executions": executions})
+                           {"executions": executions},
+                           "frontier-stats")
 
     def stats_executions(self) -> int:
         total = 0

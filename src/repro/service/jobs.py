@@ -25,13 +25,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..common.errors import ReproError
+from ..durability.faultyfs import NULL_FS
+from ..durability.records import (quarantine_count, read_or_quarantine,
+                                  sweep_tmp, write_record)
 
 #: Everything the service knows how to execute, in doc order.
 JOB_KINDS = ("sweep", "check", "faults", "bench", "synthetic")
@@ -239,26 +241,33 @@ def job_id(kind: str, spec: Dict[str, Any]) -> str:
 # Durable job records
 # ----------------------------------------------------------------------
 
-def write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
-    """Crash-safe JSON write: tmp file + atomic replace.
+def write_json_atomic(path: Path, payload: Dict[str, Any],
+                      schema: str = "generic", fs=NULL_FS,
+                      fsync: bool = False) -> None:
+    """Crash-safe JSON write: checksummed envelope, tmp file + atomic
+    replace.
 
     Concurrent writers each write their own tmp (pid-suffixed) and the
-    last replace wins whole — a reader never observes a torn file.
+    last replace wins whole — a reader never observes a torn file; the
+    envelope means a reader also never *trusts* one the storage tore
+    behind our back.  ``fs`` routes the write through a fault shim
+    (chaos drills), ``fsync`` buys power-loss durability at the cost
+    of two syncs per record.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(f".tmp{os.getpid()}")
-    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    write_record(path, schema, payload, fs=fs, fsync=fsync)
 
 
-def read_json(path: Path) -> Optional[Dict[str, Any]]:
+def read_json(path: Path,
+              schema: Optional[str] = None) -> Optional[Dict[str, Any]]:
     """Read a JSON file written by :func:`write_json_atomic`; ``None``
-    when missing or (transiently) unreadable."""
-    try:
-        return json.loads(Path(path).read_text())
-    except (OSError, ValueError):
-        return None
+    when missing.  A file that exists but fails validation (torn,
+    truncated, bit-rotted, wrong schema) is *quarantined* — moved into
+    a ``quarantine/`` sibling directory — and also reads as ``None``,
+    so the caller's missing-record recovery path handles it instead of
+    an exception unwinding a worker or monitor loop."""
+    return read_or_quarantine(path, schema)
 
 
 @dataclass
@@ -337,27 +346,41 @@ class JobRecord:
 class JobStore:
     """The ``jobs/`` directory: one atomic JSON file per job record."""
 
-    def __init__(self, root: Path) -> None:
+    #: Envelope schema tag of job records.
+    SCHEMA = "job-record"
+
+    def __init__(self, root: Path, fs=NULL_FS, fsync: bool = False,
+                 sweep_age: float = 60.0) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fs = fs
+        self.fsync = fsync
+        #: Orphaned tmp files reclaimed when this store opened.
+        self.tmp_swept = sweep_tmp(self.root, max_age=sweep_age)
 
     def path(self, job: str) -> Path:
         return self.root / f"{job}.json"
 
     def load(self, job: str) -> Optional[JobRecord]:
-        data = read_json(self.path(job))
+        data = read_json(self.path(job), self.SCHEMA)
         return JobRecord.from_dict(data) if data else None
 
     def save(self, record: JobRecord) -> None:
-        write_json_atomic(self.path(record.id), record.to_dict())
+        write_json_atomic(self.path(record.id), record.to_dict(),
+                          schema=self.SCHEMA, fs=self.fs,
+                          fsync=self.fsync)
 
     def all(self) -> List[JobRecord]:
         records = []
         for path in sorted(self.root.glob("*.json")):
-            data = read_json(path)
+            data = read_json(path, self.SCHEMA)
             if data:
                 records.append(JobRecord.from_dict(data))
         return records
+
+    def quarantined(self) -> int:
+        """Corrupt records moved aside so far (derived from disk)."""
+        return quarantine_count(self.root)
 
 
 def submit_record(kind: str, spec: Dict[str, Any], priority: str,

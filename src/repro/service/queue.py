@@ -38,6 +38,8 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..common.errors import ReproError
+from ..durability.faultyfs import NULL_FS
+from ..durability.records import quarantine_count, sweep_tmp
 from .jobs import DEFAULT_PRIORITY, PRIORITIES, read_json, \
     write_json_atomic
 
@@ -72,13 +74,23 @@ class Entry:
 class DiskQueue:
     """Priority FIFO over spool directories (see module docstring)."""
 
-    def __init__(self, root: Path, max_backlog: int = 64) -> None:
+    #: Envelope schema tag of queue entry payloads.
+    SCHEMA = "queue-entry"
+
+    def __init__(self, root: Path, max_backlog: int = 64, fs=NULL_FS,
+                 fsync: bool = False, sweep_age: float = 60.0) -> None:
         self.root = Path(root)
         self.pending_dir = self.root / "pending"
         self.running_dir = self.root / "running"
         self.pending_dir.mkdir(parents=True, exist_ok=True)
         self.running_dir.mkdir(parents=True, exist_ok=True)
         self.max_backlog = max_backlog
+        self.fs = fs
+        self.fsync = fsync
+        #: Orphaned tmp files reclaimed when this queue opened (a
+        #: crash between an entry's write and its rename leaks one).
+        self.tmp_swept = sweep_tmp(self.pending_dir, max_age=sweep_age) \
+            + sweep_tmp(self.running_dir, max_age=sweep_age)
         # Sequence numbers only need to be unique and increasing per
         # submitting process; cross-process ties break on the counter
         # suffix which embeds the pid.
@@ -141,7 +153,9 @@ class DiskQueue:
             name = f"p{prio}-{stamp:015d}{self._pid % 100_000:05d}" \
                    f"{seq:06d}-{job}.json"
             write_json_atomic(self.pending_dir / name,
-                              {"job": job, "priority": priority})
+                              {"job": job, "priority": priority},
+                              schema=self.SCHEMA, fs=self.fs,
+                              fsync=self.fsync)
         return name
 
     # -- consumer edge -------------------------------------------------------
@@ -182,7 +196,25 @@ class DiskQueue:
         return True
 
     def entry_payload(self, directory: Path, entry_name: str) -> Optional[dict]:
-        return read_json(directory / entry_name)
+        payload = read_json(directory / entry_name, self.SCHEMA)
+        if payload is None:
+            # Missing or corrupt (read_json quarantined it).  The
+            # payload is a pure function of the entry name — rebuild
+            # it so a rotted entry never strands its job.
+            try:
+                entry = Entry(entry_name)
+            except (ValueError, IndexError):
+                return None
+            by_num = {num: label for label, num in PRIORITIES.items()}
+            payload = {"job": entry.job,
+                       "priority": by_num.get(entry.priority,
+                                              DEFAULT_PRIORITY)}
+        return payload
+
+    def quarantined(self) -> int:
+        """Corrupt entries moved aside so far (derived from disk)."""
+        return quarantine_count(self.pending_dir) \
+            + quarantine_count(self.running_dir)
 
     def running_age(self, entry_name: str) -> Optional[float]:
         """Seconds since the entry was claimed; ``None`` if gone."""

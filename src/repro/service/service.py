@@ -52,6 +52,9 @@ class ServiceConfig:
     monitor_interval: float = 0.25   # fleet reap / requeue cadence
     lease_seconds: float = 600.0     # hung-worker requeue backstop
     restart_workers: bool = True
+    fsync: bool = False              # fsync durable records + dirs
+    tmp_sweep_age: float = 60.0      # orphaned-tmp reclaim age gate
+    entry_repair_age: float = 2.0    # queued-record-without-entry age
 
 
 def _pid_alive(pid: Optional[int]) -> bool:
@@ -74,11 +77,16 @@ class Service:
             path.mkdir(parents=True, exist_ok=True)
         self.paths = paths
         self.queue = DiskQueue(paths["queue"],
-                               max_backlog=config.max_backlog)
-        self.jobs = JobStore(paths["jobs"])
-        self.store = ArtifactStore(paths["store"])
+                               max_backlog=config.max_backlog,
+                               fsync=config.fsync,
+                               sweep_age=config.tmp_sweep_age)
+        self.jobs = JobStore(paths["jobs"], fsync=config.fsync,
+                             sweep_age=config.tmp_sweep_age)
+        self.store = ArtifactStore(paths["store"], fsync=config.fsync,
+                                   sweep_age=config.tmp_sweep_age)
         self.fleet = WorkerFleet(paths["data"], size=config.workers,
-                                 poll_interval=config.poll_interval)
+                                 poll_interval=config.poll_interval,
+                                 fsync=config.fsync)
         self.started_ts = time.time()
         # True in-process counters (everything else derives from disk).
         self.metrics_http_requests = Counter(
@@ -132,8 +140,9 @@ class Service:
             self._monitor_thread.join(timeout=2.0)
         self.fleet.stop(timeout=timeout)
         # One final repair pass so jobs of terminated workers are not
-        # stranded in running/ across a restart.
+        # stranded in running/ (or left entry-less) across a restart.
         self._repair_running()
+        self._repair_lost_entries()
 
     def drain(self, timeout: float = 60.0,
               poll: float = 0.05) -> bool:
@@ -165,7 +174,11 @@ class Service:
                 self.jobs.save(existing)
                 self.metrics_submissions.inc(outcome="dedup_active")
                 return existing, False
-            if existing is not None and existing.status == "done":
+            if existing is not None and existing.status == "done" \
+                    and self.store.has(jid):
+                # Answer from the finished record only while its
+                # artifact still validates (``has`` quarantines a
+                # rotted one); otherwise fall through and re-execute.
                 existing.resubmits += 1
                 self.jobs.save(existing)
                 self.metrics_submissions.inc(outcome="dedup_done")
@@ -264,6 +277,45 @@ class Service:
                 self.metrics_requeues.inc(reason=reason)
         return repaired
 
+    def _repair_lost_entries(self) -> int:
+        """Re-enqueue active records that lost their queue entry — a
+        crash between the record save and the entry write, or a
+        corrupt entry that a reader quarantined.  Age-gated on the
+        record file so an in-flight submission isn't raced; a running
+        record additionally needs its worker dead (a live worker holds
+        the entry name in memory and will finish the job without it).
+        Returns entries recreated."""
+        entries = {entry.job for entry in self.queue.pending()}
+        entries.update(entry.job for entry in self.queue.running())
+        now = time.time()
+        repaired = 0
+        for record in self.jobs.all():
+            if not record.active or record.id in entries:
+                continue
+            if record.status == "running":
+                alive = self.fleet.is_alive(record.worker) \
+                    if record.worker in self.fleet.alive() \
+                    else _pid_alive(record.pid)
+                if alive:
+                    continue
+            try:
+                age = now - self.jobs.path(record.id).stat().st_mtime
+            except OSError:
+                continue
+            if age < self.config.entry_repair_age:
+                continue
+            record.status = "queued"
+            record.worker = None
+            record.pid = None
+            self.jobs.save(record)
+            try:
+                self.queue.submit(record.id, record.priority)
+            except QueueFull:
+                continue      # stays queued; retried next pass
+            repaired += 1
+            self.metrics_requeues.inc(reason="entry-lost")
+        return repaired
+
     def _monitor_loop(self) -> None:
         while not self._stop.wait(self.config.monitor_interval):
             try:
@@ -271,6 +323,7 @@ class Service:
                     self.fleet.reap(respawn=self.config.restart_workers
                                     and not self._stop.is_set())
                 self._repair_running()
+                self._repair_lost_entries()
             except Exception:    # noqa: BLE001 - monitor must survive
                 continue
 
@@ -317,6 +370,19 @@ class Service:
             "jobs": {"total": len(records), "by_status": by_status,
                      "shed": int(self.metrics_sheds.total())},
             "store": self.store.stats(),
+            "durability": self._durability_stats(),
+        }
+
+    def _durability_stats(self) -> Dict[str, int]:
+        """Quarantined-record and tmp-sweep counts (disk-derived,
+        except the sweep counters which are per-open)."""
+        return {
+            "quarantined_queue": self.queue.quarantined(),
+            "quarantined_jobs": self.jobs.quarantined(),
+            "quarantined_store": self.store.quarantined(),
+            "tmp_swept": self.queue.tmp_swept + self.jobs.tmp_swept
+            + self.store.tmp_swept,
+            "fsync": int(self.config.fsync),
         }
 
     def metrics_text(self) -> str:
@@ -422,4 +488,23 @@ class Service:
             "repro_cached_points",
             "Simulation points in the shared point cache.",
             [(None, store["cached_points"])])
+
+        durability = self._durability_stats()
+        lines += render_gauge(
+            "repro_quarantined_records",
+            "Corrupt durable records moved aside for fsck, by area.",
+            [({"area": "queue"}, durability["quarantined_queue"]),
+             ({"area": "jobs"}, durability["quarantined_jobs"]),
+             ({"area": "store"}, durability["quarantined_store"]),
+             (None, durability["quarantined_queue"]
+              + durability["quarantined_jobs"]
+              + durability["quarantined_store"])])
+        lines += render_counter_snapshot(
+            "repro_tmp_files_swept_total",
+            "Orphaned tmp files reclaimed when stores opened.",
+            [(None, durability["tmp_swept"])])
+        lines += render_gauge(
+            "repro_fsync_enabled",
+            "Whether durable writes fsync file and directory.",
+            [(None, durability["fsync"])])
         return "\n".join(lines) + "\n"

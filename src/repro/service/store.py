@@ -24,41 +24,67 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..durability.faultyfs import NULL_FS
+from ..durability.records import quarantine_count, sweep_tmp
 from .jobs import read_json, write_json_atomic
 
 
 class ArtifactStore:
     """Job-level results plus the shared simulation point cache."""
 
-    def __init__(self, root: Path) -> None:
+    #: Envelope schema tag of job artifacts.
+    SCHEMA = "artifact"
+
+    def __init__(self, root: Path, fs=NULL_FS, fsync: bool = False,
+                 sweep_age: float = 60.0) -> None:
         self.root = Path(root)
         self.artifact_dir = self.root / "artifacts"
         self.point_cache_dir = self.root / "points"
         self.artifact_dir.mkdir(parents=True, exist_ok=True)
         self.point_cache_dir.mkdir(parents=True, exist_ok=True)
+        self.fs = fs
+        self.fsync = fsync
+        #: Orphaned tmp files reclaimed when this store opened.
+        self.tmp_swept = \
+            sweep_tmp(self.artifact_dir, max_age=sweep_age) \
+            + sweep_tmp(self.point_cache_dir, max_age=sweep_age)
 
     # -- job artifacts -------------------------------------------------------
     def path(self, job: str) -> Path:
         return self.artifact_dir / f"{job}.json"
 
     def has(self, job: str) -> bool:
-        return self.path(job).exists()
+        """True only when a *valid* artifact exists.
+
+        This is the dedup gate: submissions and claiming workers skip
+        execution on it, so it must validate — a bit-rotted artifact
+        answered as a cache hit would silently serve garbage forever.
+        A corrupt one is quarantined here and the job re-executes.
+        """
+        return self.get(job) is not None
 
     def put(self, job: str, payload: Dict[str, Any]) -> Path:
         """Store one job's result payload (atomic, idempotent)."""
         path = self.path(job)
         write_json_atomic(path, {"job": job, "stored_ts": time.time(),
-                                 "payload": payload})
+                                 "payload": payload},
+                          schema=self.SCHEMA, fs=self.fs,
+                          fsync=self.fsync)
         return path
 
     def get(self, job: str) -> Optional[Dict[str, Any]]:
-        """The stored payload, or ``None`` when absent."""
-        doc = read_json(self.path(job))
+        """The stored payload, or ``None`` when absent/quarantined."""
+        doc = read_json(self.path(job), self.SCHEMA)
         if doc is None:
             return None
         return doc.get("payload")
 
     # -- introspection -------------------------------------------------------
+    def quarantined(self) -> int:
+        """Corrupt artifacts/points moved aside (derived from disk)."""
+        return quarantine_count(self.artifact_dir) \
+            + quarantine_count(self.point_cache_dir)
+
     def stats(self) -> Dict[str, int]:
         artifacts = 0
         artifact_bytes = 0
@@ -70,7 +96,9 @@ class ArtifactStore:
             artifacts += 1
         points = sum(1 for _ in self.point_cache_dir.glob("*.json"))
         return {"artifacts": artifacts, "artifact_bytes": artifact_bytes,
-                "cached_points": points}
+                "cached_points": points,
+                "quarantined": self.quarantined(),
+                "tmp_swept": self.tmp_swept}
 
 
 __all__ = ["ArtifactStore"]

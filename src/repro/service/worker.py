@@ -69,12 +69,15 @@ class Worker:
     def __init__(self, data_dir: Path, worker_id: str,
                  poll_interval: float = 0.05,
                  max_backlog: int = 64,
-                 handlers: Optional[Dict[str, Callable]] = None) -> None:
+                 handlers: Optional[Dict[str, Callable]] = None,
+                 fsync: bool = False) -> None:
         paths = service_paths(data_dir)
         self.worker_id = worker_id
-        self.queue = DiskQueue(paths["queue"], max_backlog=max_backlog)
-        self.jobs = JobStore(paths["jobs"])
-        self.store = ArtifactStore(paths["store"])
+        self.fsync = fsync
+        self.queue = DiskQueue(paths["queue"], max_backlog=max_backlog,
+                               fsync=fsync)
+        self.jobs = JobStore(paths["jobs"], fsync=fsync)
+        self.store = ArtifactStore(paths["store"], fsync=fsync)
         self.scratch = paths["scratch"]
         self.scratch.mkdir(parents=True, exist_ok=True)
         self.workers_dir = paths["workers"]
@@ -94,7 +97,7 @@ class Worker:
             "started_ts": self.started_ts,
             "busy_seconds": self.busy_seconds,
             "jobs_done": self.jobs_done,
-        })
+        }, schema="heartbeat")
 
     # -- signals -------------------------------------------------------------
     def _handle_signal(self, signum, frame) -> None:
@@ -157,6 +160,10 @@ class Worker:
         try:
             payload = execute_job(record, self.store, self.scratch,
                                   handlers=self.handlers)
+            # The put is inside the try: an ENOSPC/EIO while storing
+            # the artifact is a charged retry like any other failure,
+            # not a worker crash.
+            self.store.put(record.id, payload)
         except SweepInterrupted:
             # Service drain: the sweep already flushed its manifest and
             # cache checkpoint; hand the job back uncharged and stop.
@@ -178,7 +185,6 @@ class Worker:
             else:
                 self._requeue(record, entry, charge=True)
         else:
-            self.store.put(record.id, payload)
             self._finish(record, entry, "done")
             self.jobs_done += 1
         finally:
@@ -206,11 +212,12 @@ class Worker:
 
 
 def worker_main(data_dir: str, worker_id: str,
-                poll_interval: float = 0.05) -> None:
+                poll_interval: float = 0.05,
+                fsync: bool = False) -> None:
     """Entry point of one fleet process (spawn-safe: module level,
     plain arguments)."""
     worker = Worker(Path(data_dir), worker_id,
-                    poll_interval=poll_interval)
+                    poll_interval=poll_interval, fsync=fsync)
     worker.install_signals()
     worker.run()
 
@@ -225,10 +232,12 @@ class WorkerFleet:
     """
 
     def __init__(self, data_dir: Path, size: int = 2,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 fsync: bool = False) -> None:
         self.data_dir = Path(data_dir)
         self.size = size
         self.poll_interval = poll_interval
+        self.fsync = fsync
         self._ctx = multiprocessing.get_context("spawn")
         self._procs: Dict[str, multiprocessing.Process] = {}
         self._serial = 0
@@ -238,7 +247,8 @@ class WorkerFleet:
         worker_id = f"w{self._serial:03d}"
         proc = self._ctx.Process(
             target=worker_main,
-            args=(str(self.data_dir), worker_id, self.poll_interval),
+            args=(str(self.data_dir), worker_id, self.poll_interval,
+                  self.fsync),
             name=f"repro-service-{worker_id}")
         proc.start()
         self._procs[worker_id] = proc

@@ -195,3 +195,66 @@ class TestDiskFrontierUnit:
         store.terminal(record["id"], "k")
         assert store.terminal_stats() == (1, ("k",))
         assert store.stats_executions() == 0
+
+
+# ----------------------------------------------------------------------
+# Crash consistency: corrupt spool records, seed ordering, tmp sweep
+# ----------------------------------------------------------------------
+
+import pytest
+
+from repro.durability import FSFaultConfig, FaultyFS, InjectedCrash
+
+
+class TestFrontierDurability:
+    def test_corrupt_record_quarantined_not_crash(self, tmp_path):
+        store = DiskFrontier(tmp_path / "spool")
+        store.seed({"scenario": "sb"}, make_record(()))
+        victim = next((store.root / "pending").glob("*.json"))
+        victim.write_bytes(b"\xff\x00 not json")
+        assert store.pop() is None        # skipped, not an exception
+        assert store.quarantined == 1
+        qdir = store.root / "quarantine"
+        assert sum(1 for p in qdir.iterdir() if p.is_file()) == 1
+
+    def test_corrupt_pending_record_does_not_abort_resume(self, tmp_path):
+        spool = tmp_path / "spool"
+        _kill_mid_run(spool)
+        pendings = sorted((spool / "pending").glob("*.json"))
+        if pendings:                      # the child may have finished
+            pendings[0].write_text("{torn")
+        resumed = explore("overlap", "tus", cores=2, lines=2,
+                          spool=spool)
+        assert resumed.complete           # quarantine, then carry on
+        if pendings:
+            assert (spool / "quarantine").is_dir()
+
+    def test_seed_crash_leaves_no_false_commit_point(self, tmp_path):
+        # meta.json is the resume commit point, so the root record
+        # must be durable first: a crash between the two writes must
+        # never produce a spool that "resumes" to an instantly-
+        # complete empty run.
+        spool = tmp_path / "spool"
+        shim = FaultyFS(0, FSFaultConfig(
+            ops=("crash-before-rename",), sites=("frontier-meta",),
+            site_budget=1))
+        store = DiskFrontier(spool, fs=shim)
+        with pytest.raises(InjectedCrash):
+            store.seed({"scenario": "sb"}, make_record(()))
+        assert not (spool / "meta.json").exists()
+        assert len(list((spool / "pending").glob("*.json"))) == 1
+        fresh = DiskFrontier(spool)
+        assert fresh.seed({"scenario": "sb"}, make_record(())) is False
+        assert (spool / "meta.json").exists()
+        assert not fresh.queue_empty()
+
+    def test_tmp_orphans_swept_on_open(self, tmp_path):
+        spool = tmp_path / "spool"
+        store = DiskFrontier(spool)
+        store.seed({}, make_record(()))
+        stale = spool / "pending" / "x.json.tmp7"
+        stale.write_text("partial")
+        os.utime(stale, (0, 0))
+        reopened = DiskFrontier(spool)
+        assert reopened.tmp_swept == 1
+        assert not stale.exists()

@@ -465,3 +465,122 @@ class TestServiceHTTP:
                 assert client.wait(jid, timeout=20.0)["status"] == "done"
         finally:
             revived.stop(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Crash consistency: corrupt records are quarantined, never trusted
+# ----------------------------------------------------------------------
+
+class TestDurableRecords:
+    def test_zero_byte_queue_entry_still_drains(self, tmp_path):
+        # Claim is a pure rename and the payload is a pure function of
+        # the filename, so a torn entry write cannot lose the job.
+        service = make_service(tmp_path)
+        try:
+            record, _ = service.submit("synthetic", {"payload": "torn"})
+            entry = service.queue.pending()[0]
+            (service.queue.pending_dir / entry.name).write_text("")
+            inline_worker(service).run(max_jobs=1)
+            done = service.job(record.id)
+            assert done.status == "done" and done.attempts == 1
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_corrupt_entry_quarantined_then_repaired(self, tmp_path):
+        from repro.durability.faultyfs import corrupt_file
+        service = make_service(tmp_path, entry_repair_age=0.0)
+        try:
+            record, _ = service.submit("synthetic", {"payload": "rot"})
+            entry = service.queue.pending()[0]
+            corrupt_file(service.queue.pending_dir / entry.name, seed=5)
+            # A status read hits the rot: quarantined, payload rebuilt
+            # from the filename — never an exception, never garbage.
+            payload = service.queue.entry_payload(
+                service.queue.pending_dir, entry.name)
+            assert payload == {"job": record.id, "priority": "normal"}
+            assert service.queue.quarantined() == 1
+            # The entry file moved aside; the record is now entry-less.
+            # The monitor's lost-entry repair re-enqueues it.
+            assert service.queue.depth() == 0
+            service._repair_lost_entries()
+            assert service.queue.depth() == 1
+            inline_worker(service).run(max_jobs=1)
+            assert service.job(record.id).status == "done"
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_corrupt_job_record_never_crashes_readers(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            record, _ = service.submit("synthetic", {"payload": "jr"})
+            service.jobs.path(record.id).write_text("{half a rec")
+            assert service.job(record.id) is None    # not an exception
+            assert service.jobs.quarantined() == 1
+            # The worker sees an orphan entry and retires it; the
+            # monitor loop and snapshot survive untroubled.
+            inline_worker(service).run(max_jobs=1)
+            service._repair_running()
+            service._repair_lost_entries()
+            snapshot = service.snapshot()
+            assert snapshot["durability"]["quarantined_jobs"] == 1
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_rotted_artifact_is_not_deduped(self, tmp_path):
+        from repro.durability.faultyfs import corrupt_file
+        service = make_service(tmp_path)
+        try:
+            spec = {"duration_ms": 0, "payload": "dedup-rot"}
+            record, _ = service.submit("synthetic", spec)
+            inline_worker(service).run(max_jobs=1)
+            corrupt_file(service.store.path(record.id), seed=6)
+            # Identical resubmission must re-execute, not serve rot.
+            again, created = service.submit("synthetic", spec)
+            assert created and again.status == "queued"
+            assert service.store.quarantined() == 1
+            inline_worker(service).run(max_jobs=1)
+            done = service.job(record.id)
+            assert done.status == "done"
+            assert service.result(record.id)["result"]["payload"] \
+                == "dedup-rot"
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_truncated_artifact_fails_the_has_gate(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            record, _ = service.submit("synthetic", {"payload": "t"})
+            inline_worker(service).run(max_jobs=1)
+            service.store.path(record.id).write_text('{"trunc')
+            assert not service.store.has(record.id)
+            assert service.store.quarantined() == 1
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_metrics_expose_quarantine_and_sweeps(self, tmp_path):
+        service = make_service(tmp_path)
+        try:
+            record, _ = service.submit("synthetic", {"payload": "m"})
+            inline_worker(service).run(max_jobs=1)
+            service.store.path(record.id).write_text("rot")
+            assert not service.store.has(record.id)
+            families = parse_prometheus_text(service.metrics_text())
+            gauge = families["repro_quarantined_records"]
+            assert any(value == 1 for sample, value in gauge.items()
+                       if 'area="store"' in sample)
+            assert "repro_tmp_files_swept_total" in families
+            assert sum(families["repro_fsync_enabled"].values()) == 0
+        finally:
+            service.stop(timeout=2.0)
+
+    def test_stores_sweep_stale_tmp_on_open(self, tmp_path):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        stale = jobs_dir / "j.json.tmp42"
+        stale.write_text("partial")
+        os.utime(stale, (0, 0))
+        fresh = jobs_dir / "k.json.tmp42"
+        fresh.write_text("partial")
+        store = JobStore(jobs_dir)
+        assert store.tmp_swept == 1
+        assert not stale.exists() and fresh.exists()
